@@ -1,0 +1,80 @@
+// Ablation: the paper's candidate-triple kernel vs the modern warp-per-
+// edge intersection kernel (cuGraph/Gunrock style), both on the simulated
+// C1060, plus the Harish-Narayanan-style GPU BFS that the paper's
+// Algorithm 1 preprocessing would use if it too moved on-device.
+//
+// This quantifies how much of the paper's GPU cost is the ALGORITHM
+// (testing C(level,3) candidates) rather than the memory system: the
+// intersection kernel does work proportional to Σ min-degree instead.
+#include <iostream>
+
+#include "core/bfs_gpu.hpp"
+#include "core/intersect_gpu.hpp"
+#include "core/triangle_gpu.hpp"
+#include "graph/generators.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace lgg;
+  std::cout << "=== Ablation: candidate-test kernel (paper) vs intersection "
+               "kernel (modern baseline) ===\n\n";
+
+  struct Workload {
+    const char* name;
+    graph::Graph g;
+  };
+  const Workload workloads[] = {
+      {"G(1200, 0.05)", graph::erdos_renyi(1200, 0.05, 2200)},
+      {"community 5k", graph::layered_random(5000, 300, 0.012, 0.006, 9000)},
+      {"BA(5000, 6)", graph::barabasi_albert(5000, 6, 4)},
+  };
+
+  TextTable table({"Workload", "Kernel", "Work items", "Transactions",
+                   "Kernel model_s", "End-to-end model_s"});
+  for (const auto& w : workloads) {
+    core::GpuTriangleOptions copts;
+    copts.layout = core::GpuLayout::kCoalescedAntiCamping;
+    copts.max_simulated_tests = 1000000;
+    const auto cand = core::count_triangles_gpu(w.g, copts);
+    table.new_row()
+        .add(w.name)
+        .add("candidate tests (paper)")
+        .add(cand.total_tests)
+        .add(cand.kernel.transactions)
+        .add(cand.kernel.kernel_time_s, 4)
+        .add(cand.total_time_s, 4);
+
+    core::GpuIntersectOptions iopts;
+    iopts.max_simulated_edges = 200000;
+    const auto inter = core::count_triangles_gpu_intersect(w.g, iopts);
+    table.new_row()
+        .add("")
+        .add("edge intersection (modern)")
+        .add(inter.total_edges)
+        .add(inter.kernel.transactions)
+        .add(inter.kernel.kernel_time_s, 4)
+        .add(inter.total_time_s, 4);
+  }
+  table.print(std::cout);
+
+  std::cout << "\n--- GPU BFS (Harish-Narayanan [8] pattern) on the same "
+               "workloads ---\n";
+  TextTable bfs_table({"Workload", "Levels", "Transactions",
+                       "Kernel model_s"});
+  for (const auto& w : workloads) {
+    const auto r = core::bfs_gpu(w.g, 0);
+    bfs_table.new_row()
+        .add(w.name)
+        .add(std::uint64_t{r.iterations})
+        .add(r.transactions)
+        .add(r.kernel_time_s, 5);
+  }
+  bfs_table.print(std::cout);
+
+  std::cout << "\nExpected shape: the intersection kernel wins by orders of "
+               "magnitude on sparse graphs — the candidate space C(level,3) "
+               "is the dominant cost in the paper's design, not the global-"
+               "memory tuning.  GPU BFS cost scales with depth (one launch "
+               "per level).\n";
+  return 0;
+}

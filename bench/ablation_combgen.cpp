@@ -1,0 +1,46 @@
+// Ablation of Section VIII: the four combination-generation strategies.
+// Measures per-thread work imbalance, auxiliary storage, and wall time of
+// enumerating all C(n,3) combinations on this machine.
+#include <iostream>
+
+#include "combi/binomial.hpp"
+#include "combi/strategies.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace lgg;
+  using combi::Strategy;
+  std::cout << "=== Ablation: combination-generation strategies "
+               "(Section VIII; n=160, k=3, 64 threads) ===\n\n";
+
+  const std::uint32_t n = 160, k = 3, threads = 64;
+  TextTable table({"Strategy", "Combinations", "Imbalance (max/mean)",
+                   "Aux storage", "wall_s"});
+  for (const Strategy s :
+       {Strategy::kPrecomputed, Strategy::kSequential, Strategy::kSplitByStart,
+        Strategy::kEqualDivision}) {
+    Stopwatch wall;
+    std::uint64_t checksum = 0;
+    const auto stats = combi::enumerate_combinations(
+        s, n, k, threads,
+        [&](std::uint32_t, std::span<const std::uint32_t> combo) {
+          checksum += combo[0] + combo[k - 1];
+        });
+    const double wall_s = wall.elapsed_s();
+    table.new_row()
+        .add(combi::strategy_name(s))
+        .add(stats.total_combinations)
+        .add(stats.imbalance(), 3)
+        .add(format_bytes(stats.storage_bits / 8))
+        .add(wall_s, 3);
+    if (checksum == 0) std::cerr << "";  // keep the enumeration observable
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape: A needs combinatorially large storage; "
+               "B is serial (all work on thread 0); C splits by start "
+               "vertex but is badly imbalanced; D (combinadic equal "
+               "division — the paper's choice) is balanced with per-thread "
+               "constant storage.\n";
+  return 0;
+}

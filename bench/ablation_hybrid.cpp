@@ -1,0 +1,66 @@
+// Ablation of the Section V/VI execution pipeline: hybrid shared/global
+// chunk execution vs the all-global kernel, across scheduler choices,
+// with the paper's Eq. (6) analytic estimate alongside.
+#include <iostream>
+
+#include "core/hybrid.hpp"
+#include "core/triangle_gpu.hpp"
+#include "graph/generators.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace lgg;
+  std::cout << "=== Ablation: hybrid shared/global chunk pipeline "
+               "(Sections V-VI) ===\n\n";
+
+  struct Workload {
+    const char* name;
+    graph::Graph g;
+  };
+  Workload workloads[] = {
+      {"narrow communities (all chunks fit shared)",
+       graph::layered_random(2000, 120, 0.05, 0.025, 1)},
+      {"wide communities (mixed residency)",
+       graph::layered_random(2400, 300, 0.03, 0.015, 2)},
+      {"G(n,p) small-diameter (one global chunk)",
+       graph::erdos_renyi(900, 0.05, 3)},
+  };
+
+  TextTable table({"Workload", "Chunks sh/gl", "Scheduler", "Makespan",
+                   "Eq.6 est.", "All-global kernel"});
+  for (auto& w : workloads) {
+    // All-global reference: the Fig. 12 improved kernel.
+    core::GpuTriangleOptions gopts;
+    gopts.max_simulated_tests = 500000;
+    const auto global_run = core::count_triangles_gpu(w.g, gopts);
+
+    for (const core::SchedulerKind sched :
+         {core::SchedulerKind::kList, core::SchedulerKind::kLpt,
+          core::SchedulerKind::kMultifit}) {
+      core::HybridOptions opts;
+      opts.scheduler = sched;
+      opts.max_simulated_tests_per_chunk = 50000;
+      const auto r = core::count_triangles_hybrid(w.g, opts);
+      table.new_row()
+          .add(sched == core::SchedulerKind::kList ? w.name : "")
+          .add(std::to_string(r.shared_chunks) + "/" +
+               std::to_string(r.global_chunks))
+          .add(core::scheduler_name(sched))
+          .add(format_seconds(r.makespan_s))
+          .add(format_seconds(r.eq6_time_s))
+          .add(sched == core::SchedulerKind::kList
+                   ? format_seconds(global_run.kernel.kernel_time_s)
+                   : "");
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape: LPT/MULTIFIT <= arrival-order makespan, "
+               "and Eq. (6) tracks the scheduled time.  The comparison "
+               "against the all-global flat kernel also exposes the "
+               "chunk-per-SM model's weakness the paper's Section VI "
+               "implies: one oversized global chunk pins a single SM "
+               "(makespan >> the equal-division kernel), so chunking pays "
+               "only when chunks are small enough to spread — Eq. (5)'s "
+               "minimisation objective.\n";
+  return 0;
+}

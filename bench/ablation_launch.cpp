@@ -1,0 +1,43 @@
+// Ablation: kernel launch geometry (occupancy) for the triangle kernel.
+// The paper's Eq. (6)/Section VI discussion hinges on keeping all 30 SMs
+// busy; this sweep shows the modelled cost of under- and over-subscribing
+// the device.
+#include <iostream>
+
+#include "core/triangle_gpu.hpp"
+#include "graph/generators.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace lgg;
+  std::cout << "=== Ablation: launch geometry (blocks x threads) for the "
+               "triangle kernel ===\n\n";
+
+  const graph::Graph g = graph::erdos_renyi(600, 0.05, 1600);
+  TextTable table({"blocks", "threads/block", "warps", "kernel model_s",
+                   "camping", "txn/slot"});
+  struct Shape {
+    std::uint32_t blocks, tpb;
+  };
+  const Shape shapes[] = {{1, 128},  {8, 128},  {30, 128},
+                          {60, 128}, {60, 256}, {120, 256}};
+  for (const Shape& s : shapes) {
+    core::GpuTriangleOptions opts;
+    opts.layout = core::GpuLayout::kCoalescedAntiCamping;
+    opts.blocks = s.blocks;
+    opts.threads_per_block = s.tpb;
+    opts.max_simulated_tests = 800000;
+    const auto r = core::count_triangles_gpu(g, opts);
+    table.new_row()
+        .add(std::uint64_t{s.blocks})
+        .add(std::uint64_t{s.tpb})
+        .add(r.kernel.warps)
+        .add(r.kernel.kernel_time_s, 4)
+        .add(r.kernel.camping_factor, 2)
+        .add(r.kernel.transactions_per_slot(), 2);
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape: one block leaves 29 SMs idle (~30x "
+               "slower); beyond ~2 blocks per SM the returns flatten.\n";
+  return 0;
+}

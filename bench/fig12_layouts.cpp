@@ -1,0 +1,62 @@
+// Reproduces Fig. 12: "Counting triangles using global memory with memory
+// access coalescing and avoiding partition camping" — the naive GPU
+// implementation against the improved data structures, n = 200..1200.
+//
+// Three points per n (the ablation ladder of DESIGN.md §5):
+//   naive                — per-thread contiguous work + single matrix
+//   coalesced            — warp-interleaved work + single matrix
+//   coalesced+anti-camp  — warp-interleaved + redundant per-ALS layout
+//
+// The workload is the community-structured family (multiple adjacent
+// level sets per graph): that is the regime where neighbouring ALS share
+// boundary-level data and the single-matrix layout camps (Section X-A).
+// The paper's "naive vs improved" 6-8% corresponds to the layout-only
+// step (coalesced -> improved, kernel time); the warp-interleaving step
+// is larger in our simulator because the paper's baseline was already
+// partially coalesced.
+#include <iostream>
+
+#include "core/triangle_gpu.hpp"
+#include "graph/generators.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace lgg;
+  using core::GpuLayout;
+  std::cout << "=== Fig. 12: naive vs improved GPU data structures "
+               "(n = 200..1200, community graphs) ===\n\n";
+
+  TextTable table({"n", "naive_s", "coalesced_s", "improved_s",
+                   "kernel naive_s", "kernel coal_s", "kernel impr_s",
+                   "kernel gain coal->impr %"});
+  for (std::size_t n = 200; n <= 1200; n += 200) {
+    const graph::Graph g =
+        graph::layered_random(n, 100, 0.06, 0.03, 1000 + n);
+    double total[3] = {0, 0, 0};
+    double kernel[3] = {0, 0, 0};
+    const GpuLayout layouts[3] = {GpuLayout::kNaive, GpuLayout::kCoalesced,
+                                  GpuLayout::kCoalescedAntiCamping};
+    for (int i = 0; i < 3; ++i) {
+      core::GpuTriangleOptions opts;
+      opts.layout = layouts[i];
+      opts.max_simulated_tests = 4000000;
+      const auto r = core::count_triangles_gpu(g, opts);
+      total[i] = r.total_time_s;
+      kernel[i] = r.kernel.kernel_time_s;
+    }
+    table.new_row()
+        .add(std::uint64_t{n})
+        .add(total[0], 4)
+        .add(total[1], 4)
+        .add(total[2], 4)
+        .add(kernel[0], 4)
+        .add(kernel[1], 4)
+        .add(kernel[2], 4)
+        .add(100.0 * (kernel[1] - kernel[2]) / kernel[1], 1);
+  }
+  table.print(std::cout);
+  std::cout << "\nPaper shape (Fig. 12): improved beats naive at every n; "
+               "the layout-only kernel gain should sit near the paper's "
+               "6-8% band on these multi-ALS graphs.\n";
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Reproduces Fig. 1 ("Executing chunks on GPU cores: Makespan scheduling")
+// and ablates the scheduler choice (Section VI): list vs LPT vs MULTIFIT
+// vs exact, on the figure's 7-chunk example and on real chunk sets
+// produced by Algorithm 1.
+#include <iostream>
+
+#include "graph/chunking.hpp"
+#include "graph/generators.hpp"
+#include "gpusim/device.hpp"
+#include "sched/makespan.hpp"
+#include "util/prng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace lgg;
+
+void report(const char* name, const std::vector<std::uint64_t>& jobs,
+            std::uint32_t machines, bool include_exact, TextTable& table) {
+  const auto list = sched::list_schedule(jobs, machines);
+  const auto lpt = sched::lpt_schedule(jobs, machines);
+  const auto mf = sched::multifit_schedule(jobs, machines);
+  const std::uint64_t lb = sched::makespan_lower_bound(jobs, machines);
+  table.new_row()
+      .add(name)
+      .add(std::uint64_t{jobs.size()})
+      .add(std::uint64_t{machines})
+      .add(lb)
+      .add(list.makespan)
+      .add(lpt.makespan)
+      .add(mf.makespan);
+  if (include_exact)
+    table.add(sched::exact_schedule(jobs, machines).makespan);
+  else
+    table.add("n/a (>24 jobs)");
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Fig. 1: Makespan scheduling of chunk computations on "
+               "streaming multiprocessors ===\n\n";
+
+  TextTable table({"Instance", "Jobs", "Machines", "LowerBound", "List",
+                   "LPT", "MULTIFIT", "Exact"});
+
+  // The figure's illustration: 7 chunks on 4 SMs; machine M1 runs chunks
+  // 1, 5, 7 while M2..M4 run the rest in parallel.
+  report("Fig.1 example (7 chunks / 4 SMs)", {8, 7, 6, 5, 4, 3, 2}, 4, true,
+         table);
+
+  // Random chunk sets at the C1060's 30 SMs.
+  Xoshiro256 rng(17);
+  for (const std::size_t jobs_n : {12, 20}) {
+    std::vector<std::uint64_t> jobs(jobs_n);
+    for (auto& j : jobs) j = 50 + rng.uniform(500);
+    report(jobs_n == 12 ? "random 12 chunks / 8 SMs" : "random 20 chunks / 8 SMs",
+           jobs, 8, true, table);
+  }
+
+  // Real Algorithm 1 output: chunk the Fig. 11-style community graph
+  // against the C1060 shared-memory budget and schedule on its 30 SMs.
+  const graph::Graph g = graph::layered_random(20000, 150, 0.02, 0.01, 3);
+  graph::ChunkingOptions copts;
+  copts.shared_mem_bits = gpusim::tesla_c1060().shared_mem_bits();
+  const auto chunks = graph::split_into_chunks(g, copts);
+  std::vector<std::uint64_t> chunk_jobs;
+  for (const auto& c : chunks.chunks) chunk_jobs.push_back(c.bits);
+  report("Algorithm 1 chunks (20k community graph) / 30 SMs", chunk_jobs,
+         gpusim::tesla_c1060().sm_count, chunk_jobs.size() <= 24, table);
+
+  table.print(std::cout);
+  std::cout << "\nExpected shape: List >= LPT >= Exact >= LowerBound, with "
+               "LPT within 4/3 of optimal (Graham) — scheduling the chunks "
+               "well is what keeps the Eq. (6) total time low.\n";
+  return 0;
+}

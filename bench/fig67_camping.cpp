@@ -1,0 +1,76 @@
+// Reproduces Figs. 6-7: partition camping.  Thirty warps (one per C1060
+// SM) read global memory; in the camped variant every warp's transactions
+// land in Partition 1 (Fig. 6), in the avoided variant warp i reads from
+// partition i % p (Fig. 7, Eq. 11).  The DRAM-bound cycles differ by the
+// camping factor; on a CC 2.0 device the cache neutralises the effect
+// (Section X).
+#include <iostream>
+
+#include "gpusim/executor.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace lgg;
+using namespace lgg::gpusim;
+
+struct Variant {
+  const char* name;
+  bool spread;
+};
+
+KernelReport run_variant(const DeviceSpec& dev, bool spread,
+                         std::uint32_t reads_per_thread) {
+  const Simulator sim(dev);
+  DeviceMemory mem(dev);
+  const Buffer buf = mem.alloc(64ull << 20);
+  const std::uint64_t period =
+      static_cast<std::uint64_t>(dev.partitions) * dev.partition_width_bytes;
+
+  KernelConfig cfg{"camping", dev.sm_count, 32};
+  return sim.run(
+      [&](const ThreadCtx& ctx, ThreadRecorder& rec) {
+        const std::uint64_t warp_id = ctx.global_id / 32;
+        for (std::uint32_t r = 0; r < reads_per_thread; ++r) {
+          // Each warp reads a 128-byte run; camped variant places every
+          // run at partition offset 0, spread variant at warp_id % p.
+          const std::uint64_t partition_offset =
+              spread ? (warp_id % dev.partitions) *
+                           dev.partition_width_bytes
+                     : 0;
+          const std::uint64_t row = warp_id * 64 + r;
+          rec.global_read(buf, row * period + partition_offset + 4ull * ctx.lane,
+                          4);
+        }
+      },
+      cfg);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Figs. 6-7: partition camping vs distributed warps "
+               "===\n(30 warps, 64 coalesced reads each)\n\n";
+
+  TextTable table({"Device", "Warp placement", "Transactions",
+                   "Camping factor", "DRAM cycles", "Kernel time"});
+  for (const DeviceSpec* dev : {&tesla_c1060(), &tesla_c2050()}) {
+    for (const bool spread : {false, true}) {
+      const KernelReport r = run_variant(*dev, spread, 64);
+      table.new_row()
+          .add(std::string(dev->name))
+          .add(spread ? "warp i -> partition i%p (Fig. 7)"
+                      : "all warps -> partition 1 (Fig. 6)")
+          .add(r.transactions)
+          .add(r.camping_factor, 2)
+          .add(r.dram_cycles, 0)
+          .add(format_seconds(r.kernel_time_s));
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape: on the C1060 (CC 1.3) the camped variant "
+               "costs ~8x the DRAM cycles (8 partitions serialised); on the "
+               "C2050 (CC 2.0) cached reads neutralise camping, matching "
+               "Section X's remark.\n";
+  return 0;
+}

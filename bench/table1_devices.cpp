@@ -1,0 +1,29 @@
+// Reproduces Table I: "Architecture comparison of different Nvidia GPUs".
+#include <iostream>
+
+#include "gpusim/device.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace lgg;
+  std::cout << "=== Table I: Architecture comparison of different Nvidia "
+               "GPUs ===\n\n";
+  TextTable table({"Model", "Cores", "Global Mem (GB)", "Sh. Mem (KB)",
+                   "# Mem Banks", "Comp. Cap.", "SMs", "Partitions"});
+  for (const gpusim::DeviceSpec& d : gpusim::known_devices()) {
+    table.new_row()
+        .add(d.name)
+        .add(std::uint64_t{d.cores})
+        .add(static_cast<double>(d.global_mem_bytes) / (1 << 30), 0)
+        .add(std::uint64_t{d.shared_mem_bytes / 1024})
+        .add(std::uint64_t{d.shared_banks})
+        .add(to_string(d.cc))
+        .add(std::uint64_t{d.sm_count})
+        .add(std::uint64_t{d.partitions});
+  }
+  table.print(std::cout);
+  std::cout << "\nPaper values (Table I): C1060 240/4/16/16/1.3, "
+               "C2050 448/3/48/32/2.0, C2070 448/6/48/32/2.0 -- exact match "
+               "is expected (this table is the device database).\n";
+  return 0;
+}

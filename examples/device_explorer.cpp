@@ -1,0 +1,44 @@
+// Device explorer: what does the same triangle workload cost on each of
+// the paper's three boards (Table I), and what do the coalescing and
+// partition models say about why?
+//
+//   ./device_explorer [n]
+#include <cstdlib>
+#include <iostream>
+
+#include "lgg.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lgg;
+  const std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 3000;
+
+  const graph::Graph g = graph::layered_random(n, 250, 0.03, 0.015, 11);
+  std::cout << "workload: community graph, " << g.num_vertices()
+            << " vertices, " << g.num_edges() << " edges\n\n";
+
+  TextTable table({"Device", "CC", "Max n (S-UTM, global)", "Kernel model_s",
+                   "Camping", "Txn/slot", "Transfer"});
+  for (const gpusim::DeviceSpec& dev : gpusim::known_devices()) {
+    core::GpuTriangleOptions opts;
+    opts.device = &dev;
+    opts.layout = core::GpuLayout::kCoalesced;
+    opts.max_simulated_tests = 500000;
+    const auto r = core::count_triangles_gpu(g, opts);
+    table.new_row()
+        .add(std::string(dev.name))
+        .add(to_string(dev.cc))
+        .add(graph::SutMatrix::max_vertices_for(dev.global_mem_bits()))
+        .add(r.kernel.kernel_time_s, 4)
+        .add(r.kernel.camping_factor, 2)
+        .add(r.kernel.transactions_per_slot(), 2)
+        .add(format_seconds(r.transfer.time_s));
+  }
+  table.print(std::cout);
+
+  std::cout << "\nWhy the Fermi boards behave differently:\n"
+               "  * CC 2.0 coalesces a full warp through 128-byte cache\n"
+               "    lines (Table III row '2.0': 1 transaction vs 2).\n"
+               "  * Cached global reads absorb partition camping, so the\n"
+               "    Fig. 9 redundant layout only pays off on CC 1.x.\n";
+  return 0;
+}

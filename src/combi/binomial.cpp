@@ -1,0 +1,42 @@
+#include "combi/binomial.hpp"
+
+#include <bit>
+
+namespace lgg::combi {
+
+std::uint64_t binomial(std::uint64_t n, std::uint64_t k) noexcept {
+  if (k > n) return 0;
+  if (k > n - k) k = n - k;
+  if (k == 0) return 1;
+
+  // result = prod_{i=1..k} (n - k + i) / i, keeping the running value exact:
+  // after the i-th step the value is C(n-k+i, i), an integer.
+  unsigned __int128 result = 1;
+  for (std::uint64_t i = 1; i <= k; ++i) {
+    result = result * (n - k + i);
+    result /= i;
+    if (result >= kBinomialOverflow) return kBinomialOverflow;
+  }
+  return static_cast<std::uint64_t>(result);
+}
+
+std::optional<std::uint64_t> binomial_checked(std::uint64_t n,
+                                              std::uint64_t k) noexcept {
+  const std::uint64_t value = binomial(n, k);
+  if (value == kBinomialOverflow) return std::nullopt;
+  return value;
+}
+
+std::uint64_t precomputed_storage_bits(std::uint64_t n,
+                                       std::uint64_t k) noexcept {
+  const std::uint64_t combos = binomial(n, k);
+  if (combos == kBinomialOverflow) return kBinomialOverflow;
+  const std::uint64_t id_bits =
+      n <= 1 ? 1 : static_cast<std::uint64_t>(std::bit_width(n - 1));
+  const unsigned __int128 total =
+      static_cast<unsigned __int128>(combos) * k * id_bits;
+  if (total >= kBinomialOverflow) return kBinomialOverflow;
+  return static_cast<std::uint64_t>(total);
+}
+
+}  // namespace lgg::combi

@@ -1,0 +1,32 @@
+// Binomial coefficients with explicit overflow behaviour.
+//
+// Combination counts drive work division across simulated GPU threads
+// (Section VIII-D); for n ~ 100,000 and k = 3 the counts approach 1.7e14,
+// so 64-bit arithmetic with overflow *detection* (not silent wraparound)
+// is required.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+namespace lgg::combi {
+
+/// Sentinel returned by binomial() when C(n, k) does not fit in 64 bits.
+inline constexpr std::uint64_t kBinomialOverflow = ~std::uint64_t{0};
+
+/// C(n, k), or kBinomialOverflow if the exact value exceeds 2^64 - 2.
+/// C(n, 0) == 1; k > n yields 0.  O(min(k, n-k)) multiplications with
+/// 128-bit intermediates, exact at every step.
+std::uint64_t binomial(std::uint64_t n, std::uint64_t k) noexcept;
+
+/// Checked variant: std::nullopt on overflow.
+std::optional<std::uint64_t> binomial_checked(std::uint64_t n,
+                                              std::uint64_t k) noexcept;
+
+/// Storage cost, in bits, of precomputing all C(n, k) combinations of
+/// k * log2ceil(n)-bit node ids — the paper's Section VIII-A accounting
+/// (n C k * k * log n bits).  Saturates to kBinomialOverflow.
+std::uint64_t precomputed_storage_bits(std::uint64_t n,
+                                       std::uint64_t k) noexcept;
+
+}  // namespace lgg::combi

@@ -1,0 +1,93 @@
+#include "combi/gray.hpp"
+
+#include <algorithm>
+
+#include "combi/binomial.hpp"
+#include "util/error.hpp"
+
+namespace lgg::combi {
+
+namespace {
+
+/// Emit the k-subsets of [0, m) in Gray order (forward or reversed),
+/// appending `suffix` (elements >= m) to every emitted combination.
+/// Recursion: G(m, k) = G(m-1, k) ++ [S + {m-1} : S in rev(G(m-1, k-1))].
+void gen(std::uint32_t m, std::uint32_t k, bool forward,
+         std::vector<std::uint32_t>& suffix,
+         std::vector<std::uint32_t>& scratch,
+         const std::function<void(std::span<const std::uint32_t>)>& fn) {
+  if (k > m) return;
+  if (k == 0) {
+    scratch.assign(suffix.rbegin(), suffix.rend());
+    fn(scratch);
+    return;
+  }
+  if (k == m) {
+    scratch.clear();
+    for (std::uint32_t i = 0; i < m; ++i) scratch.push_back(i);
+    scratch.insert(scratch.end(), suffix.rbegin(), suffix.rend());
+    fn(scratch);
+    return;
+  }
+  if (forward) {
+    gen(m - 1, k, true, suffix, scratch, fn);
+    suffix.push_back(m - 1);
+    gen(m - 1, k - 1, false, suffix, scratch, fn);
+    suffix.pop_back();
+  } else {
+    suffix.push_back(m - 1);
+    gen(m - 1, k - 1, true, suffix, scratch, fn);
+    suffix.pop_back();
+    gen(m - 1, k, false, suffix, scratch, fn);
+  }
+}
+
+}  // namespace
+
+void for_each_gray_combination(
+    std::uint32_t n, std::uint32_t k,
+    const std::function<void(std::span<const std::uint32_t>)>& fn) {
+  LGG_CHECK(static_cast<bool>(fn), "for_each_gray_combination: empty callback");
+  LGG_CHECK(binomial(n, k) != kBinomialOverflow,
+            "C(n,k) overflows 64 bits");
+  if (k > n) return;
+  std::vector<std::uint32_t> suffix;   // descending (pushed high-to-low)
+  std::vector<std::uint32_t> scratch;  // assembled ascending combination
+  gen(n, k, true, suffix, scratch, fn);
+}
+
+std::vector<std::vector<std::uint32_t>> gray_combinations(std::uint32_t n,
+                                                          std::uint32_t k) {
+  std::vector<std::vector<std::uint32_t>> out;
+  const std::uint64_t total = binomial(n, k);
+  LGG_CHECK(total != kBinomialOverflow && total <= (1u << 24),
+            "gray_combinations: refusing to materialise " << total
+                                                          << " combinations");
+  out.reserve(static_cast<std::size_t>(total));
+  for_each_gray_combination(n, k, [&](std::span<const std::uint32_t> combo) {
+    out.emplace_back(combo.begin(), combo.end());
+  });
+  return out;
+}
+
+std::uint32_t combination_distance(std::span<const std::uint32_t> a,
+                                   std::span<const std::uint32_t> b) {
+  LGG_CHECK(a.size() == b.size(), "combination_distance: size mismatch");
+  std::uint32_t only_in_a = 0;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++only_in_a;
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++i;
+      ++j;
+    }
+  }
+  only_in_a += static_cast<std::uint32_t>(a.size() - i);
+  return only_in_a;
+}
+
+}  // namespace lgg::combi

@@ -1,0 +1,35 @@
+// Revolving-door (Gray-code) combination enumeration — "strategy E" for
+// the Section VIII ablation.  Successive combinations differ by exactly
+// one element swapped in and one out, so a shared-memory tester can update
+// its candidate incrementally (two bit flips) instead of rebuilding it,
+// the classic trick for subset testing on SIMD hardware.
+//
+// Construction (Nijenhuis–Wilf / Knuth 7.2.1.3): G(n, k) is G(n-1, k)
+// followed by reverse(G(n-1, k-1)) with n-1 appended — each block and the
+// seam differ by a single swap, by induction.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace lgg::combi {
+
+/// All C(n, k) combinations in revolving-door Gray order, materialised.
+/// Combination elements are emitted in increasing order.
+std::vector<std::vector<std::uint32_t>> gray_combinations(std::uint32_t n,
+                                                          std::uint32_t k);
+
+/// Streaming variant: invokes `fn` once per combination, in Gray order,
+/// without materialising the list (O(k) state per recursion level).
+void for_each_gray_combination(
+    std::uint32_t n, std::uint32_t k,
+    const std::function<void(std::span<const std::uint32_t>)>& fn);
+
+/// Number of elements that differ between two equally sized sorted
+/// combinations (test helper; 1 for adjacent Gray combinations).
+std::uint32_t combination_distance(std::span<const std::uint32_t> a,
+                                   std::span<const std::uint32_t> b);
+
+}  // namespace lgg::combi

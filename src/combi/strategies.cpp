@@ -1,0 +1,169 @@
+#include "combi/strategies.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <numeric>
+#include <span>
+
+#include "combi/binomial.hpp"
+#include "combi/combinadic.hpp"
+#include "util/error.hpp"
+
+namespace lgg::combi {
+
+const char* strategy_name(Strategy s) noexcept {
+  switch (s) {
+    case Strategy::kPrecomputed:
+      return "A:precomputed";
+    case Strategy::kSequential:
+      return "B:sequential";
+    case Strategy::kSplitByStart:
+      return "C:split-by-start";
+    case Strategy::kEqualDivision:
+      return "D:equal-division";
+  }
+  return "?";
+}
+
+double StrategyStats::imbalance() const noexcept {
+  if (per_thread.empty() || total_combinations == 0) return 1.0;
+  const std::uint64_t peak =
+      *std::max_element(per_thread.begin(), per_thread.end());
+  const double mean = static_cast<double>(total_combinations) /
+                      static_cast<double>(per_thread.size());
+  return mean > 0 ? static_cast<double>(peak) / mean : 1.0;
+}
+
+std::vector<WorkRange> divide_work(std::uint64_t total,
+                                   std::uint32_t threads) {
+  LGG_CHECK(threads > 0, "divide_work: threads must be positive");
+  std::vector<WorkRange> ranges(threads);
+  const std::uint64_t base = total / threads;
+  const std::uint64_t extra = total % threads;
+  std::uint64_t cursor = 0;
+  for (std::uint32_t t = 0; t < threads; ++t) {
+    ranges[t].begin = cursor;
+    cursor += base + (t < extra ? 1 : 0);
+    ranges[t].end = cursor;
+  }
+  LGG_ASSERT(cursor == total);
+  return ranges;
+}
+
+namespace {
+
+std::uint64_t id_bits(std::uint32_t n) {
+  return n <= 1 ? 1 : static_cast<std::uint64_t>(std::bit_width(n - 1u));
+}
+
+void emit(const CombinationSink& sink, std::uint32_t thread,
+          std::span<const std::uint32_t> combo) {
+  if (sink) sink(thread, combo);
+}
+
+}  // namespace
+
+StrategyStats enumerate_combinations(Strategy strategy, std::uint32_t n,
+                                     std::uint32_t k, std::uint32_t threads,
+                                     const CombinationSink& sink) {
+  LGG_CHECK(threads > 0, "enumerate_combinations: threads must be positive");
+  LGG_CHECK(k >= 1 && k <= n,
+            "enumerate_combinations: need 1 <= k <= n, got k=" << k
+                                                               << " n=" << n);
+  const std::uint64_t total = binomial(n, k);
+  LGG_CHECK(total != kBinomialOverflow, "C(n,k) overflows 64 bits");
+
+  StrategyStats stats;
+  stats.total_combinations = total;
+  stats.per_thread.assign(threads, 0);
+
+  std::vector<std::uint32_t> combo(k);
+
+  switch (strategy) {
+    case Strategy::kPrecomputed: {
+      // Materialise the full table, then hand out equal contiguous slices —
+      // the table is the cost, the division is trivial.
+      stats.storage_bits = precomputed_storage_bits(n, k);
+      LGG_CHECK(stats.storage_bits != kBinomialOverflow,
+                "precomputed table overflows 64-bit size accounting");
+      std::vector<std::uint32_t> table;
+      table.reserve(static_cast<std::size_t>(total) * k);
+      std::iota(combo.begin(), combo.end(), 0u);
+      do {
+        table.insert(table.end(), combo.begin(), combo.end());
+      } while (next_combination(combo, n));
+
+      const auto ranges = divide_work(total, threads);
+      for (std::uint32_t t = 0; t < threads; ++t) {
+        for (std::uint64_t i = ranges[t].begin; i < ranges[t].end; ++i) {
+          emit(sink, t,
+               std::span<const std::uint32_t>(
+                   table.data() + static_cast<std::size_t>(i) * k, k));
+          ++stats.per_thread[t];
+        }
+      }
+      break;
+    }
+
+    case Strategy::kSequential: {
+      // One logical worker walks the whole chain; storage is the previous
+      // combination plus the next (2 k log n bits).
+      stats.storage_bits = 2 * k * id_bits(n);
+      std::iota(combo.begin(), combo.end(), 0u);
+      do {
+        emit(sink, 0, combo);
+        ++stats.per_thread[0];
+      } while (next_combination(combo, n));
+      break;
+    }
+
+    case Strategy::kSplitByStart: {
+      // Thread t enumerates combinations whose first element ≡ t (mod
+      // threads) — the paper's "split by starting node" with n - k + 1
+      // start values folded onto the available threads.
+      stats.storage_bits =
+          static_cast<std::uint64_t>(threads) * k * id_bits(n);
+      for (std::uint32_t start = 0; start + k <= n; ++start) {
+        const std::uint32_t t = start % threads;
+        combo[0] = start;
+        std::iota(combo.begin() + 1, combo.end(), start + 1);
+        for (;;) {
+          emit(sink, t, combo);
+          ++stats.per_thread[t];
+          if (k == 1) break;
+          // Successor within the fixed-first-element block: advance the
+          // suffix only.  All suffix combinations lexicographically >= the
+          // initial (start+1, ..., start+k-1) have every element > start,
+          // so the plain successor enumerates exactly this block.
+          std::span<std::uint32_t> suffix(combo.data() + 1, k - 1);
+          if (!next_combination(suffix, n)) break;
+        }
+      }
+      break;
+    }
+
+    case Strategy::kEqualDivision: {
+      // Combinadic unranking of each thread's range start, then successor
+      // chaining — exactly what the simulated kernels do.
+      stats.storage_bits =
+          static_cast<std::uint64_t>(threads) * k * id_bits(n);
+      const auto ranges = divide_work(total, threads);
+      for (std::uint32_t t = 0; t < threads; ++t) {
+        if (ranges[t].size() == 0) continue;
+        combination_from_index(ranges[t].begin, n, k, combo);
+        for (std::uint64_t i = ranges[t].begin; i < ranges[t].end; ++i) {
+          emit(sink, t, combo);
+          ++stats.per_thread[t];
+          if (i + 1 < ranges[t].end) {
+            const bool ok = next_combination(combo, n);
+            LGG_ASSERT(ok);
+          }
+        }
+      }
+      break;
+    }
+  }
+  return stats;
+}
+
+}  // namespace lgg::combi

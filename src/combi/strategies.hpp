@@ -1,0 +1,69 @@
+// The four combination-generation strategies of paper Section VIII, kept
+// side-by-side for the ablation benchmark:
+//
+//   A  Precomputed table         (VIII-A): materialise every combination up
+//      front; costs nCk * k * log n bits of storage.
+//   B  Sequential on-the-fly     (VIII-B): lexicographic successor chain;
+//      2 * k * log n bits of state but inherently serial.
+//   C  Split by starting vertex  (VIII-C): thread i enumerates combinations
+//      whose first element is i; parallel but badly imbalanced (early
+//      threads own far more combinations).
+//   D  Combinadic equal division (VIII-D): flat index space divided evenly;
+//      each thread unranks its own start.  The paper's (and our) default.
+//
+// Each strategy enumerates all C(n, k) combinations partitioned across
+// `threads` workers and reports per-thread work counts, so tests can prove
+// all four cover the same set and the ablation can measure imbalance.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace lgg::combi {
+
+enum class Strategy : int {
+  kPrecomputed = 0,    // VIII-A
+  kSequential = 1,     // VIII-B
+  kSplitByStart = 2,   // VIII-C
+  kEqualDivision = 3,  // VIII-D
+};
+
+[[nodiscard]] const char* strategy_name(Strategy s) noexcept;
+
+/// Callback receives (thread_id, combination of size k).
+using CombinationSink =
+    std::function<void(std::uint32_t, std::span<const std::uint32_t>)>;
+
+struct StrategyStats {
+  std::uint64_t total_combinations = 0;
+  std::vector<std::uint64_t> per_thread;  // work handled by each thread
+  /// Peak auxiliary storage in bits (the paper's space accounting):
+  /// A: nCk*k*logn, B: 2*k*logn, C/D: threads * k * logn.
+  std::uint64_t storage_bits = 0;
+
+  /// max(per_thread) / mean(per_thread); 1.0 == perfectly balanced.
+  [[nodiscard]] double imbalance() const noexcept;
+};
+
+/// Enumerate all k-combinations of [0, n) using `strategy`, partitioned
+/// across `threads` logical workers.  `sink` may be empty when only the
+/// statistics are wanted.  Throws lgg::Error if strategy A's table or the
+/// total count would overflow.
+StrategyStats enumerate_combinations(Strategy strategy, std::uint32_t n,
+                                     std::uint32_t k, std::uint32_t threads,
+                                     const CombinationSink& sink = {});
+
+/// Equal split of [0, total) into `threads` contiguous ranges; range i is
+/// [begin(i), begin(i+1)).  The first (total % threads) ranges get one
+/// extra item — the paper's "some threads might have to do a single test
+/// more".
+struct WorkRange {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  [[nodiscard]] std::uint64_t size() const noexcept { return end - begin; }
+};
+std::vector<WorkRange> divide_work(std::uint64_t total, std::uint32_t threads);
+
+}  // namespace lgg::combi

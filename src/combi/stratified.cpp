@@ -1,0 +1,105 @@
+#include "combi/stratified.hpp"
+
+#include <algorithm>
+
+#include "combi/binomial.hpp"
+#include "combi/combinadic.hpp"
+#include "util/error.hpp"
+
+namespace lgg::combi {
+
+std::uint64_t count_with_first_set(std::uint32_t a, std::uint32_t b,
+                                   std::uint32_t k) {
+  const std::uint64_t all = binomial(a + b, k);
+  const std::uint64_t without_a = binomial(b, k);
+  LGG_CHECK(all != kBinomialOverflow,
+            "combination count overflows: C(" << a + b << "," << k << ")");
+  return all - without_a;
+}
+
+StratifiedChooser::StratifiedChooser(std::uint32_t a, std::uint32_t b,
+                                     std::uint32_t k)
+    : a_(a), b_(b), k_(k) {
+  LGG_CHECK(k >= 1, "StratifiedChooser: k must be >= 1");
+  t_min_ = k > b ? k - b : 1;
+  t_max_ = std::min(k, a);
+  // Record the cumulative start of each stratum t in [t_min_, t_max_].
+  if (t_min_ <= t_max_) {
+    strata_.reserve(t_max_ - t_min_ + 2);
+    std::uint64_t cumulative = 0;
+    for (std::uint32_t t = t_min_; t <= t_max_; ++t) {
+      strata_.push_back(cumulative);
+      const std::uint64_t in_a = binomial(a_, t);
+      const std::uint64_t in_b = binomial(b_, k_ - t);
+      LGG_CHECK(in_a != kBinomialOverflow && in_b != kBinomialOverflow,
+                "stratum size overflows 64 bits");
+      const unsigned __int128 size =
+          static_cast<unsigned __int128>(in_a) * in_b;
+      const unsigned __int128 next = cumulative + size;
+      LGG_CHECK(next < kBinomialOverflow,
+                "total combination count overflows 64 bits");
+      cumulative = static_cast<std::uint64_t>(next);
+    }
+    strata_.push_back(cumulative);
+    total_ = cumulative;
+  }
+}
+
+StratifiedChooser::Parts StratifiedChooser::unrank(
+    std::uint64_t index, std::span<std::uint32_t> from_a,
+    std::span<std::uint32_t> from_b) const {
+  LGG_CHECK(index < total_, "unrank index " << index << " >= count "
+                                            << total_);
+  // Locate the stratum by binary search over cumulative starts.
+  const auto it =
+      std::upper_bound(strata_.begin(), strata_.end(), index) - 1;
+  const auto stratum = static_cast<std::uint32_t>(it - strata_.begin());
+  const std::uint32_t t = t_min_ + stratum;
+  std::uint64_t local = index - *it;
+
+  // Within the stratum, ordering is A-part-major: local = a_index * n_b +
+  // b_index where n_b = C(b, k-t).
+  const std::uint64_t n_b = binomial(b_, k_ - t);
+  const std::uint64_t a_index = local / n_b;
+  const std::uint64_t b_index = local % n_b;
+
+  combination_from_index(a_index, a_, t, from_a.subspan(0, t));
+  combination_from_index(b_index, b_, k_ - t, from_b.subspan(0, k_ - t));
+  return {t, k_ - t};
+}
+
+void StratifiedChooser::unrank_vertices(std::uint64_t index,
+                                        std::span<const std::uint32_t> set_a,
+                                        std::span<const std::uint32_t> set_b,
+                                        std::span<std::uint32_t> out) const {
+  LGG_CHECK(set_a.size() == a_ && set_b.size() == b_,
+            "unrank_vertices: set sizes (" << set_a.size() << ","
+                                           << set_b.size()
+                                           << ") do not match chooser ("
+                                           << a_ << "," << b_ << ")");
+  LGG_CHECK(out.size() == k_, "unrank_vertices: out size != k");
+  std::uint32_t ia[16], ib[16];
+  LGG_CHECK(k_ <= 16, "unrank_vertices supports k <= 16");
+  const Parts parts = unrank(index, std::span<std::uint32_t>(ia, k_),
+                             std::span<std::uint32_t>(ib, k_));
+  for (std::uint32_t i = 0; i < parts.a_count; ++i) out[i] = set_a[ia[i]];
+  for (std::uint32_t i = 0; i < parts.b_count; ++i)
+    out[parts.a_count + i] = set_b[ib[i]];
+}
+
+std::uint64_t StratifiedChooser::rank(
+    std::span<const std::uint32_t> from_a,
+    std::span<const std::uint32_t> from_b) const {
+  const auto t = static_cast<std::uint32_t>(from_a.size());
+  LGG_CHECK(t >= t_min_ && t <= t_max_,
+            "rank: stratum t=" << t << " outside [" << t_min_ << "," << t_max_
+                               << "]");
+  LGG_CHECK(from_a.size() + from_b.size() == k_,
+            "rank: parts do not sum to k");
+  const std::uint64_t a_index = index_from_combination(from_a, a_);
+  const std::uint64_t b_index = index_from_combination(from_b, b_);
+  const std::uint64_t n_b = binomial(b_, k_ - t);
+  return strata_[t - t_min_] + a_index * n_b + b_index;
+}
+
+}  // namespace lgg::combi

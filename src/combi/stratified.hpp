@@ -1,0 +1,70 @@
+// Constrained combination generation over two vertex sets (paper
+// Sections VII–VIII): choose k nodes from A ∪ B with AT LEAST ONE from A.
+//
+// In Algorithm 2, A is the first level of an adjacent level set and B the
+// second; the ≥1-from-A constraint is exactly what "eliminates duplicate
+// checking for any combination of nodes" across overlapping level sets.
+//
+// The family is stratified by t = |combination ∩ A| ∈ [max(1, k-|B|),
+// min(k, |A|)]; stratum t holds C(|A|, t) * C(|B|, k-t) combinations,
+// ordered (t ascending, then A-part index-major over B-part).  This gives
+// O(k · (|A|+|B|)) unranking, which is what lets every simulated thread
+// jump straight to its slice of the work.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace lgg::combi {
+
+class StratifiedChooser {
+ public:
+  /// a = |A|, b = |B|, k = combination size.  Throws lgg::Error if the
+  /// total count overflows 64 bits.
+  StratifiedChooser(std::uint32_t a, std::uint32_t b, std::uint32_t k);
+
+  /// Total number of k-combinations of A ∪ B with >= 1 element of A.
+  [[nodiscard]] std::uint64_t count() const noexcept { return total_; }
+
+  [[nodiscard]] std::uint32_t a() const noexcept { return a_; }
+  [[nodiscard]] std::uint32_t b() const noexcept { return b_; }
+  [[nodiscard]] std::uint32_t k() const noexcept { return k_; }
+
+  /// Unrank combination `index` into local indices: `from_a` receives
+  /// t strictly-increasing indices into A, `from_b` the k-t indices into B.
+  /// Buffers must have capacity k; sizes are returned.
+  struct Parts {
+    std::uint32_t a_count = 0;  // t
+    std::uint32_t b_count = 0;  // k - t
+  };
+  Parts unrank(std::uint64_t index, std::span<std::uint32_t> from_a,
+               std::span<std::uint32_t> from_b) const;
+
+  /// Convenience: unrank directly to vertex ids given the two level
+  /// vectors (out must have size k; A-part first, then B-part).
+  void unrank_vertices(std::uint64_t index,
+                       std::span<const std::uint32_t> set_a,
+                       std::span<const std::uint32_t> set_b,
+                       std::span<std::uint32_t> out) const;
+
+  /// Inverse of unrank (used by property tests).
+  [[nodiscard]] std::uint64_t rank(std::span<const std::uint32_t> from_a,
+                                   std::span<const std::uint32_t> from_b) const;
+
+ private:
+  std::uint32_t a_;
+  std::uint32_t b_;
+  std::uint32_t k_;
+  std::uint32_t t_min_;
+  std::uint32_t t_max_;               // strata t_min_..t_max_ (may be empty)
+  std::vector<std::uint64_t> strata_; // cumulative start index per stratum
+  std::uint64_t total_ = 0;
+};
+
+/// Closed-form count used by tests and the work scheduler:
+/// sum_t C(a,t) C(b,k-t) for t >= 1 — equivalently C(a+b,k) - C(b,k).
+std::uint64_t count_with_first_set(std::uint32_t a, std::uint32_t b,
+                                   std::uint32_t k);
+
+}  // namespace lgg::combi

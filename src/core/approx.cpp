@@ -1,0 +1,131 @@
+#include "core/approx.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/triangle_cpu.hpp"
+#include "util/error.hpp"
+#include "util/prng.hpp"
+
+namespace lgg::core {
+
+using graph::Graph;
+using graph::Vertex;
+
+DoulionResult doulion_estimate(const Graph& g, double p, std::uint64_t seed) {
+  LGG_CHECK(p > 0.0 && p <= 1.0, "doulion: p=" << p << " not in (0,1]");
+  Xoshiro256 rng(seed);
+
+  std::vector<graph::Edge> kept;
+  kept.reserve(static_cast<std::size_t>(
+      p * static_cast<double>(g.num_edges()) * 1.1));
+  for (const auto& e : g.edges())
+    if (rng.bernoulli(p)) kept.push_back(e);
+
+  const Graph sparse = Graph::from_edges(g.num_vertices(), kept);
+  DoulionResult result;
+  result.p = p;
+  result.kept_edges = kept.size();
+  result.sparsified_count = count_triangles_forward(sparse);
+  result.estimate =
+      static_cast<double>(result.sparsified_count) / (p * p * p);
+  return result;
+}
+
+WedgeSampleResult wedge_sampling_estimate(const Graph& g,
+                                          std::uint64_t samples,
+                                          std::uint64_t seed) {
+  LGG_CHECK(samples > 0, "wedge_sampling: need at least one sample");
+  Xoshiro256 rng(seed);
+
+  // Wedge count per centre v: C(deg(v), 2); cumulative table for sampling
+  // centres proportionally.
+  std::vector<std::uint64_t> cumulative(g.num_vertices() + 1, 0);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    const std::uint64_t d = g.degree(v);
+    cumulative[v + 1] = cumulative[v] + d * (d - 1) / 2;
+  }
+  WedgeSampleResult result;
+  result.samples = samples;
+  result.total_wedges = cumulative.back();
+  if (result.total_wedges == 0) return result;
+
+  std::uint64_t closed = 0;
+  for (std::uint64_t s = 0; s < samples; ++s) {
+    const std::uint64_t target = rng.uniform(result.total_wedges);
+    const auto it =
+        std::upper_bound(cumulative.begin(), cumulative.end(), target);
+    const auto v = static_cast<Vertex>(it - cumulative.begin() - 1);
+    const auto nbrs = g.neighbors(v);
+    // Uniform unordered pair of distinct neighbours.
+    const std::uint64_t d = nbrs.size();
+    std::uint64_t i = rng.uniform(d);
+    std::uint64_t j = rng.uniform(d - 1);
+    if (j >= i) ++j;
+    if (g.has_edge(nbrs[i], nbrs[j])) ++closed;
+  }
+  result.closed_fraction =
+      static_cast<double>(closed) / static_cast<double>(samples);
+  result.estimate = result.closed_fraction *
+                    static_cast<double>(result.total_wedges) / 3.0;
+  return result;
+}
+
+std::vector<double> local_triangles_minhash(const Graph& g,
+                                            std::uint32_t hashes,
+                                            std::uint64_t seed) {
+  LGG_CHECK(hashes >= 1, "local_triangles_minhash: need >= 1 hash");
+  const std::size_t n = g.num_vertices();
+
+  // signatures[h][v] = min over u in N(v) of hash_h(u).
+  // One pass over the edge set per hash function — the semi-streaming
+  // access pattern of Becchetti et al.
+  std::vector<std::vector<std::uint64_t>> signature(
+      hashes, std::vector<std::uint64_t>(
+                  n, std::numeric_limits<std::uint64_t>::max()));
+  std::vector<std::uint64_t> hash_seed(hashes);
+  {
+    SplitMix64 sm(seed);
+    for (auto& hs : hash_seed) hs = sm.next();
+  }
+  auto hash_vertex = [](std::uint64_t hs, Vertex v) {
+    SplitMix64 sm(hs ^ (0x9E3779B97F4A7C15ull * (v + 1)));
+    return sm.next();
+  };
+  for (std::uint32_t h = 0; h < hashes; ++h) {
+    for (Vertex u = 0; u < n; ++u) {
+      const std::uint64_t hu = hash_vertex(hash_seed[h], u);
+      for (const Vertex v : g.neighbors(u))
+        signature[h][v] = std::min(signature[h][v], hu);
+    }
+  }
+
+  // For each edge (u, v): estimate the Jaccard similarity of N(u), N(v)
+  // as the fraction of matching min-hashes, convert to an intersection
+  // estimate, and credit both endpoints.  tri(v) = 1/2 sum_{u in N(v)}
+  // |N(u) ∩ N(v)|.
+  std::vector<double> shared_sum(n, 0.0);
+  for (Vertex u = 0; u < n; ++u) {
+    for (const Vertex v : g.neighbors(u)) {
+      if (v <= u) continue;
+      std::uint32_t match = 0;
+      for (std::uint32_t h = 0; h < hashes; ++h)
+        if (signature[h][u] == signature[h][v] &&
+            signature[h][u] != std::numeric_limits<std::uint64_t>::max())
+          ++match;
+      const double jaccard =
+          static_cast<double>(match) / static_cast<double>(hashes);
+      const double union_upper =
+          static_cast<double>(g.degree(u) + g.degree(v));
+      // |A ∩ B| = J/(1+J) * (|A| + |B|).
+      const double inter = jaccard / (1.0 + jaccard) * union_upper;
+      shared_sum[u] += inter;
+      shared_sum[v] += inter;
+    }
+  }
+  std::vector<double> result(n);
+  for (Vertex v = 0; v < n; ++v) result[v] = shared_sum[v] / 2.0;
+  return result;
+}
+
+}  // namespace lgg::core

@@ -1,0 +1,305 @@
+#include "core/hybrid.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/als_plan.hpp"
+#include "graph/bfs.hpp"
+#include "gpusim/calibration.hpp"
+#include "gpusim/executor.hpp"
+#include "gpusim/memory.hpp"
+#include "util/error.hpp"
+
+namespace lgg::core {
+
+namespace cal = gpusim::calibration;
+
+const char* scheduler_name(SchedulerKind kind) noexcept {
+  switch (kind) {
+    case SchedulerKind::kList:
+      return "list";
+    case SchedulerKind::kLpt:
+      return "LPT";
+    case SchedulerKind::kMultifit:
+      return "MULTIFIT";
+  }
+  return "?";
+}
+
+namespace {
+
+/// The ALS work owned by one chunk (see header: ownership partitions the
+/// component's ALS sequence across its chunks).
+struct ChunkWork {
+  std::vector<AlsJob> jobs;   // test_offset is chunk-relative
+  std::uint64_t tests = 0;
+};
+
+ChunkWork build_chunk_work(const graph::Chunk& chunk,
+                           const graph::LevelDecomposition& levels) {
+  ChunkWork work;
+  const std::size_t depth = levels.num_levels();  // d + 1 levels
+  LGG_ASSERT(depth > 0);
+
+  auto push_als = [&](std::uint32_t first_level, bool is_last) {
+    AlsJob job;
+    job.component = chunk.component;
+    job.first_level = first_level;
+    const auto& first = levels.levels()[first_level];
+    job.local_to_global.assign(first.begin(), first.end());
+    if (first_level + 1 < depth) {
+      const auto& second = levels.levels()[first_level + 1];
+      job.local_to_global.insert(job.local_to_global.end(), second.begin(),
+                                 second.end());
+    }
+    job.a = static_cast<std::uint32_t>(first.size());
+    job.s = static_cast<std::uint32_t>(job.local_to_global.size());
+    if (job.s >= 3) {
+      job.x_max =
+          is_last ? job.s - 2 : std::min(job.a, job.s - 2);
+      job.tests = als_total_tests(job.s, job.x_max);
+    }
+    job.test_offset = work.tests;
+    work.tests += job.tests;
+    work.jobs.push_back(std::move(job));
+  };
+
+  if (chunk.first_level == chunk.last_level) {
+    // Single-level chunk == single-level component: one trailing ALS.
+    push_als(chunk.first_level, /*is_last=*/true);
+    return work;
+  }
+  for (std::uint32_t l = chunk.first_level; l < chunk.last_level; ++l) {
+    const bool component_last = (l + 2 == depth);
+    push_als(l, component_last);
+  }
+  return work;
+}
+
+/// Locate the ALS job covering chunk-relative flat index `flat`.
+const AlsJob& job_for(const ChunkWork& work, std::uint64_t flat) {
+  auto it = std::upper_bound(
+      work.jobs.begin(), work.jobs.end(), flat,
+      [](std::uint64_t f, const AlsJob& j) { return f < j.test_offset; });
+  LGG_ASSERT(it != work.jobs.begin());
+  --it;
+  LGG_ASSERT(flat - it->test_offset < it->tests);
+  return *it;
+}
+
+/// Linear rescale of a kernel report by `factor` (> 1 when sampled); the
+/// same transformation count_triangles_gpu applies.
+void rescale(gpusim::KernelReport& k, double factor,
+             const gpusim::DeviceSpec& dev) {
+  if (factor <= 1.0) return;
+  auto scale_u64 = [factor](std::uint64_t v) {
+    return static_cast<std::uint64_t>(static_cast<double>(v) * factor);
+  };
+  k.global_slots = scale_u64(k.global_slots);
+  k.transactions = scale_u64(k.transactions);
+  k.bytes = scale_u64(k.bytes);
+  k.shared_slots = scale_u64(k.shared_slots);
+  k.bank_conflict_steps = scale_u64(k.bank_conflict_steps);
+  k.warp_instructions *= factor;
+  for (auto& c : k.partition_histogram.count) c = scale_u64(c);
+  k.partition_histogram.total = scale_u64(k.partition_histogram.total);
+  k.camping_factor = k.partition_histogram.camping_factor();
+  k.compute_cycles *= factor;
+  k.latency_cycles *= factor;
+  k.dram_cycles *= factor;
+  const double cycles =
+      std::max({k.compute_cycles, k.latency_cycles, k.dram_cycles});
+  k.kernel_time_s =
+      cycles / (dev.core_clock_ghz * 1e9) + cal::kKernelLaunchOverheadS;
+  k.sample_fraction = 1.0 / factor;
+}
+
+}  // namespace
+
+HybridResult count_triangles_hybrid(const graph::Graph& g,
+                                    const HybridOptions& opts) {
+  const gpusim::DeviceSpec& dev =
+      opts.device ? *opts.device : gpusim::tesla_c1060();
+  const std::uint32_t tpb = opts.threads_per_block;
+  LGG_CHECK(tpb >= dev.warp_size && tpb % dev.warp_size == 0,
+            "threads_per_block must be a positive multiple of the warp size");
+
+  // --- Algorithm 1 ---
+  graph::ChunkingOptions copts;
+  copts.shared_mem_bits = dev.shared_mem_bits();
+  copts.metric = opts.metric;
+  const graph::ChunkingResult chunking = graph::split_into_chunks(g, copts);
+
+  // Level decompositions per component, from the chunker's own trees.
+  std::vector<graph::LevelDecomposition> levels;
+  levels.reserve(chunking.trees.size());
+  for (const auto& tree : chunking.trees) levels.emplace_back(tree);
+
+  HybridResult result;
+  const gpusim::Simulator sim(dev);
+  gpusim::DeviceMemory mem(dev);
+
+  std::uint64_t device_bytes = 0;
+  std::vector<std::uint64_t> job_times_ns;
+  double tau_s_sum = 0.0, tau_g_sum = 0.0;
+
+  for (std::size_t ci = 0; ci < chunking.chunks.size(); ++ci) {
+    const graph::Chunk& chunk = chunking.chunks[ci];
+    const ChunkWork work = build_chunk_work(chunk, levels[chunk.component]);
+
+    ChunkExecution exec;
+    exec.chunk = static_cast<std::uint32_t>(ci);
+    exec.shared_resident = chunk.fits_shared;
+    exec.tests = work.tests;
+    result.total_tests += work.tests;
+
+    if (work.tests == 0) {
+      result.chunks.push_back(exec);
+      job_times_ns.push_back(0);
+      (chunk.fits_shared ? result.shared_chunks : result.global_chunks)++;
+      continue;
+    }
+
+    // Global-resident chunks keep their local adjacency matrix in device
+    // global memory (packed rows); shared chunks only pay the staging
+    // copy, accounted below via device_bytes too (data always crosses
+    // PCIe once).
+    const std::uint64_t local_n = chunk.vertices.size();
+    const std::uint64_t row_bytes = ((local_n + 31) / 32) * 4;
+    const std::uint64_t chunk_bytes =
+        std::max<std::uint64_t>(local_n * row_bytes, 4);
+    device_bytes += chunk_bytes;
+    gpusim::Buffer buffer{};
+    if (!chunk.fits_shared) buffer = mem.alloc(chunk_bytes);
+
+    // Map a chunk-local vertex id: AlsJob locals index into
+    // job.local_to_global (component ids); the chunk matrix is indexed by
+    // position within chunk.vertices (sorted), found by binary search.
+    const auto& chunk_vs = chunk.vertices;
+    auto chunk_local = [&](graph::Vertex v) {
+      const auto it = std::lower_bound(chunk_vs.begin(), chunk_vs.end(), v);
+      LGG_ASSERT(it != chunk_vs.end() && *it == v);
+      return static_cast<std::uint64_t>(it - chunk_vs.begin());
+    };
+
+    // Per-thread budget (test sampling).
+    const std::uint64_t threads = tpb;  // one block == one SM job
+    std::uint64_t per_thread = (work.tests + threads - 1) / threads;
+    if (opts.max_simulated_tests_per_chunk > 0) {
+      per_thread = std::min(
+          per_thread,
+          std::max<std::uint64_t>(
+              1, opts.max_simulated_tests_per_chunk / threads));
+    }
+
+    std::uint64_t simulated = 0;
+    std::uint64_t found = 0;
+    const gpusim::KernelFn kernel = [&](const gpusim::ThreadCtx& ctx,
+                                        gpusim::ThreadRecorder& rec) {
+      for (std::uint64_t i = 0; i < per_thread; ++i) {
+        // Cyclic mapping: consecutive lanes take consecutive flat
+        // indices, giving z-runs within a warp (coalescing / low bank
+        // conflict), exactly like the improved global kernel.
+        const std::uint64_t flat = ctx.global_id + i * threads;
+        if (flat >= work.tests) break;
+        const AlsJob& job = job_for(work, flat);
+        const TestTriple t =
+            als_decode_test(job, flat - job.test_offset);
+        const graph::Vertex u = job.local_to_global[t.x];
+        const graph::Vertex v = job.local_to_global[t.y];
+        const graph::Vertex w = job.local_to_global[t.z];
+
+        rec.compute(cal::kGpuInstructionsPerTest);
+        const std::uint64_t lu = chunk_local(u), lv = chunk_local(v),
+                            lw = chunk_local(w);
+        if (chunk.fits_shared) {
+          // S-UTM layout in shared memory: word of pair (i < j), bit
+          // index i*(2n - i - 1)/2 + (j - i - 1).
+          const auto word = [&](std::uint64_t a, std::uint64_t b) {
+            if (a > b) std::swap(a, b);
+            const std::uint64_t bit =
+                a * (2 * local_n - a - 1) / 2 + (b - a - 1);
+            return (bit / 32) * 4;
+          };
+          rec.shared_access(word(lu, lv));
+          rec.shared_access(word(lv, lw));
+          rec.shared_access(word(lu, lw));
+        } else {
+          const auto word = [&](std::uint64_t a, std::uint64_t b) {
+            return a * row_bytes + (b >> 5) * 4;
+          };
+          rec.global_read(buffer, word(lu, lv), 4);
+          rec.global_read(buffer, word(lv, lw), 4);
+          rec.global_read(buffer, word(lu, lw), 4);
+        }
+        if (g.has_edge(u, v) && g.has_edge(v, w) && g.has_edge(u, w))
+          ++found;
+        ++simulated;
+      }
+    };
+
+    gpusim::KernelConfig config;
+    config.name = chunk.fits_shared ? "chunk/shared" : "chunk/global";
+    config.blocks = 1;
+    config.threads_per_block = tpb;
+    gpusim::KernelReport report = sim.run(kernel, config);
+
+    if (simulated < work.tests) {
+      result.exact = false;
+      rescale(report,
+              static_cast<double>(work.tests) /
+                  static_cast<double>(std::max<std::uint64_t>(simulated, 1)),
+              dev);
+    } else {
+      exec.triangles = found;
+    }
+    result.triangles += found;
+
+    exec.time_s = report.kernel_time_s;
+    (chunk.fits_shared ? tau_s_sum : tau_g_sum) += exec.time_s;
+    (chunk.fits_shared ? result.shared_chunks : result.global_chunks)++;
+    job_times_ns.push_back(
+        static_cast<std::uint64_t>(exec.time_s * 1e9));
+    result.chunks.push_back(std::move(exec));
+  }
+
+  // --- Section VI: schedule chunk jobs onto the SMs ---
+  switch (opts.scheduler) {
+    case SchedulerKind::kList:
+      result.schedule = sched::list_schedule(job_times_ns, dev.sm_count);
+      break;
+    case SchedulerKind::kLpt:
+      result.schedule = sched::lpt_schedule(job_times_ns, dev.sm_count);
+      break;
+    case SchedulerKind::kMultifit:
+      result.schedule = sched::multifit_schedule(job_times_ns, dev.sm_count);
+      break;
+  }
+  for (std::size_t ci = 0; ci < result.chunks.size(); ++ci)
+    result.chunks[ci].sm = result.schedule.machine_of[ci];
+  result.makespan_s = static_cast<double>(result.schedule.makespan) * 1e-9;
+
+  // --- Eq. (6) analytic comparison ---
+  const double tau_s =
+      result.shared_chunks ? tau_s_sum / static_cast<double>(result.shared_chunks)
+                           : 0.0;
+  const double tau_g =
+      result.global_chunks ? tau_g_sum / static_cast<double>(result.global_chunks)
+                           : 0.0;
+  const double mu = std::ceil(static_cast<double>(result.shared_chunks) /
+                              static_cast<double>(dev.sm_count));
+  result.eq6_time_s =
+      mu * tau_s + static_cast<double>(result.global_chunks) * tau_g;
+
+  // --- end-to-end ---
+  const double preprocessing =
+      2.0 * static_cast<double>(g.num_edges()) * cal::kCpuCyclesPerBfsEdge /
+      (cal::kCpuClockGhz * 1e9);
+  result.total_time_s = preprocessing +
+                        gpusim::transfer_time_s(dev, device_bytes) +
+                        cal::kDispatchOverheadS + cal::kDeviceInitOverheadS +
+                        result.makespan_s;
+  return result;
+}
+
+}  // namespace lgg::core

@@ -1,0 +1,76 @@
+// The Section V/VI execution pipeline: Algorithm 1 splits the graph into
+// chunks of consecutive BFS levels; chunks whose adjacency data fits one
+// SM's shared memory run as shared-memory-resident jobs (the predecessor
+// paper's regime, with bank-conflict costs), the rest run against global
+// memory (with coalescing + partition costs); chunk jobs are then
+// makespan-scheduled onto the device's streaming multiprocessors
+// (Section VI) and the total is compared against the paper's analytic
+// Eq. (6): tau_t = mu * tau_s + psi_g * tau_g.
+//
+// Semantics: every triangle is counted exactly once.  Chunks overlap by
+// one BFS level, and each adjacent level set (= each unit of Algorithm 2
+// work) is owned by the unique chunk in which its first level is interior
+// (plus the trailing set for the component's last chunk), so the chunk
+// decomposition partitions the ALS plan.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/chunking.hpp"
+#include "graph/graph.hpp"
+#include "gpusim/device.hpp"
+#include "sched/makespan.hpp"
+
+namespace lgg::core {
+
+enum class SchedulerKind : int { kList = 0, kLpt = 1, kMultifit = 2 };
+
+[[nodiscard]] const char* scheduler_name(SchedulerKind kind) noexcept;
+
+struct HybridOptions {
+  /// Device to simulate; nullptr selects the paper's C1060.
+  const gpusim::DeviceSpec* device = nullptr;
+  graph::SizeMetric metric = graph::SizeMetric::kSutm;
+  std::uint32_t threads_per_block = 128;
+  SchedulerKind scheduler = SchedulerKind::kLpt;
+  /// Cap on candidate triples simulated per chunk (0 = all); statistics
+  /// of truncated chunks are rescaled exactly as in count_triangles_gpu.
+  std::uint64_t max_simulated_tests_per_chunk = 0;
+};
+
+/// Per-chunk execution record.
+struct ChunkExecution {
+  std::uint32_t chunk = 0;           // index into the ChunkingResult
+  bool shared_resident = false;      // fit the SM's shared memory?
+  std::uint64_t tests = 0;           // candidate triples owned by the chunk
+  std::uint64_t triangles = 0;       // found in this chunk (exact runs)
+  double time_s = 0.0;               // modelled single-SM job time
+  std::uint32_t sm = 0;              // machine assigned by the scheduler
+};
+
+struct HybridResult {
+  std::uint64_t triangles = 0;
+  bool exact = true;
+  std::uint64_t total_tests = 0;
+
+  std::size_t shared_chunks = 0;  // psi_s
+  std::size_t global_chunks = 0;  // psi_g
+
+  std::vector<ChunkExecution> chunks;
+  sched::Assignment schedule;  // over chunks, machines = SMs
+
+  /// Modelled end-to-end: preprocessing + transfer + scheduled makespan.
+  double total_time_s = 0.0;
+  /// The scheduled parallel part only (max SM load, seconds).
+  double makespan_s = 0.0;
+  /// The paper's Eq. (6) estimate with tau_s/tau_g = mean measured chunk
+  /// times: mu * tau_s + psi_g * tau_g, where mu = ceil(psi_s / #SM).
+  double eq6_time_s = 0.0;
+};
+
+/// Run the full hybrid pipeline on the simulated device.
+HybridResult count_triangles_hybrid(const graph::Graph& g,
+                                    const HybridOptions& opts = {});
+
+}  // namespace lgg::core

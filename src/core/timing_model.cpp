@@ -1,0 +1,23 @@
+#include "core/timing_model.hpp"
+
+#include "gpusim/calibration.hpp"
+
+namespace lgg::core {
+
+namespace cal = gpusim::calibration;
+
+double cpu_model_time_s(const CpuAlsResult& result) {
+  const double cycles =
+      static_cast<double>(result.tests) * cal::kCpuCyclesPerTest +
+      static_cast<double>(result.bfs_edges) * cal::kCpuCyclesPerBfsEdge;
+  return cycles / (cal::kCpuClockGhz * 1e9);
+}
+
+double cpu_model_time_s(const AlsPlan& plan) {
+  const double cycles =
+      static_cast<double>(plan.total_tests) * cal::kCpuCyclesPerTest +
+      static_cast<double>(plan.bfs_edges_visited) * cal::kCpuCyclesPerBfsEdge;
+  return cycles / (cal::kCpuClockGhz * 1e9);
+}
+
+}  // namespace lgg::core

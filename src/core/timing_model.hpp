@@ -1,0 +1,27 @@
+// Paper-era CPU time model.
+//
+// The Fig. 10/11 benches compare "modelled seconds" on the paper's two
+// machines: a single 2.27 GHz Xeon thread and the simulated C1060.  The
+// GPU side is priced by gpusim; this header prices the CPU side from the
+// operation counts of the actual Algorithm 1 + Algorithm 2 run (or, for
+// graphs too large to execute the quadratic test loop here, from the
+// combinatorial test counts of the ALS plan).
+#pragma once
+
+#include <cstdint>
+
+#include "core/als_plan.hpp"
+#include "core/triangle_cpu.hpp"
+
+namespace lgg::core {
+
+/// Modelled single-thread CPU seconds for a measured ALS run.
+double cpu_model_time_s(const CpuAlsResult& result);
+
+/// Modelled CPU seconds from an ALS plan alone (no execution): assumes
+/// every candidate triple costs the calibrated per-test cycles, using the
+/// plan's exact test counts.  Used when executing the test loop host-side
+/// would take hours (Fig. 11's 25k–100k-node graphs).
+double cpu_model_time_s(const AlsPlan& plan);
+
+}  // namespace lgg::core

@@ -1,0 +1,62 @@
+// CPU triangle counting: the paper's single-thread reference (Algorithm 2
+// run on the host) plus standard exact baselines used as oracles and as
+// the fast counter for large-graph benches.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/als_plan.hpp"
+#include "graph/bit_matrix.hpp"
+#include "graph/graph.hpp"
+
+namespace lgg::core {
+
+/// Edge-iterator algorithm: for every edge (u, v), count common neighbours
+/// by sorted-list intersection.  O(sum_deg^2 / ...) — simple oracle.
+std::uint64_t count_triangles_edge_iterator(const graph::Graph& g);
+
+/// Forward / oriented algorithm: orient edges low->high degree (ties by
+/// id), intersect out-neighbourhoods.  O(m^(3/2)) — the fast exact counter
+/// used to report true counts on the large Fig. 11 graphs.
+std::uint64_t count_triangles_forward(const graph::Graph& g);
+
+/// Dense bit-matrix algorithm: ϑ = (1/3) Σ_{(u,v)∈E} |row_u AND row_v|
+/// over the packed adjacency matrix.  O(n·m/64) — oracle for small n and
+/// the S-UTM representation check.
+std::uint64_t count_triangles_bitmatrix(const graph::BitMatrix& m);
+
+/// The paper's CPU implementation: Algorithm 1 preprocessing (BFS + level
+/// split) followed by Algorithm 2 over adjacent level sets, single thread,
+/// testing each candidate triple with three adjacency probes
+/// (short-circuiting).  Also returns the operation counts the calibrated
+/// timing model prices (see core/timing_model.hpp).
+struct CpuAlsResult {
+  std::uint64_t triangles = 0;
+  std::uint64_t tests = 0;          // candidate triples examined
+  std::uint64_t adjacency_probes = 0;
+  std::uint64_t bfs_edges = 0;      // Algorithm 1 work
+};
+CpuAlsResult count_triangles_cpu_als(const graph::Graph& g);
+
+/// Triangle listing (paper Section VII "listing" flavour): returns each
+/// triangle once as an ordered triple u < v < w.  Order of triangles
+/// follows the ALS plan.
+std::vector<std::array<graph::Vertex, 3>> list_triangles(
+    const graph::Graph& g);
+
+/// True iff the graph has no triangle (clique number <= 2, girth >= 4).
+bool is_triangle_free(const graph::Graph& g);
+
+/// Per-vertex local clustering coefficient: 2*tri(v) / (deg(v)(deg(v)-1));
+/// 0 for degree < 2.  (One of the paper's motivating statistics.)
+std::vector<double> clustering_coefficients(const graph::Graph& g);
+
+/// Transitivity ratio: 3 * triangles / number-of-connected-triples.
+double transitivity(const graph::Graph& g);
+
+/// Number of triangles through each vertex.
+std::vector<std::uint64_t> triangles_per_vertex(const graph::Graph& g);
+
+}  // namespace lgg::core

@@ -1,0 +1,112 @@
+#include "core/truss.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/error.hpp"
+
+namespace lgg::core {
+
+using graph::Edge;
+using graph::Graph;
+using graph::Vertex;
+
+namespace {
+
+/// Sorted-list intersection emitting common neighbours.
+template <typename Fn>
+void for_each_common(std::span<const Vertex> a, std::span<const Vertex> b,
+                     Fn&& fn) {
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j])
+      ++i;
+    else if (b[j] < a[i])
+      ++j;
+    else {
+      fn(a[i]);
+      ++i;
+      ++j;
+    }
+  }
+}
+
+}  // namespace
+
+TrussDecomposition truss_decomposition(const Graph& g) {
+  TrussDecomposition result;
+  result.edges = g.edges();
+  const std::size_t m = result.edges.size();
+  result.truss.assign(m, 2);
+  if (m == 0) return result;
+
+  // Edge index lookup (u < v).
+  std::map<Edge, std::uint32_t> edge_id;
+  for (std::uint32_t i = 0; i < m; ++i) edge_id.emplace(result.edges[i], i);
+  auto id_of = [&](Vertex a, Vertex b) {
+    if (a > b) std::swap(a, b);
+    const auto it = edge_id.find({a, b});
+    LGG_ASSERT(it != edge_id.end());
+    return it->second;
+  };
+
+  // Initial supports.
+  std::vector<std::uint32_t> support(m, 0);
+  for (std::uint32_t i = 0; i < m; ++i) {
+    const auto [u, v] = result.edges[i];
+    for_each_common(g.neighbors(u), g.neighbors(v),
+                    [&](Vertex) { ++support[i]; });
+  }
+
+  // Peel in non-decreasing support order with a bucket queue.
+  const std::uint32_t max_support =
+      m ? *std::max_element(support.begin(), support.end()) : 0;
+  std::vector<std::vector<std::uint32_t>> bucket(max_support + 1);
+  for (std::uint32_t i = 0; i < m; ++i) bucket[support[i]].push_back(i);
+
+  std::vector<bool> removed(m, false);
+  std::size_t cursor = 0;
+  std::uint32_t current = 2;
+  std::size_t processed = 0;
+  while (processed < m) {
+    while (cursor <= max_support && bucket[cursor].empty()) ++cursor;
+    LGG_ASSERT(cursor <= max_support);
+    const std::uint32_t e = bucket[cursor].back();
+    bucket[cursor].pop_back();
+    if (removed[e] || support[e] != cursor) continue;  // stale entry
+
+    current = std::max<std::uint32_t>(current, support[e] + 2);
+    result.truss[e] = current;
+    removed[e] = true;
+    ++processed;
+
+    // Removing e = (u, v) lowers the support of the other two edges of
+    // every surviving triangle through e.
+    const auto [u, v] = result.edges[e];
+    for_each_common(g.neighbors(u), g.neighbors(v), [&](Vertex w) {
+      const std::uint32_t e1 = id_of(u, w);
+      const std::uint32_t e2 = id_of(v, w);
+      if (removed[e1] || removed[e2]) return;
+      for (const std::uint32_t other : {e1, e2}) {
+        if (support[other] > support[e]) {
+          --support[other];
+          bucket[support[other]].push_back(other);
+          if (support[other] < cursor) cursor = support[other];
+        }
+      }
+    });
+  }
+  result.max_truss = current;
+  return result;
+}
+
+Graph ktruss_subgraph(const Graph& g, std::uint32_t k) {
+  LGG_CHECK(k >= 2, "ktruss_subgraph: k must be >= 2");
+  const TrussDecomposition d = truss_decomposition(g);
+  std::vector<Edge> kept;
+  for (std::size_t i = 0; i < d.edges.size(); ++i)
+    if (d.truss[i] >= k) kept.push_back(d.edges[i]);
+  return Graph::from_edges(g.num_vertices(), kept);
+}
+
+}  // namespace lgg::core

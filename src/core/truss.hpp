@@ -1,0 +1,33 @@
+// k-truss decomposition — the edge-level analogue of k-cores built on
+// triangle support, a natural extension of the paper's triangle machinery
+// (the truss number of an edge is how deeply it is embedded in triangles;
+// spam edges from the paper's Section VII motivation have low truss).
+//
+// The k-truss of G is the maximal subgraph in which every edge lies in at
+// least k-2 triangles of the subgraph.  truss(e) is the largest k whose
+// k-truss contains e.  Peeling runs in O(m^1.5) like triangle counting.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace lgg::core {
+
+struct TrussDecomposition {
+  /// Edges in the same (u < v, lexicographic) order as Graph::edges().
+  std::vector<graph::Edge> edges;
+  /// truss[i] = truss number of edges[i]; >= 2 for every edge (every edge
+  /// is trivially in the 2-truss).
+  std::vector<std::uint32_t> truss;
+  std::uint32_t max_truss = 0;  // 0 for edgeless graphs
+};
+
+TrussDecomposition truss_decomposition(const graph::Graph& g);
+
+/// The k-truss as a subgraph of g (same vertex ids; only edges with truss
+/// number >= k survive).
+graph::Graph ktruss_subgraph(const graph::Graph& g, std::uint32_t k);
+
+}  // namespace lgg::core

@@ -1,0 +1,29 @@
+#include "gpusim/banks.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace lgg::gpusim {
+
+std::uint32_t bank_conflict_degree(std::span<const std::uint64_t> addrs,
+                                   std::uint32_t banks) {
+  LGG_CHECK(banks > 0, "bank_conflict_degree: banks must be positive");
+  if (addrs.empty()) return 0;
+
+  // Distinct words per bank; same word from many lanes broadcasts.
+  std::vector<std::vector<std::uint64_t>> words_per_bank(banks);
+  for (const std::uint64_t addr : addrs)
+    words_per_bank[bank_of(addr, banks)].push_back(addr / 4);
+
+  std::uint32_t degree = 1;
+  for (auto& words : words_per_bank) {
+    std::sort(words.begin(), words.end());
+    words.erase(std::unique(words.begin(), words.end()), words.end());
+    degree = std::max(degree, static_cast<std::uint32_t>(words.size()));
+  }
+  return degree;
+}
+
+}  // namespace lgg::gpusim

@@ -1,0 +1,157 @@
+#include "gpusim/coalescing.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/error.hpp"
+
+namespace lgg::gpusim {
+
+namespace {
+
+constexpr bool valid_word_bytes(std::uint32_t wb) {
+  return wb == 1 || wb == 2 || wb == 4 || wb == 8 || wb == 16;
+}
+
+/// CC 1.0/1.1 half-warp rule: strict in-order aligned access or bust.
+void coalesce_cc10(std::span<const LaneAccess> half, std::uint32_t word_bytes,
+                   std::uint32_t lane_base, CoalesceResult& out) {
+  if (half.empty()) return;
+  const std::uint64_t segment_bytes = 16ull * word_bytes;
+
+  // Candidate segment base from any lane: base = addr - (lane-in-half)*wb.
+  const std::uint64_t base =
+      half.front().addr -
+      static_cast<std::uint64_t>(half.front().lane - lane_base) * word_bytes;
+  bool coalesced = (base % segment_bytes) == 0;
+  if (coalesced) {
+    for (const LaneAccess& a : half) {
+      const std::uint64_t expect =
+          base + static_cast<std::uint64_t>(a.lane - lane_base) * word_bytes;
+      if (a.addr != expect) {
+        coalesced = false;
+        break;
+      }
+    }
+  }
+
+  if (coalesced) {
+    out.transactions.push_back(
+        {base, static_cast<std::uint32_t>(segment_bytes)});
+  } else {
+    // Serialised: one transaction per active lane.  Tesla-era hardware
+    // issues minimum 32-byte transfers for isolated words.
+    const std::uint32_t txn_bytes = std::max<std::uint32_t>(word_bytes, 32);
+    for (const LaneAccess& a : half)
+      out.transactions.push_back({a.addr - a.addr % txn_bytes, txn_bytes});
+  }
+}
+
+/// CC 1.2/1.3 half-warp rule: minimal covering aligned segments with
+/// narrowing.  Base segment granularity is 128 bytes for 4/8/16-byte
+/// words, 64 for 2-byte, 32 for 1-byte (Programming Guide G.3.2.2).
+void coalesce_cc12(std::span<const LaneAccess> half, std::uint32_t word_bytes,
+                   CoalesceResult& out) {
+  if (half.empty()) return;
+  const std::uint64_t seg = word_bytes >= 4 ? 128 : (word_bytes == 2 ? 64 : 32);
+
+  // Bucket the accessed words by base segment.
+  std::map<std::uint64_t, std::pair<std::uint64_t, std::uint64_t>> segments;
+  for (const LaneAccess& a : half) {
+    const std::uint64_t s = a.addr / seg;
+    auto [it, inserted] = segments.try_emplace(s, a.addr, a.addr);
+    if (!inserted) {
+      it->second.first = std::min(it->second.first, a.addr);
+      it->second.second = std::max(it->second.second, a.addr);
+    }
+  }
+
+  for (const auto& [s, span] : segments) {
+    const std::uint64_t base = s * seg;
+    std::uint64_t size = seg;
+    std::uint64_t lo = span.first, hi = span.second + word_bytes - 1;
+    // Narrow while both extremes sit in the same half of the segment.
+    std::uint64_t b = base;
+    while (size > 32) {
+      const std::uint64_t half_size = size / 2;
+      if (hi < b + half_size) {
+        size = half_size;
+      } else if (lo >= b + half_size) {
+        b += half_size;
+        size = half_size;
+      } else {
+        break;
+      }
+    }
+    out.transactions.push_back({b, static_cast<std::uint32_t>(size)});
+  }
+}
+
+/// CC 2.0 warp rule: one transaction per distinct 128-byte L1 line.
+void coalesce_cc20(std::span<const LaneAccess> warp, std::uint32_t word_bytes,
+                   CoalesceResult& out) {
+  std::vector<std::uint64_t> lines;
+  lines.reserve(warp.size());
+  for (const LaneAccess& a : warp) {
+    lines.push_back(a.addr / 128);
+    // A word straddling a line boundary touches the next line too.
+    if ((a.addr % 128) + word_bytes > 128) lines.push_back(a.addr / 128 + 1);
+  }
+  std::sort(lines.begin(), lines.end());
+  lines.erase(std::unique(lines.begin(), lines.end()), lines.end());
+  for (const std::uint64_t line : lines)
+    out.transactions.push_back({line * 128, 128});
+}
+
+}  // namespace
+
+CoalesceResult coalesce_warp(ComputeCapability cc,
+                             std::span<const LaneAccess> accesses,
+                             std::uint32_t word_bytes) {
+  LGG_CHECK(valid_word_bytes(word_bytes),
+            "coalesce_warp: invalid word size " << word_bytes);
+  for (const LaneAccess& a : accesses) {
+    LGG_CHECK(a.lane < 32, "coalesce_warp: lane " << a.lane << " out of range");
+    LGG_CHECK(a.addr % word_bytes == 0,
+              "coalesce_warp: address " << a.addr
+                                        << " misaligned for word size "
+                                        << word_bytes);
+  }
+
+  CoalesceResult result;
+  if (cc >= ComputeCapability::k20) {
+    coalesce_cc20(accesses, word_bytes, result);
+    return result;
+  }
+
+  // Split into half-warps (lanes 0-15, 16-31), preserving lane order.
+  std::vector<LaneAccess> low, high;
+  for (const LaneAccess& a : accesses)
+    (a.lane < 16 ? low : high).push_back(a);
+  auto by_lane = [](const LaneAccess& x, const LaneAccess& y) {
+    return x.lane < y.lane;
+  };
+  std::sort(low.begin(), low.end(), by_lane);
+  std::sort(high.begin(), high.end(), by_lane);
+
+  if (cc <= ComputeCapability::k11) {
+    coalesce_cc10(low, word_bytes, 0, result);
+    coalesce_cc10(high, word_bytes, 16, result);
+  } else {
+    coalesce_cc12(low, word_bytes, result);
+    coalesce_cc12(high, word_bytes, result);
+  }
+  return result;
+}
+
+std::size_t warp_transaction_count(ComputeCapability cc,
+                                   std::span<const std::uint64_t> lane_addrs,
+                                   std::uint32_t word_bytes) {
+  std::vector<LaneAccess> accesses;
+  accesses.reserve(lane_addrs.size());
+  for (std::uint32_t lane = 0; lane < lane_addrs.size(); ++lane)
+    accesses.push_back({lane, lane_addrs[lane]});
+  return coalesce_warp(cc, accesses, word_bytes).count();
+}
+
+}  // namespace lgg::gpusim

@@ -1,0 +1,67 @@
+// Global-memory access coalescing rules (paper Section IX, Table III),
+// implemented per CUDA C Programming Guide v3.2, Appendix G:
+//
+//  * CC 1.0/1.1 — per HALF-warp.  One transaction iff the k-th active lane
+//    reads the k-th word of a naturally aligned segment (16 * word_bytes);
+//    lanes may be inactive, but no permutation.  Otherwise the half-warp
+//    is serialised: one transaction per active lane.
+//  * CC 1.2/1.3 — per HALF-warp.  Hardware finds the minimal set of
+//    aligned segments covering the requested words; a 128-byte segment is
+//    narrowed to 64/32 bytes when only one half/quarter is touched.
+//    Permutations within a segment cost nothing.
+//  * CC 2.0   — per WARP, through the L1 cache: one transaction per
+//    distinct 128-byte line.
+//
+// These rules reproduce the paper's Table III exactly (see
+// bench_table3_coalescing and the unit tests).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gpusim/device.hpp"
+
+namespace lgg::gpusim {
+
+/// One lane's memory request: which lane issued it and the byte address.
+/// Inactive lanes are simply absent from the span.
+struct LaneAccess {
+  std::uint32_t lane = 0;  // 0..31 within the warp
+  std::uint64_t addr = 0;  // simulated global byte address
+};
+
+/// One memory transaction produced by the coalescer.
+struct Transaction {
+  std::uint64_t base = 0;   // segment base address
+  std::uint32_t bytes = 0;  // segment size actually transferred
+};
+
+struct CoalesceResult {
+  std::vector<Transaction> transactions;
+
+  [[nodiscard]] std::size_t count() const noexcept {
+    return transactions.size();
+  }
+  [[nodiscard]] std::uint64_t bytes() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& t : transactions) total += t.bytes;
+    return total;
+  }
+};
+
+/// Coalesce one warp's simultaneous accesses of `word_bytes`-sized words.
+/// For CC < 2.0 the warp is processed as two independent half-warps
+/// (lanes 0-15 and 16-31), matching the hardware.  `word_bytes` must be
+/// 1, 2, 4, 8 or 16.
+CoalesceResult coalesce_warp(ComputeCapability cc,
+                             std::span<const LaneAccess> accesses,
+                             std::uint32_t word_bytes);
+
+/// Convenience for tests/benches: transaction count for a full 32-lane
+/// warp reading `word_bytes` words at the given per-lane addresses.
+std::size_t warp_transaction_count(ComputeCapability cc,
+                                   std::span<const std::uint64_t> lane_addrs,
+                                   std::uint32_t word_bytes);
+
+}  // namespace lgg::gpusim

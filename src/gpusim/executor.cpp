@@ -1,0 +1,192 @@
+#include "gpusim/executor.hpp"
+
+#include <algorithm>
+
+#include "gpusim/banks.hpp"
+#include "gpusim/calibration.hpp"
+#include "gpusim/coalescing.hpp"
+#include "util/error.hpp"
+
+namespace lgg::gpusim {
+
+namespace {
+
+struct SmAccumulator {
+  double warp_instructions = 0.0;
+  std::uint64_t bank_conflict_steps = 0;
+  std::uint64_t global_slots = 0;
+  std::uint64_t warps = 0;
+};
+
+}  // namespace
+
+KernelReport Simulator::run(const KernelFn& kernel, const KernelConfig& config,
+                            std::uint32_t sample_stride) const {
+  LGG_CHECK(config.blocks > 0 && config.threads_per_block > 0,
+            "Simulator::run: empty launch configuration");
+  LGG_CHECK(config.threads_per_block <= 1024,
+            "Simulator::run: threads_per_block " << config.threads_per_block
+                                                 << " exceeds 1024");
+  LGG_CHECK(sample_stride >= 1, "Simulator::run: sample_stride must be >= 1");
+
+  const DeviceSpec& dev = *spec_;
+  const std::uint32_t warp_size = dev.warp_size;
+  const std::uint32_t warps_per_block =
+      (config.threads_per_block + warp_size - 1) / warp_size;
+  const std::uint64_t total_warps =
+      static_cast<std::uint64_t>(config.blocks) * warps_per_block;
+
+  KernelReport report;
+  report.name = config.name;
+  report.blocks = config.blocks;
+  report.threads_per_block = config.threads_per_block;
+  report.warps = total_warps;
+  report.sample_fraction = 1.0 / sample_stride;
+  report.partition_histogram.count.assign(dev.partitions, 0);
+
+  const PartitionModel partition_model(dev);
+  std::vector<SmAccumulator> sms(dev.sm_count);
+  std::vector<ThreadRecorder> lanes(warp_size);
+
+  std::uint64_t sampled_warps = 0;
+  std::uint64_t warp_index = 0;
+  for (std::uint32_t block = 0; block < config.blocks; ++block) {
+    const std::uint32_t sm = block % dev.sm_count;
+    for (std::uint32_t w = 0; w < warps_per_block; ++w, ++warp_index) {
+      if (warp_index % sample_stride != 0) continue;
+      ++sampled_warps;
+      ++sms[sm].warps;
+
+      // Run the warp's lanes, collecting tapes.
+      const std::uint32_t first_thread = w * warp_size;
+      const std::uint32_t lanes_in_warp = std::min(
+          warp_size, config.threads_per_block - first_thread);
+      double warp_compute = 0.0;
+      std::size_t max_global = 0, max_shared = 0;
+      for (std::uint32_t lane = 0; lane < lanes_in_warp; ++lane) {
+        lanes[lane].clear();
+        ThreadCtx ctx;
+        ctx.block = block;
+        ctx.thread = first_thread + lane;
+        ctx.global_id = static_cast<std::uint64_t>(block) *
+                            config.threads_per_block +
+                        ctx.thread;
+        ctx.lane = lane;
+        ctx.warp = w;
+        kernel(ctx, lanes[lane]);
+        warp_compute = std::max(warp_compute, lanes[lane].compute_);
+        max_global = std::max(max_global, lanes[lane].global_.size());
+        max_shared = std::max(max_shared, lanes[lane].shared_.size());
+      }
+      sms[sm].warp_instructions += warp_compute;
+
+      // Global slots: coalesce the s-th access of every lane together.
+      std::vector<LaneAccess> slot;
+      for (std::size_t s = 0; s < max_global; ++s) {
+        slot.clear();
+        std::uint32_t word_bytes = 0;
+        for (std::uint32_t lane = 0; lane < lanes_in_warp; ++lane) {
+          if (s >= lanes[lane].global_.size()) continue;
+          const auto& access = lanes[lane].global_[s];
+          if (word_bytes == 0) word_bytes = access.word_bytes;
+          LGG_ASSERT(word_bytes == access.word_bytes);
+          slot.push_back({lane, access.addr});
+        }
+        const CoalesceResult coalesced =
+            coalesce_warp(dev.cc, slot, word_bytes);
+        report.transactions += coalesced.count();
+        report.bytes += coalesced.bytes();
+        report.partition_histogram.add_transactions(partition_model,
+                                                    coalesced.transactions);
+        ++sms[sm].global_slots;
+        ++report.global_slots;
+      }
+
+      // Shared slots: bank conflicts per half-warp.
+      std::vector<std::uint64_t> half_addrs;
+      for (std::size_t s = 0; s < max_shared; ++s) {
+        ++report.shared_slots;
+        for (std::uint32_t half = 0; half < 2; ++half) {
+          half_addrs.clear();
+          const std::uint32_t lo = half * 16;
+          const std::uint32_t hi = std::min(lanes_in_warp, lo + 16);
+          for (std::uint32_t lane = lo; lane < hi; ++lane)
+            if (s < lanes[lane].shared_.size())
+              half_addrs.push_back(lanes[lane].shared_[s]);
+          if (half_addrs.empty()) continue;
+          const std::uint32_t degree =
+              bank_conflict_degree(half_addrs, dev.shared_banks);
+          report.bank_conflict_steps += degree;
+          sms[sm].bank_conflict_steps += degree;
+        }
+      }
+    }
+  }
+  LGG_ASSERT(sampled_warps > 0);
+
+  // Scale sampled statistics back to the full launch.
+  const double scale = static_cast<double>(sample_stride);
+  if (sample_stride > 1) {
+    report.transactions = static_cast<std::uint64_t>(
+        static_cast<double>(report.transactions) * scale);
+    report.bytes =
+        static_cast<std::uint64_t>(static_cast<double>(report.bytes) * scale);
+    report.global_slots = static_cast<std::uint64_t>(
+        static_cast<double>(report.global_slots) * scale);
+    report.shared_slots = static_cast<std::uint64_t>(
+        static_cast<double>(report.shared_slots) * scale);
+    report.bank_conflict_steps = static_cast<std::uint64_t>(
+        static_cast<double>(report.bank_conflict_steps) * scale);
+    for (auto& c : report.partition_histogram.count)
+      c = static_cast<std::uint64_t>(static_cast<double>(c) * scale);
+    report.partition_histogram.total = static_cast<std::uint64_t>(
+        static_cast<double>(report.partition_histogram.total) * scale);
+    for (auto& sm : sms) {
+      sm.warp_instructions *= scale;
+      sm.bank_conflict_steps = static_cast<std::uint64_t>(
+          static_cast<double>(sm.bank_conflict_steps) * scale);
+      sm.global_slots = static_cast<std::uint64_t>(
+          static_cast<double>(sm.global_slots) * scale);
+      sm.warps = static_cast<std::uint64_t>(
+          static_cast<double>(sm.warps) * scale);
+    }
+  }
+  report.camping_factor = report.partition_histogram.camping_factor();
+
+  // --- timing (see header comment) ---
+  namespace cal = calibration;
+  double max_sm_compute = 0.0, max_sm_latency = 0.0;
+  for (const auto& sm : sms) {
+    if (sm.warps == 0) continue;
+    const double compute =
+        (sm.warp_instructions + static_cast<double>(sm.bank_conflict_steps)) *
+        cal::kCyclesPerWarpInstruction;
+    const double resident = static_cast<double>(
+        std::min<std::uint64_t>(sm.warps, dev.max_warps_per_sm));
+    const double latency = static_cast<double>(sm.global_slots) *
+                           static_cast<double>(dev.global_latency_cycles) /
+                           resident;
+    max_sm_compute = std::max(max_sm_compute, compute);
+    max_sm_latency = std::max(max_sm_latency, latency);
+  }
+  report.compute_cycles = max_sm_compute;
+  report.latency_cycles = max_sm_latency;
+
+  const std::uint64_t dram_steps =
+      dev.has_cached_global() ? report.partition_histogram.ideal_steps()
+                              : report.partition_histogram.serialized_steps();
+  report.dram_cycles =
+      static_cast<double>(dram_steps) * cal::kTransactionServiceCycles;
+
+  const double cycles = std::max(
+      {report.compute_cycles, report.latency_cycles, report.dram_cycles});
+  report.kernel_time_s =
+      cycles / (dev.core_clock_ghz * 1e9) + cal::kKernelLaunchOverheadS;
+  return report;
+}
+
+TransferReport Simulator::transfer(std::uint64_t bytes) const {
+  return {bytes, transfer_time_s(*spec_, bytes)};
+}
+
+}  // namespace lgg::gpusim

@@ -1,0 +1,117 @@
+// The simulated CUDA executor: runs kernels thread-by-thread on the host,
+// records every memory access, and prices the launch with the coalescing /
+// partition / bank models plus the calibrated cycle accounting.
+//
+// Execution model
+// ---------------
+// A kernel is a host callable invoked once per simulated thread.  Threads
+// are grouped into 32-lane warps; blocks are assigned to SMs round-robin
+// (block b runs on SM b % sm_count), matching the paper's Section VI view
+// of chunk jobs on identical machines.
+//
+// Memory-access semantics: each thread records a *tape* of global/shared
+// accesses.  Within a warp, the i-th global access of every lane is
+// treated as one SIMT instruction slot and coalesced across the warp
+// (lockstep assumption — correct for the uniform-control-flow kernels in
+// this library, and the standard approximation elsewhere).
+//
+// Timing model (cycles at the device core clock; see calibration.hpp)
+//   per SM:  compute = Σ_warp (warp_instructions + bank penalty) * 4
+//            latency = Σ_warp global_slots * L / min(warps, max_resident)
+//            sm_time = max(compute, latency)
+//   global:  dram = serialized_partition_steps * t_service   (CC < 2.0)
+//                 = ideal_partition_steps     * t_service   (CC >= 2.0,
+//                   camping neutralised by the cache — paper Section X)
+//   kernel  = max(max_sm sm_time, dram) / clock + launch overhead
+//
+// Sampling: run(..., sample_stride = k) simulates every k-th warp fully
+// and scales all aggregate statistics by k.  Timing keeps the same model;
+// the triangle-count style *functional* result of skipped warps is NOT
+// produced, so sampled runs are for timing studies only (the benches pair
+// them with an exact host-side count).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "gpusim/device.hpp"
+#include "gpusim/memory.hpp"
+#include "gpusim/report.hpp"
+
+namespace lgg::gpusim {
+
+struct KernelConfig {
+  std::string name = "kernel";
+  std::uint32_t blocks = 1;
+  std::uint32_t threads_per_block = 32;
+};
+
+/// Identity of one simulated thread.
+struct ThreadCtx {
+  std::uint32_t block = 0;
+  std::uint32_t thread = 0;      // within block
+  std::uint64_t global_id = 0;   // block * threads_per_block + thread
+  std::uint32_t lane = 0;        // thread % 32
+  std::uint32_t warp = 0;        // thread / 32 (within block)
+};
+
+/// Tape recorder handed to each simulated thread.
+class ThreadRecorder {
+ public:
+  /// Record a read of `word_bytes` at byte `offset` inside `buf`.
+  /// All lanes of a warp must use the same word size per slot.
+  void global_read(const Buffer& buf, std::uint64_t offset,
+                   std::uint32_t word_bytes) {
+    global_.push_back({buf.addr(offset), word_bytes});
+  }
+  /// Writes share the transaction machinery with reads on this hardware.
+  void global_write(const Buffer& buf, std::uint64_t offset,
+                    std::uint32_t word_bytes) {
+    global_read(buf, offset, word_bytes);
+  }
+  /// Record a shared-memory access at byte address `addr` (bank model).
+  void shared_access(std::uint64_t addr) { shared_.push_back(addr); }
+  /// Charge `n` warp instructions of pure compute.
+  void compute(double n = 1.0) { compute_ += n; }
+
+ private:
+  friend class Simulator;
+  struct GlobalAccess {
+    std::uint64_t addr;
+    std::uint32_t word_bytes;
+  };
+  std::vector<GlobalAccess> global_;
+  std::vector<std::uint64_t> shared_;
+  double compute_ = 0.0;
+
+  void clear() {
+    global_.clear();
+    shared_.clear();
+    compute_ = 0.0;
+  }
+};
+
+using KernelFn = std::function<void(const ThreadCtx&, ThreadRecorder&)>;
+
+class Simulator {
+ public:
+  explicit Simulator(const DeviceSpec& spec) : spec_(&spec) {}
+
+  [[nodiscard]] const DeviceSpec& spec() const noexcept { return *spec_; }
+
+  /// Simulate one kernel launch.  sample_stride == 1 runs every warp
+  /// (functional + timing); k > 1 runs every k-th warp and scales the
+  /// statistics (timing only).
+  KernelReport run(const KernelFn& kernel, const KernelConfig& config,
+                   std::uint32_t sample_stride = 1) const;
+
+  /// Price a host->device copy of `bytes`.
+  [[nodiscard]] TransferReport transfer(std::uint64_t bytes) const;
+
+ private:
+  const DeviceSpec* spec_;
+};
+
+}  // namespace lgg::gpusim

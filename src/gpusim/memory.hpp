@@ -1,0 +1,56 @@
+// Simulated device global-memory address space.
+//
+// Kernels do not move real data through the simulator; what matters for the
+// paper's claims is WHERE the data lives (addresses drive coalescing and
+// partition mapping) and HOW MUCH moves (transfer timing).  DeviceMemory is
+// a bump allocator over the DeviceSpec's global memory; Buffer is an
+// address range a kernel derives access addresses from.  Actual payloads
+// stay in ordinary host containers owned by the algorithm.
+#pragma once
+
+#include <cstdint>
+
+#include "gpusim/device.hpp"
+
+namespace lgg::gpusim {
+
+/// An allocated range of simulated global memory.
+struct Buffer {
+  std::uint64_t base = 0;
+  std::uint64_t bytes = 0;
+
+  /// Simulated byte address of `offset` within the buffer (bounds-checked).
+  [[nodiscard]] std::uint64_t addr(std::uint64_t offset) const;
+};
+
+class DeviceMemory {
+ public:
+  explicit DeviceMemory(const DeviceSpec& spec);
+
+  /// Allocate `bytes` aligned to `align` (power of two; default one
+  /// partition stripe so layouts can place data in chosen partitions).
+  /// Throws lgg::Error when the device is out of memory — this is the
+  /// paper's Eq. (1)/(2) capacity constraint becoming operational.
+  Buffer alloc(std::uint64_t bytes, std::uint64_t align = 256);
+
+  /// Allocate at an address congruent to `partition_offset_bytes` modulo
+  /// the partition period (partitions * width): lets the anti-camping
+  /// layout pin each ALS block's base to a chosen partition (Fig. 9).
+  Buffer alloc_in_partition(std::uint64_t bytes, std::uint32_t partition);
+
+  [[nodiscard]] std::uint64_t used() const noexcept { return cursor_; }
+  [[nodiscard]] std::uint64_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] const DeviceSpec& spec() const noexcept { return *spec_; }
+
+  void reset() noexcept { cursor_ = 0; }
+
+ private:
+  const DeviceSpec* spec_;
+  std::uint64_t capacity_;
+  std::uint64_t cursor_ = 0;
+};
+
+/// Host->device (or back) copy-time model: PCIe latency + bytes/bandwidth.
+double transfer_time_s(const DeviceSpec& spec, std::uint64_t bytes);
+
+}  // namespace lgg::gpusim

@@ -1,0 +1,38 @@
+#include "gpusim/partition.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace lgg::gpusim {
+
+void PartitionHistogram::merge(const PartitionHistogram& other) {
+  if (other.count.empty()) return;
+  if (count.empty()) {
+    *this = other;
+    return;
+  }
+  LGG_CHECK(count.size() == other.count.size(),
+            "PartitionHistogram::merge: partition count mismatch");
+  for (std::size_t p = 0; p < count.size(); ++p) count[p] += other.count[p];
+  total += other.total;
+}
+
+std::uint64_t PartitionHistogram::serialized_steps() const noexcept {
+  if (count.empty()) return 0;
+  return *std::max_element(count.begin(), count.end());
+}
+
+std::uint64_t PartitionHistogram::ideal_steps() const noexcept {
+  if (count.empty() || total == 0) return 0;
+  const auto p = static_cast<std::uint64_t>(count.size());
+  return (total + p - 1) / p;
+}
+
+double PartitionHistogram::camping_factor() const noexcept {
+  const std::uint64_t ideal = ideal_steps();
+  if (ideal == 0) return 1.0;
+  return static_cast<double>(serialized_steps()) / static_cast<double>(ideal);
+}
+
+}  // namespace lgg::gpusim

@@ -1,0 +1,37 @@
+#include "gpusim/report.hpp"
+
+#include <iomanip>
+#include <ostream>
+
+#include "util/table.hpp"
+
+namespace lgg::gpusim {
+
+std::ostream& operator<<(std::ostream& os, const KernelReport& r) {
+  os << "kernel '" << r.name << "': " << r.blocks << "x"
+     << r.threads_per_block << " (" << r.warps << " warps)"
+     << "\n  global slots " << r.global_slots << ", transactions "
+     << r.transactions << " (" << std::fixed << std::setprecision(2)
+     << r.transactions_per_slot() << "/slot), bytes " << r.bytes
+     << "\n  camping factor " << std::setprecision(3) << r.camping_factor
+     << ", bank-conflict steps " << r.bank_conflict_steps
+     << "\n  cycles: compute " << std::setprecision(0) << r.compute_cycles
+     << ", latency " << r.latency_cycles << ", dram " << r.dram_cycles
+     << "\n  time " << format_seconds(r.kernel_time_s);
+  if (r.sample_fraction < 1.0)
+    os << " (sampled, fraction " << std::setprecision(4) << r.sample_fraction
+       << ")";
+  return os;
+}
+
+std::ostream& operator<<(std::ostream& os, const RunReport& r) {
+  os << "GPU run: h2d " << format_bytes(r.host_to_device.bytes) << " in "
+     << format_seconds(r.host_to_device.time_s) << ", " << r.kernels
+     << " kernel(s) in " << format_seconds(r.kernel_time_s) << ", total "
+     << format_seconds(r.total_time_s) << ", camping x" << std::fixed
+     << std::setprecision(3) << r.mean_camping_factor << ", txn/slot "
+     << std::setprecision(2) << r.mean_transactions_per_slot;
+  return os;
+}
+
+}  // namespace lgg::gpusim

@@ -1,0 +1,74 @@
+// Result records produced by the simulator: what a kernel cost and why.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "gpusim/partition.hpp"
+
+namespace lgg::gpusim {
+
+/// Everything the timing model derived for one kernel launch.
+/// Cycle quantities are in core-clock cycles; *_s values are seconds on
+/// the modelled device (see gpusim/calibration.hpp and DESIGN.md §6).
+struct KernelReport {
+  std::string name;
+  std::uint32_t blocks = 0;
+  std::uint32_t threads_per_block = 0;
+  std::uint64_t warps = 0;
+
+  // -- memory traffic --
+  std::uint64_t global_slots = 0;    // warp-level global access instructions
+  std::uint64_t transactions = 0;    // after coalescing
+  std::uint64_t bytes = 0;           // transferred by those transactions
+  PartitionHistogram partition_histogram;
+  double camping_factor = 1.0;
+
+  // -- shared memory --
+  std::uint64_t shared_slots = 0;
+  std::uint64_t bank_conflict_steps = 0;  // serialised issue steps
+
+  // -- compute --
+  double warp_instructions = 0.0;
+
+  // -- timing decomposition (cycles) --
+  double compute_cycles = 0.0;   // max over SMs of issue time
+  double latency_cycles = 0.0;   // max over SMs of exposed global latency
+  double dram_cycles = 0.0;      // partition-queueing DRAM bound
+  double kernel_time_s = 0.0;    // max of the three, plus launch overhead
+
+  /// 1/sample_stride when the run was sampled; 1.0 for exact simulation.
+  double sample_fraction = 1.0;
+
+  /// Average transactions per warp-level global access slot (1.0 is
+  /// perfectly coalesced for <=64-byte-per-halfwarp patterns).
+  [[nodiscard]] double transactions_per_slot() const noexcept {
+    return global_slots ? static_cast<double>(transactions) /
+                              static_cast<double>(global_slots)
+                        : 0.0;
+  }
+};
+
+std::ostream& operator<<(std::ostream& os, const KernelReport& r);
+
+/// A host<->device copy.
+struct TransferReport {
+  std::uint64_t bytes = 0;
+  double time_s = 0.0;
+};
+
+/// End-to-end accounting for a full GPU computation (copies + kernels).
+struct RunReport {
+  TransferReport host_to_device;
+  double kernel_time_s = 0.0;    // sum over launches
+  double total_time_s = 0.0;     // transfer + kernels + dispatch overheads
+  std::uint64_t kernels = 0;
+  std::uint64_t transactions = 0;
+  double mean_camping_factor = 1.0;
+  double mean_transactions_per_slot = 0.0;
+};
+
+std::ostream& operator<<(std::ostream& os, const RunReport& r);
+
+}  // namespace lgg::gpusim

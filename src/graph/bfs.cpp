@@ -1,0 +1,107 @@
+#include "graph/bfs.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/error.hpp"
+
+namespace lgg::graph {
+
+BfsTree bfs(const Graph& g, Vertex source) {
+  LGG_CHECK(source < g.num_vertices(),
+            "bfs: source " << source << " out of range");
+  BfsTree tree;
+  tree.source = source;
+  tree.parent.assign(g.num_vertices(), kUnreached);
+  tree.level.assign(g.num_vertices(), kUnreached);
+
+  std::deque<Vertex> queue;
+  tree.parent[source] = source;
+  tree.level[source] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    const Vertex u = queue.front();
+    queue.pop_front();
+    tree.depth = std::max(tree.depth, tree.level[u]);
+    for (Vertex v : g.neighbors(u)) {
+      if (tree.level[v] == kUnreached) {
+        tree.level[v] = tree.level[u] + 1;
+        tree.parent[v] = u;
+        queue.push_back(v);
+      }
+    }
+  }
+  return tree;
+}
+
+Components connected_components(const Graph& g) {
+  Components comps;
+  comps.component_of.assign(g.num_vertices(), kUnreached);
+  std::deque<Vertex> queue;
+  for (Vertex start = 0; start < g.num_vertices(); ++start) {
+    if (comps.component_of[start] != kUnreached) continue;
+    const std::uint32_t id = comps.count++;
+    comps.component_of[start] = id;
+    queue.push_back(start);
+    while (!queue.empty()) {
+      const Vertex u = queue.front();
+      queue.pop_front();
+      for (Vertex v : g.neighbors(u)) {
+        if (comps.component_of[v] == kUnreached) {
+          comps.component_of[v] = id;
+          queue.push_back(v);
+        }
+      }
+    }
+  }
+  return comps;
+}
+
+std::vector<Vertex> Components::vertices_of(std::uint32_t c) const {
+  std::vector<Vertex> result;
+  for (Vertex v = 0; v < component_of.size(); ++v)
+    if (component_of[v] == c) result.push_back(v);
+  return result;
+}
+
+LevelDecomposition::LevelDecomposition(const BfsTree& tree) {
+  if (tree.level.empty()) return;
+  levels_.resize(tree.depth + 1);
+  for (Vertex v = 0; v < tree.level.size(); ++v)
+    if (tree.level[v] != kUnreached) levels_[tree.level[v]].push_back(v);
+  // Vertices were visited in id order per level already, but be explicit:
+  for (auto& lvl : levels_) std::sort(lvl.begin(), lvl.end());
+}
+
+std::size_t LevelDecomposition::total_vertices() const noexcept {
+  std::size_t total = 0;
+  for (const auto& lvl : levels_) total += lvl.size();
+  return total;
+}
+
+std::vector<AdjacentLevelSet> adjacent_level_sets(
+    const LevelDecomposition& levels) {
+  std::vector<AdjacentLevelSet> sets;
+  const std::size_t d = levels.num_levels();
+  if (d == 0) return sets;
+  if (d == 1) {
+    AdjacentLevelSet only;
+    only.first_level_index = 0;
+    only.first.assign(levels.level(0).begin(), levels.level(0).end());
+    only.is_last = true;
+    sets.push_back(std::move(only));
+    return sets;
+  }
+  sets.reserve(d - 1);
+  for (std::size_t i = 0; i + 1 < d; ++i) {
+    AdjacentLevelSet als;
+    als.first_level_index = static_cast<std::uint32_t>(i);
+    als.first.assign(levels.level(i).begin(), levels.level(i).end());
+    als.second.assign(levels.level(i + 1).begin(), levels.level(i + 1).end());
+    als.is_last = (i + 2 == d);
+    sets.push_back(std::move(als));
+  }
+  return sets;
+}
+
+}  // namespace lgg::graph

@@ -1,0 +1,92 @@
+// Breadth-first search, connected components, and the BFS-level machinery
+// that drives the paper's algorithms.
+//
+// The key structural fact (paper Sections III, V, VII): every edge of G
+// joins vertices whose BFS levels differ by at most 1, so any triangle is
+// contained in the union of two consecutive BFS levels.  Algorithm 2
+// therefore iterates over *adjacent level sets* (ALS): pairs
+// (L_i, L_{i+1}), plus the final level alone (Fig. 3).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace lgg::graph {
+
+inline constexpr std::uint32_t kUnreached =
+    std::numeric_limits<std::uint32_t>::max();
+
+/// BFS tree of one source: parent pointers and levels; vertices in other
+/// components keep level == kUnreached.
+struct BfsTree {
+  Vertex source = 0;
+  std::vector<Vertex> parent;        // parent[source] == source
+  std::vector<std::uint32_t> level;  // hop distance from source
+  std::uint32_t depth = 0;           // max reached level
+};
+
+/// Standard queue BFS from `source`.
+BfsTree bfs(const Graph& g, Vertex source);
+
+/// Connected components by repeated BFS; component ids are dense in
+/// [0, count) and assigned in order of the smallest contained vertex.
+struct Components {
+  std::vector<std::uint32_t> component_of;  // per vertex
+  std::uint32_t count = 0;
+
+  /// Vertices of component c, ascending.
+  [[nodiscard]] std::vector<Vertex> vertices_of(std::uint32_t c) const;
+};
+Components connected_components(const Graph& g);
+
+/// The vertices of one BFS tree bucketed by level (paper's
+/// divIntoConsecutiveLvlSets).  Levels are vectors of vertex ids, ascending
+/// within each level.
+class LevelDecomposition {
+ public:
+  LevelDecomposition() = default;
+  explicit LevelDecomposition(const BfsTree& tree);
+
+  [[nodiscard]] std::size_t num_levels() const noexcept {
+    return levels_.size();
+  }
+  [[nodiscard]] std::span<const Vertex> level(std::size_t i) const noexcept {
+    return levels_[i];
+  }
+  [[nodiscard]] const std::vector<std::vector<Vertex>>& levels() const noexcept {
+    return levels_;
+  }
+
+  /// Total vertices across all levels (the component size).
+  [[nodiscard]] std::size_t total_vertices() const noexcept;
+
+ private:
+  std::vector<std::vector<Vertex>> levels_;
+};
+
+/// One adjacent level set: the two consecutive BFS levels Algorithm 2
+/// scans for triangles.  `second` is empty for the trailing single-level
+/// set of a one-level component.
+struct AdjacentLevelSet {
+  std::uint32_t first_level_index = 0;
+  std::vector<Vertex> first;   // L_i
+  std::vector<Vertex> second;  // L_{i+1} (may be empty)
+  bool is_last = false;        // true for the final set of the component
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return first.size() + second.size();
+  }
+};
+
+/// Build the ALS sequence for one level decomposition: (L_0, L_1),
+/// (L_1, L_2), ..., (L_{d-1}, L_d).  A single-level component yields one
+/// set with empty `second`.  The last set has is_last == true, which tells
+/// Algorithm 2 to also count triangles entirely inside its second level.
+std::vector<AdjacentLevelSet> adjacent_level_sets(
+    const LevelDecomposition& levels);
+
+}  // namespace lgg::graph

@@ -1,0 +1,148 @@
+#include "graph/formats.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace lgg::graph {
+
+Graph read_dimacs(std::istream& in) {
+  std::string line;
+  std::size_t n = 0;
+  bool have_header = false;
+  std::vector<Edge> edges;
+  std::size_t lineno = 0;
+
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    char tag = 0;
+    ls >> tag;
+    if (tag == 'c' || tag == '%') continue;
+    if (tag == 'p') {
+      std::string kind;
+      std::size_t m = 0;
+      LGG_CHECK(static_cast<bool>(ls >> kind >> n >> m),
+                "DIMACS: malformed problem line " << lineno);
+      LGG_CHECK(kind == "edge" || kind == "col" || kind == "sp",
+                "DIMACS: unsupported problem kind '" << kind << "'");
+      have_header = true;
+      edges.reserve(m);
+      continue;
+    }
+    if (tag == 'e' || tag == 'a') {
+      LGG_CHECK(have_header, "DIMACS: edge before problem line " << lineno);
+      std::uint64_t u = 0, v = 0;
+      LGG_CHECK(static_cast<bool>(ls >> u >> v),
+                "DIMACS: malformed edge line " << lineno);
+      LGG_CHECK(u >= 1 && v >= 1 && u <= n && v <= n,
+                "DIMACS: endpoint out of range on line " << lineno);
+      edges.emplace_back(static_cast<Vertex>(u - 1),
+                         static_cast<Vertex>(v - 1));
+      continue;
+    }
+    LGG_THROW("DIMACS: unrecognised line " << lineno << ": '" << line << "'");
+  }
+  LGG_CHECK(have_header, "DIMACS: missing problem line");
+  return Graph::from_edges(n, edges);
+}
+
+Graph read_dimacs_file(const std::string& path) {
+  std::ifstream in(path);
+  LGG_CHECK(in.good(), "cannot open DIMACS file: " << path);
+  return read_dimacs(in);
+}
+
+void write_dimacs(std::ostream& out, const Graph& g,
+                  const std::string& comment) {
+  if (!comment.empty()) out << "c " << comment << '\n';
+  out << "p edge " << g.num_vertices() << ' ' << g.num_edges() << '\n';
+  for (const auto& [u, v] : g.edges())
+    out << "e " << (u + 1) << ' ' << (v + 1) << '\n';
+}
+
+void write_dimacs_file(const std::string& path, const Graph& g,
+                       const std::string& comment) {
+  std::ofstream out(path);
+  LGG_CHECK(out.good(), "cannot open file for writing: " << path);
+  write_dimacs(out, g, comment);
+  LGG_CHECK(out.good(), "error writing DIMACS file: " << path);
+}
+
+Graph read_metis(std::istream& in) {
+  std::string line;
+  std::size_t lineno = 0;
+
+  // Header (skipping % comments): n m [fmt]
+  std::size_t n = 0, m = 0;
+  for (;;) {
+    LGG_CHECK(static_cast<bool>(std::getline(in, line)),
+              "METIS: missing header");
+    ++lineno;
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '%') continue;
+    std::istringstream ls(line);
+    LGG_CHECK(static_cast<bool>(ls >> n >> m), "METIS: malformed header");
+    std::string fmt;
+    if (ls >> fmt)
+      LGG_CHECK(fmt == "0" || fmt == "00" || fmt == "000",
+                "METIS: weighted formats not supported (fmt=" << fmt << ")");
+    break;
+  }
+
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  std::size_t vertex = 0;
+  while (vertex < n) {
+    LGG_CHECK(static_cast<bool>(std::getline(in, line)),
+              "METIS: expected " << n << " adjacency lines, got " << vertex);
+    ++lineno;
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first != std::string::npos && line[first] == '%') continue;
+    std::istringstream ls(line);
+    std::uint64_t nbr = 0;
+    while (ls >> nbr) {
+      LGG_CHECK(nbr >= 1 && nbr <= n,
+                "METIS: neighbour out of range on line " << lineno);
+      if (nbr - 1 > vertex)  // each edge appears on both lines; keep one
+        edges.emplace_back(static_cast<Vertex>(vertex),
+                           static_cast<Vertex>(nbr - 1));
+    }
+    ++vertex;
+  }
+  const Graph g = Graph::from_edges(n, edges);
+  LGG_CHECK(g.num_edges() == m,
+            "METIS: header claims " << m << " edges, file has "
+                                    << g.num_edges());
+  return g;
+}
+
+Graph read_metis_file(const std::string& path) {
+  std::ifstream in(path);
+  LGG_CHECK(in.good(), "cannot open METIS file: " << path);
+  return read_metis(in);
+}
+
+void write_metis(std::ostream& out, const Graph& g) {
+  out << g.num_vertices() << ' ' << g.num_edges() << '\n';
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    bool first = true;
+    for (const Vertex u : g.neighbors(v)) {
+      if (!first) out << ' ';
+      out << (u + 1);
+      first = false;
+    }
+    out << '\n';
+  }
+}
+
+void write_metis_file(const std::string& path, const Graph& g) {
+  std::ofstream out(path);
+  LGG_CHECK(out.good(), "cannot open file for writing: " << path);
+  write_metis(out, g);
+  LGG_CHECK(out.good(), "error writing METIS file: " << path);
+}
+
+}  // namespace lgg::graph

@@ -1,0 +1,32 @@
+// Additional interchange formats beyond the SNAP edge list (io.hpp):
+//
+//  * DIMACS  — "c ..." comments, "p edge <n> <m>" header, "e <u> <v>"
+//              edges, 1-based vertex ids (the clique/colouring challenge
+//              format).
+//  * METIS   — header "<n> <m>", then line i holds the neighbours of
+//              vertex i, 1-based (the graph-partitioning format).
+//
+// Both readers produce the same simple undirected Graph; writers emit
+// dense 1-based ids.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace lgg::graph {
+
+Graph read_dimacs(std::istream& in);
+Graph read_dimacs_file(const std::string& path);
+void write_dimacs(std::ostream& out, const Graph& g,
+                  const std::string& comment = {});
+void write_dimacs_file(const std::string& path, const Graph& g,
+                       const std::string& comment = {});
+
+Graph read_metis(std::istream& in);
+Graph read_metis_file(const std::string& path);
+void write_metis(std::ostream& out, const Graph& g);
+void write_metis_file(const std::string& path, const Graph& g);
+
+}  // namespace lgg::graph

@@ -1,0 +1,283 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/error.hpp"
+#include "util/prng.hpp"
+
+namespace lgg::graph {
+
+namespace {
+
+/// Pack an (u, v) pair into one 64-bit key for dedup sets.
+constexpr std::uint64_t edge_key(Vertex u, Vertex v) noexcept {
+  if (u > v) std::swap(u, v);
+  return (static_cast<std::uint64_t>(u) << 32) | v;
+}
+
+}  // namespace
+
+Graph erdos_renyi(std::size_t n, double p, std::uint64_t seed) {
+  LGG_CHECK(p >= 0.0 && p <= 1.0, "erdos_renyi: p=" << p << " not in [0,1]");
+  Xoshiro256 rng(seed);
+  std::vector<Edge> edges;
+  if (p <= 0.0 || n < 2) return Graph::from_edges(n, edges);
+  if (p >= 1.0) return complete(n);
+
+  // Geometric skipping over the C(n,2) pair sequence: the gap to the next
+  // present edge is geometric with parameter p, so expected work is O(m).
+  const double log1mp = std::log1p(-p);
+  const std::uint64_t total_pairs =
+      static_cast<std::uint64_t>(n) * (n - 1) / 2;
+  edges.reserve(static_cast<std::size_t>(p * static_cast<double>(total_pairs) * 1.05) + 16);
+
+  // Walk a cursor over the strict upper triangle in row-major order,
+  // skipping a geometric number of absent pairs each step.  `pos` is the
+  // 0-based linear index of the next candidate pair; `row_base` is the
+  // linear index of pair (i, i+1).  Row advances cost O(n) total.
+  std::uint64_t pos = 0;
+  std::uint64_t i = 0;
+  std::uint64_t row_base = 0;
+  for (;;) {
+    const double u01 = rng.uniform01();
+    const auto skip =
+        static_cast<std::uint64_t>(std::floor(std::log1p(-u01) / log1mp));
+    pos += skip;
+    if (pos >= total_pairs) break;
+    while (pos - row_base >= n - 1 - i) {
+      row_base += n - 1 - i;
+      ++i;
+    }
+    const std::uint64_t j = i + 1 + (pos - row_base);
+    edges.emplace_back(static_cast<Vertex>(i), static_cast<Vertex>(j));
+    ++pos;
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph gnm(std::size_t n, std::size_t m, std::uint64_t seed) {
+  const std::uint64_t total_pairs =
+      n >= 2 ? static_cast<std::uint64_t>(n) * (n - 1) / 2 : 0;
+  LGG_CHECK(m <= total_pairs,
+            "gnm: m=" << m << " exceeds C(" << n << ",2)=" << total_pairs);
+  Xoshiro256 rng(seed);
+  std::unordered_set<std::uint64_t> chosen;
+  chosen.reserve(m * 2);
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  while (edges.size() < m) {
+    const auto u = static_cast<Vertex>(rng.uniform(n));
+    const auto v = static_cast<Vertex>(rng.uniform(n));
+    if (u == v) continue;
+    if (chosen.insert(edge_key(u, v)).second)
+      edges.emplace_back(u, v);
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph barabasi_albert(std::size_t n, std::size_t attach, std::uint64_t seed) {
+  LGG_CHECK(attach >= 1, "barabasi_albert: attach must be >= 1");
+  LGG_CHECK(n > attach, "barabasi_albert: need n > attach");
+  Xoshiro256 rng(seed);
+
+  // `targets` holds one entry per edge endpoint, so sampling a uniform
+  // element is sampling proportional to degree (the classic implementation).
+  std::vector<Vertex> targets;
+  targets.reserve(2 * n * attach);
+  std::vector<Edge> edges;
+  edges.reserve(n * attach);
+
+  // Seed clique on attach+1 vertices so every early vertex has degree >= 1.
+  for (Vertex u = 0; u <= attach; ++u)
+    for (Vertex v = u + 1; v <= attach; ++v) {
+      edges.emplace_back(u, v);
+      targets.push_back(u);
+      targets.push_back(v);
+    }
+
+  std::unordered_set<Vertex> picked;
+  for (Vertex v = static_cast<Vertex>(attach + 1); v < n; ++v) {
+    picked.clear();
+    while (picked.size() < attach) {
+      const Vertex t = targets[rng.uniform(targets.size())];
+      picked.insert(t);
+    }
+    for (Vertex t : picked) {
+      edges.emplace_back(v, t);
+      targets.push_back(v);
+      targets.push_back(t);
+    }
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph rmat(unsigned scale, std::size_t edge_factor, std::uint64_t seed,
+           double a, double b, double c, double d) {
+  LGG_CHECK(scale <= 30, "rmat: scale " << scale << " too large");
+  const double sum = a + b + c + d;
+  LGG_CHECK(std::abs(sum - 1.0) < 1e-6,
+            "rmat: probabilities sum to " << sum << ", expected 1");
+  const std::size_t n = std::size_t{1} << scale;
+  const std::size_t samples = n * edge_factor;
+  Xoshiro256 rng(seed);
+
+  std::vector<Edge> edges;
+  edges.reserve(samples);
+  for (std::size_t e = 0; e < samples; ++e) {
+    Vertex u = 0, v = 0;
+    for (unsigned bit = 0; bit < scale; ++bit) {
+      const double r = rng.uniform01();
+      unsigned ubit = 0, vbit = 0;
+      if (r < a) {
+        // top-left quadrant
+      } else if (r < a + b) {
+        vbit = 1;
+      } else if (r < a + b + c) {
+        ubit = 1;
+      } else {
+        ubit = 1;
+        vbit = 1;
+      }
+      u = (u << 1) | ubit;
+      v = (v << 1) | vbit;
+    }
+    if (u != v) edges.emplace_back(u, v);
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph complete(std::size_t n) {
+  std::vector<Edge> edges;
+  if (n >= 2) edges.reserve(n * (n - 1) / 2);
+  for (Vertex u = 0; u < n; ++u)
+    for (Vertex v = u + 1; v < n; ++v) edges.emplace_back(u, v);
+  return Graph::from_edges(n, edges);
+}
+
+Graph cycle(std::size_t n) {
+  LGG_CHECK(n == 0 || n >= 3, "cycle: need n >= 3 (or 0), got " << n);
+  std::vector<Edge> edges;
+  for (Vertex v = 0; v < n; ++v)
+    edges.emplace_back(v, static_cast<Vertex>((v + 1) % n));
+  return Graph::from_edges(n, edges);
+}
+
+Graph star(std::size_t n) {
+  std::vector<Edge> edges;
+  for (Vertex v = 1; v < n; ++v) edges.emplace_back(0, v);
+  return Graph::from_edges(n, edges);
+}
+
+Graph path(std::size_t n) {
+  std::vector<Edge> edges;
+  for (Vertex v = 0; v + 1 < n; ++v)
+    edges.emplace_back(v, static_cast<Vertex>(v + 1));
+  return Graph::from_edges(n, edges);
+}
+
+Graph grid2d(std::size_t rows, std::size_t cols) {
+  std::vector<Edge> edges;
+  auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<Vertex>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.emplace_back(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) edges.emplace_back(id(r, c), id(r + 1, c));
+    }
+  return Graph::from_edges(rows * cols, edges);
+}
+
+Graph complete_bipartite(std::size_t a, std::size_t b) {
+  std::vector<Edge> edges;
+  edges.reserve(a * b);
+  for (Vertex u = 0; u < a; ++u)
+    for (Vertex v = 0; v < b; ++v)
+      edges.emplace_back(u, static_cast<Vertex>(a + v));
+  return Graph::from_edges(a + b, edges);
+}
+
+Graph layered_random(std::size_t n, std::size_t width, double p_within,
+                     double p_between, std::uint64_t seed) {
+  LGG_CHECK(width >= 1, "layered_random: width must be >= 1");
+  LGG_CHECK(p_within >= 0 && p_within <= 1 && p_between >= 0 && p_between <= 1,
+            "layered_random: probabilities must be in [0,1]");
+  Xoshiro256 rng(seed);
+  const std::size_t layers = (n + width - 1) / width;
+  std::vector<Edge> edges;
+
+  auto layer_range = [&](std::size_t l) {
+    const std::size_t lo = l * width;
+    const std::size_t hi = std::min(n, lo + width);
+    return std::pair{lo, hi};
+  };
+
+  // Geometric skipping over pair sequences, as in erdos_renyi, to stay
+  // O(m) even at n = 100k.
+  auto sample_pairs = [&](double p, auto&& emit, std::uint64_t total_pairs) {
+    if (p <= 0.0 || total_pairs == 0) return;
+    if (p >= 1.0) {
+      for (std::uint64_t k = 0; k < total_pairs; ++k) emit(k);
+      return;
+    }
+    const double log1mp = std::log1p(-p);
+    std::uint64_t pos = 0;
+    for (;;) {
+      const double u01 = rng.uniform01();
+      pos += static_cast<std::uint64_t>(std::floor(std::log1p(-u01) / log1mp));
+      if (pos >= total_pairs) break;
+      emit(pos);
+      ++pos;
+    }
+  };
+
+  for (std::size_t l = 0; l < layers; ++l) {
+    const auto [lo, hi] = layer_range(l);
+    const std::uint64_t size = hi - lo;
+
+    // Within-layer pairs, strict upper triangle of the layer.
+    sample_pairs(
+        p_within,
+        [&](std::uint64_t k) {
+          // Row-major strict upper triangle walk (same mapping as the
+          // G(n,p) generator, but sizes here are small enough for direct
+          // search).
+          std::uint64_t i = 0, row_base = 0;
+          while (k - row_base >= size - 1 - i) {
+            row_base += size - 1 - i;
+            ++i;
+          }
+          const std::uint64_t j = i + 1 + (k - row_base);
+          edges.emplace_back(static_cast<Vertex>(lo + i),
+                             static_cast<Vertex>(lo + j));
+        },
+        size >= 2 ? size * (size - 1) / 2 : 0);
+
+    // Pairs into the next layer: full bipartite index space.
+    if (l + 1 < layers) {
+      const auto [nlo, nhi] = layer_range(l + 1);
+      const std::uint64_t nsize = nhi - nlo;
+      sample_pairs(
+          p_between,
+          [&](std::uint64_t k) {
+            edges.emplace_back(static_cast<Vertex>(lo + k / nsize),
+                               static_cast<Vertex>(nlo + k % nsize));
+          },
+          size * nsize);
+    }
+  }
+  return Graph::from_edges(n, edges);
+}
+
+Graph disjoint_union(const Graph& g1, const Graph& g2) {
+  std::vector<Edge> edges = g1.edges();
+  const auto offset = static_cast<Vertex>(g1.num_vertices());
+  for (const auto& [u, v] : g2.edges())
+    edges.emplace_back(static_cast<Vertex>(u + offset),
+                       static_cast<Vertex>(v + offset));
+  return Graph::from_edges(g1.num_vertices() + g2.num_vertices(), edges);
+}
+
+}  // namespace lgg::graph

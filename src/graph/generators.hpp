@@ -1,0 +1,70 @@
+// Synthetic graph generators for the benchmark workloads.
+//
+// The paper evaluates on (a) random graphs of 200–1200 nodes (Figs. 10, 12)
+// and (b) SNAP social/web graphs of 5k–100k nodes (Fig. 11).  The SNAP data
+// is not redistributable here, so Fig. 11 uses power-law generators (R-MAT,
+// Barabási–Albert) that match the degree structure the algorithm is
+// sensitive to; real SNAP files load through graph/io.hpp when available.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace lgg::graph {
+
+/// Erdős–Rényi G(n, p): each pair independently an edge with probability p.
+/// Uses geometric skipping, O(n + m) expected time.
+Graph erdos_renyi(std::size_t n, double p, std::uint64_t seed);
+
+/// Erdős–Rényi G(n, m): exactly m distinct edges chosen uniformly.
+Graph gnm(std::size_t n, std::size_t m, std::uint64_t seed);
+
+/// Barabási–Albert preferential attachment: each new vertex attaches to
+/// `attach` existing vertices with probability proportional to degree.
+/// Produces power-law degree distributions like social networks.
+Graph barabasi_albert(std::size_t n, std::size_t attach, std::uint64_t seed);
+
+/// R-MAT (Chakrabarti–Zhan–Faloutsos) recursive matrix generator, the
+/// standard proxy for SNAP-style web/social graphs.  Generates
+/// edge_factor * 2^scale directed samples, symmetrised and deduplicated.
+/// (a, b, c, d) must sum to ~1; Graph500 defaults are (.57, .19, .19, .05).
+Graph rmat(unsigned scale, std::size_t edge_factor, std::uint64_t seed,
+           double a = 0.57, double b = 0.19, double c = 0.19, double d = 0.05);
+
+/// Complete graph K_n (has exactly C(n,3) triangles — a key test oracle).
+Graph complete(std::size_t n);
+
+/// Cycle C_n (triangle-free for n >= 4; C_3 is one triangle).
+Graph cycle(std::size_t n);
+
+/// Star K_{1,n-1} (triangle-free; BFS tree is 2 levels).
+Graph star(std::size_t n);
+
+/// Path P_n (triangle-free; BFS from an end gives n levels — the worst case
+/// for Algorithm 1 chunking).
+Graph path(std::size_t n);
+
+/// rows×cols grid (triangle-free, girth 4).
+Graph grid2d(std::size_t rows, std::size_t cols);
+
+/// Complete bipartite K_{a,b} (triangle-free).
+Graph complete_bipartite(std::size_t a, std::size_t b);
+
+/// Disjoint union of the two graphs (used to exercise per-component
+/// processing in Algorithm 1).
+Graph disjoint_union(const Graph& g1, const Graph& g2);
+
+/// Layered community graph: n vertices in ceil(n / width) consecutive
+/// layers; each within-layer pair is an edge with probability p_within and
+/// each pair in ADJACENT layers with probability p_between.
+///
+/// This is the Fig. 11 stand-in for the SNAP community graphs [11]
+/// (Leskovec et al. study exactly this banded community structure): it
+/// gives the deep, wide BFS trees that make the paper's level-set
+/// algorithm meaningful at 5k-100k vertices, unlike G(n,p) whose diameter
+/// collapses to 2-3.
+Graph layered_random(std::size_t n, std::size_t width, double p_within,
+                     double p_between, std::uint64_t seed);
+
+}  // namespace lgg::graph

@@ -1,0 +1,93 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/error.hpp"
+
+namespace lgg::graph {
+
+Graph::Graph(std::size_t n) : n_(n), offsets_(n + 1, 0) {}
+
+Graph Graph::from_edges(std::size_t n, std::span<const Edge> edges) {
+  Graph g(n);
+
+  // Normalise to (min, max), drop self-loops, validate endpoints.
+  std::vector<Edge> normalised;
+  normalised.reserve(edges.size());
+  for (const auto& [a, b] : edges) {
+    LGG_CHECK(a < n && b < n, "edge (" << a << "," << b
+                                       << ") out of range for n=" << n);
+    if (a == b) continue;
+    normalised.emplace_back(std::min(a, b), std::max(a, b));
+  }
+  std::sort(normalised.begin(), normalised.end());
+  normalised.erase(std::unique(normalised.begin(), normalised.end()),
+                   normalised.end());
+
+  // Counting pass, then fill (classic two-pass CSR build).
+  std::vector<std::uint64_t> counts(n, 0);
+  for (const auto& [u, v] : normalised) {
+    ++counts[u];
+    ++counts[v];
+  }
+  for (std::size_t v = 0; v < n; ++v) g.offsets_[v + 1] = g.offsets_[v] + counts[v];
+
+  g.adjacency_.resize(normalised.size() * 2);
+  std::vector<std::uint64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const auto& [u, v] : normalised) {
+    g.adjacency_[cursor[u]++] = v;
+    g.adjacency_[cursor[v]++] = u;
+  }
+  for (std::size_t v = 0; v < n; ++v)
+    std::sort(g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v]),
+              g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v + 1]));
+  return g;
+}
+
+bool Graph::has_edge(Vertex u, Vertex v) const noexcept {
+  if (u >= n_ || v >= n_) return false;
+  // Search the shorter list.
+  if (degree(u) > degree(v)) std::swap(u, v);
+  const auto nbrs = neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+std::vector<Edge> Graph::edges() const {
+  std::vector<Edge> result;
+  result.reserve(num_edges());
+  for (Vertex u = 0; u < n_; ++u)
+    for (Vertex v : neighbors(u))
+      if (u < v) result.emplace_back(u, v);
+  return result;
+}
+
+InducedSubgraph Graph::induced_subgraph(std::span<const Vertex> vertices) const {
+  std::vector<Vertex> to_original(vertices.begin(), vertices.end());
+  std::vector<Vertex> old_to_new(n_, static_cast<Vertex>(n_));
+  for (std::size_t i = 0; i < to_original.size(); ++i) {
+    const Vertex old = to_original[i];
+    LGG_CHECK(old < n_, "induced_subgraph: vertex " << old << " out of range");
+    LGG_CHECK(old_to_new[old] == static_cast<Vertex>(n_),
+              "induced_subgraph: duplicate vertex " << old);
+    old_to_new[old] = static_cast<Vertex>(i);
+  }
+
+  std::vector<Edge> sub_edges;
+  for (std::size_t i = 0; i < to_original.size(); ++i) {
+    for (Vertex w : neighbors(to_original[i])) {
+      const Vertex j = old_to_new[w];
+      if (j != static_cast<Vertex>(n_) && static_cast<Vertex>(i) < j)
+        sub_edges.emplace_back(static_cast<Vertex>(i), j);
+    }
+  }
+  return {from_edges(to_original.size(), sub_edges), std::move(to_original)};
+}
+
+std::size_t Graph::max_degree() const noexcept {
+  std::size_t best = 0;
+  for (Vertex v = 0; v < n_; ++v) best = std::max(best, degree(v));
+  return best;
+}
+
+}  // namespace lgg::graph

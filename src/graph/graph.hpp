@@ -1,0 +1,88 @@
+// Core undirected-graph representation: compressed sparse rows (CSR) with
+// sorted neighbour lists.
+//
+// This is the host-side representation used by Algorithm 1 preprocessing,
+// the CPU triangle counters, and as the source from which device layouts
+// (adjacency matrix / S-UTM blocks) are materialised.  Vertices are dense
+// ids in [0, n).  The graph is simple: self-loops and parallel edges are
+// removed at build time.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace lgg::graph {
+
+using Vertex = std::uint32_t;
+
+/// An undirected edge; normalised so that first <= second is NOT required
+/// on input, the Graph builder normalises internally.
+using Edge = std::pair<Vertex, Vertex>;
+
+struct InducedSubgraph;
+
+class Graph {
+ public:
+  /// Empty graph with n isolated vertices.
+  explicit Graph(std::size_t n = 0);
+
+  /// Builds a simple undirected graph on n vertices from an edge list.
+  /// Self-loops and duplicate edges (in either orientation) are dropped.
+  /// Throws lgg::Error if an endpoint is >= n.
+  static Graph from_edges(std::size_t n, std::span<const Edge> edges);
+  static Graph from_edges(std::size_t n, const std::vector<Edge>& edges) {
+    return from_edges(n, std::span<const Edge>(edges));
+  }
+
+  [[nodiscard]] std::size_t num_vertices() const noexcept { return n_; }
+  /// Number of undirected edges.
+  [[nodiscard]] std::size_t num_edges() const noexcept {
+    return adjacency_.size() / 2;
+  }
+
+  [[nodiscard]] std::size_t degree(Vertex v) const noexcept {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  /// Sorted neighbour list of v.
+  [[nodiscard]] std::span<const Vertex> neighbors(Vertex v) const noexcept {
+    return {adjacency_.data() + offsets_[v], degree(v)};
+  }
+
+  /// O(log deg) membership test on the sorted neighbour list.
+  [[nodiscard]] bool has_edge(Vertex u, Vertex v) const noexcept;
+
+  /// All edges with u < v, in (u, v) lexicographic order.
+  [[nodiscard]] std::vector<Edge> edges() const;
+
+  /// Induced subgraph on `vertices` (need not be sorted; duplicates are an
+  /// error).  Returns the subgraph plus the mapping new-id -> old-id.
+  [[nodiscard]] InducedSubgraph induced_subgraph(
+      std::span<const Vertex> vertices) const;
+
+  /// Maximum degree over all vertices (0 for the empty graph).
+  [[nodiscard]] std::size_t max_degree() const noexcept;
+
+  /// CSR internals, exposed for device-layout construction.
+  [[nodiscard]] std::span<const std::uint64_t> raw_offsets() const noexcept {
+    return offsets_;
+  }
+  [[nodiscard]] std::span<const Vertex> raw_adjacency() const noexcept {
+    return adjacency_;
+  }
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<std::uint64_t> offsets_;  // size n+1
+  std::vector<Vertex> adjacency_;       // size 2m, sorted per vertex
+};
+
+/// Result of Graph::induced_subgraph.
+struct InducedSubgraph {
+  Graph graph;
+  std::vector<Vertex> to_original;  // new id -> original id
+};
+
+}  // namespace lgg::graph

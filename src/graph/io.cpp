@@ -1,0 +1,69 @@
+#include "graph/io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/error.hpp"
+
+namespace lgg::graph {
+
+LoadedGraph read_snap_edge_list(std::istream& in) {
+  std::unordered_map<std::uint64_t, Vertex> compact;
+  std::vector<std::uint64_t> original_ids;
+  std::vector<Edge> edges;
+
+  auto dense_id = [&](std::uint64_t raw) {
+    auto [it, inserted] =
+        compact.try_emplace(raw, static_cast<Vertex>(original_ids.size()));
+    if (inserted) original_ids.push_back(raw);
+    return it->second;
+  };
+
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    // Skip comments and blank lines.
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+
+    std::istringstream ls(line);
+    std::uint64_t u = 0, v = 0;
+    if (!(ls >> u >> v))
+      LGG_THROW("SNAP edge list: malformed line " << lineno << ": '" << line
+                                                  << "'");
+    // Sequence the id lookups explicitly: argument evaluation order is
+    // unspecified and first-seen-order ids must follow the file.
+    const Vertex du = dense_id(u);
+    const Vertex dv = dense_id(v);
+    edges.emplace_back(du, dv);
+  }
+  return {Graph::from_edges(original_ids.size(), edges),
+          std::move(original_ids)};
+}
+
+LoadedGraph read_snap_edge_list_file(const std::string& path) {
+  std::ifstream in(path);
+  LGG_CHECK(in.good(), "cannot open graph file: " << path);
+  return read_snap_edge_list(in);
+}
+
+void write_snap_edge_list(std::ostream& out, const Graph& g,
+                          const std::string& comment) {
+  out << "# SNAP-format undirected edge list\n";
+  if (!comment.empty()) out << "# " << comment << '\n';
+  out << "# Nodes: " << g.num_vertices() << " Edges: " << g.num_edges()
+      << '\n';
+  for (const auto& [u, v] : g.edges()) out << u << '\t' << v << '\n';
+}
+
+void write_snap_edge_list_file(const std::string& path, const Graph& g,
+                               const std::string& comment) {
+  std::ofstream out(path);
+  LGG_CHECK(out.good(), "cannot open file for writing: " << path);
+  write_snap_edge_list(out, g, comment);
+  LGG_CHECK(out.good(), "error while writing graph file: " << path);
+}
+
+}  // namespace lgg::graph

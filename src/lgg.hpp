@@ -1,0 +1,58 @@
+// Umbrella header for the largegraph-gpu library — a reproduction of
+// Chatterjee, Radhakrishnan & Antonio, "On Analyzing Large Graphs Using
+// GPUs" (IPDPSW 2013).
+//
+// Subsystems (each usable on its own):
+//   graph/   — CSR graphs, bit-packed adjacency (Eq. 1-2), generators,
+//              SNAP IO, BFS levels, Algorithm 1 chunking
+//   combi/   — binomials, combinadics, the Section VIII strategies
+//   sched/   — Section VI makespan scheduling (LPT/MULTIFIT/exact)
+//   gpusim/  — the simulated CUDA substrate: devices (Table I),
+//              coalescing (Table III), partition camping, bank conflicts,
+//              warp executor and timing model
+//   core/    — Algorithm 2 triangle counting (CPU + simulated GPU with the
+//              Figs. 8-9 layouts), k-subgraph counters, social analyses
+#pragma once
+
+#include "combi/binomial.hpp"        // IWYU pragma: export
+#include "combi/combinadic.hpp"      // IWYU pragma: export
+#include "combi/gray.hpp"            // IWYU pragma: export
+#include "combi/strategies.hpp"      // IWYU pragma: export
+#include "combi/stratified.hpp"      // IWYU pragma: export
+#include "core/als_plan.hpp"         // IWYU pragma: export
+#include "core/approx.hpp"           // IWYU pragma: export
+#include "core/bfs_gpu.hpp"          // IWYU pragma: export
+#include "core/hybrid.hpp"           // IWYU pragma: export
+#include "core/intersect_gpu.hpp"    // IWYU pragma: export
+#include "core/kcount.hpp"           // IWYU pragma: export
+#include "core/social.hpp"           // IWYU pragma: export
+#include "core/subgraph_gpu.hpp"     // IWYU pragma: export
+#include "core/timing_model.hpp"     // IWYU pragma: export
+#include "core/truss.hpp"            // IWYU pragma: export
+#include "core/triangle_cpu.hpp"     // IWYU pragma: export
+#include "core/triangle_gpu.hpp"     // IWYU pragma: export
+#include "graph/bfs.hpp"             // IWYU pragma: export
+#include "graph/bit_matrix.hpp"      // IWYU pragma: export
+#include "graph/chunking.hpp"        // IWYU pragma: export
+#include "graph/formats.hpp"         // IWYU pragma: export
+#include "graph/generators.hpp"      // IWYU pragma: export
+#include "graph/graph.hpp"           // IWYU pragma: export
+#include "graph/io.hpp"              // IWYU pragma: export
+#include "graph/metrics.hpp"         // IWYU pragma: export
+#include "gpusim/banks.hpp"          // IWYU pragma: export
+#include "gpusim/calibration.hpp"    // IWYU pragma: export
+#include "gpusim/coalescing.hpp"     // IWYU pragma: export
+#include "gpusim/device.hpp"         // IWYU pragma: export
+#include "gpusim/executor.hpp"       // IWYU pragma: export
+#include "gpusim/memory.hpp"         // IWYU pragma: export
+#include "gpusim/occupancy.hpp"      // IWYU pragma: export
+#include "gpusim/partition.hpp"      // IWYU pragma: export
+#include "gpusim/report.hpp"         // IWYU pragma: export
+#include "sched/makespan.hpp"        // IWYU pragma: export
+#include "stream/edge_stream.hpp"    // IWYU pragma: export
+#include "stream/streaming_triangles.hpp"  // IWYU pragma: export
+#include "util/bits.hpp"             // IWYU pragma: export
+#include "util/error.hpp"            // IWYU pragma: export
+#include "util/prng.hpp"             // IWYU pragma: export
+#include "util/stopwatch.hpp"        // IWYU pragma: export
+#include "util/table.hpp"            // IWYU pragma: export

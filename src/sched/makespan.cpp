@@ -1,0 +1,253 @@
+#include "sched/makespan.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace lgg::sched {
+
+namespace {
+
+/// Least-loaded machine, lowest index on ties.
+std::uint32_t argmin_load(const std::vector<std::uint64_t>& load) {
+  std::uint32_t best = 0;
+  for (std::uint32_t m = 1; m < load.size(); ++m)
+    if (load[m] < load[best]) best = m;
+  return best;
+}
+
+void finalize(Assignment& a) {
+  a.makespan = a.load.empty()
+                   ? 0
+                   : *std::max_element(a.load.begin(), a.load.end());
+}
+
+}  // namespace
+
+Assignment list_schedule(const std::vector<std::uint64_t>& jobs,
+                         std::uint32_t machines) {
+  LGG_CHECK(machines > 0, "list_schedule: machines must be positive");
+  Assignment a;
+  a.machine_of.resize(jobs.size());
+  a.load.assign(machines, 0);
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    const std::uint32_t m = argmin_load(a.load);
+    a.machine_of[j] = m;
+    a.load[m] += jobs[j];
+  }
+  finalize(a);
+  return a;
+}
+
+Assignment lpt_schedule(const std::vector<std::uint64_t>& jobs,
+                        std::uint32_t machines) {
+  LGG_CHECK(machines > 0, "lpt_schedule: machines must be positive");
+  std::vector<std::size_t> order(jobs.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t x, std::size_t y) {
+                     return jobs[x] > jobs[y];
+                   });
+
+  Assignment a;
+  a.machine_of.resize(jobs.size());
+  a.load.assign(machines, 0);
+  for (const std::size_t j : order) {
+    const std::uint32_t m = argmin_load(a.load);
+    a.machine_of[j] = m;
+    a.load[m] += jobs[j];
+  }
+  finalize(a);
+  return a;
+}
+
+namespace {
+
+/// First-fit-decreasing with bin capacity `cap`; returns the assignment if
+/// it fits within `machines` bins.
+bool ffd_fits(const std::vector<std::size_t>& order,
+              const std::vector<std::uint64_t>& jobs, std::uint32_t machines,
+              std::uint64_t cap, Assignment& out) {
+  out.machine_of.assign(jobs.size(), 0);
+  out.load.assign(machines, 0);
+  for (const std::size_t j : order) {
+    bool placed = false;
+    for (std::uint32_t m = 0; m < machines; ++m) {
+      if (out.load[m] + jobs[j] <= cap) {
+        out.machine_of[j] = m;
+        out.load[m] += jobs[j];
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Assignment multifit_schedule(const std::vector<std::uint64_t>& jobs,
+                             std::uint32_t machines,
+                             std::uint32_t iterations) {
+  LGG_CHECK(machines > 0, "multifit_schedule: machines must be positive");
+  std::vector<std::size_t> order(jobs.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t x, std::size_t y) {
+                     return jobs[x] > jobs[y];
+                   });
+
+  const std::uint64_t sum = std::accumulate(jobs.begin(), jobs.end(),
+                                            std::uint64_t{0});
+  const std::uint64_t maxjob =
+      jobs.empty() ? 0 : *std::max_element(jobs.begin(), jobs.end());
+  std::uint64_t lo = std::max<std::uint64_t>(
+      maxjob, (sum + machines - 1) / machines);
+  std::uint64_t hi = std::max<std::uint64_t>(
+      maxjob, 2 * ((sum + machines - 1) / machines));
+
+  Assignment best = lpt_schedule(jobs, machines);  // guaranteed feasible
+  Assignment trial;
+  for (std::uint32_t it = 0; it < iterations && lo < hi; ++it) {
+    const std::uint64_t cap = lo + (hi - lo) / 2;
+    if (ffd_fits(order, jobs, machines, cap, trial)) {
+      finalize(trial);
+      if (trial.makespan < best.makespan) best = trial;
+      hi = cap;
+    } else {
+      lo = cap + 1;
+    }
+  }
+  // Final probe at the converged capacity.
+  if (ffd_fits(order, jobs, machines, lo, trial)) {
+    finalize(trial);
+    if (trial.makespan < best.makespan) best = trial;
+  }
+  return best;
+}
+
+namespace {
+
+struct BnB {
+  const std::vector<std::uint64_t>* jobs_sorted = nullptr;  // descending
+  std::uint32_t machines = 0;
+  std::uint64_t best_makespan = 0;
+  std::vector<std::uint32_t> best_assignment;  // over sorted order
+  std::vector<std::uint32_t> current;
+  std::vector<std::uint64_t> load;
+  std::uint64_t suffix_sum_all = 0;
+  std::vector<std::uint64_t> suffix_sum;  // suffix_sum[j] = sum of jobs j..end
+
+  void search(std::size_t j) {
+    const auto& jobs = *jobs_sorted;
+    if (j == jobs.size()) {
+      const std::uint64_t mk =
+          *std::max_element(load.begin(), load.end());
+      if (mk < best_makespan) {
+        best_makespan = mk;
+        best_assignment = current;
+      }
+      return;
+    }
+    // Bound: even spreading the remaining work cannot beat the current max.
+    const std::uint64_t current_max =
+        *std::max_element(load.begin(), load.end());
+    if (current_max >= best_makespan) return;
+
+    // Dominance: only try one empty machine (identical machines are
+    // symmetric under permutation).
+    bool tried_empty = false;
+    for (std::uint32_t m = 0; m < machines; ++m) {
+      if (load[m] == 0) {
+        if (tried_empty) continue;
+        tried_empty = true;
+      }
+      if (load[m] + jobs[j] >= best_makespan) continue;
+      load[m] += jobs[j];
+      current[j] = m;
+      search(j + 1);
+      load[m] -= jobs[j];
+    }
+  }
+};
+
+}  // namespace
+
+Assignment exact_schedule(const std::vector<std::uint64_t>& jobs,
+                          std::uint32_t machines, std::size_t max_jobs) {
+  LGG_CHECK(machines > 0, "exact_schedule: machines must be positive");
+  LGG_CHECK(jobs.size() <= max_jobs,
+            "exact_schedule: " << jobs.size() << " jobs exceeds max_jobs="
+                               << max_jobs << " (problem is NP-hard)");
+  if (jobs.empty()) {
+    Assignment a;
+    a.load.assign(machines, 0);
+    return a;
+  }
+
+  // Sort descending (branch on big jobs first) and remember the original
+  // positions so the returned assignment is in input order.
+  std::vector<std::size_t> order(jobs.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t x, std::size_t y) {
+                     return jobs[x] > jobs[y];
+                   });
+  std::vector<std::uint64_t> sorted(jobs.size());
+  for (std::size_t i = 0; i < order.size(); ++i) sorted[i] = jobs[order[i]];
+
+  BnB bnb;
+  bnb.jobs_sorted = &sorted;
+  bnb.machines = machines;
+  const Assignment seed = lpt_schedule(jobs, machines);
+  bnb.best_makespan = seed.makespan + 1;  // strict-improvement search
+  bnb.current.assign(jobs.size(), 0);
+  bnb.load.assign(machines, 0);
+  bnb.search(0);
+
+  Assignment a;
+  a.load.assign(machines, 0);
+  a.machine_of.resize(jobs.size());
+  if (bnb.best_assignment.empty()) {
+    // LPT was already optimal.
+    return seed;
+  }
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const std::uint32_t m = bnb.best_assignment[i];
+    a.machine_of[order[i]] = m;
+    a.load[m] += sorted[i];
+  }
+  finalize(a);
+  return a;
+}
+
+std::uint64_t makespan_lower_bound(const std::vector<std::uint64_t>& jobs,
+                                   std::uint32_t machines) {
+  LGG_CHECK(machines > 0, "makespan_lower_bound: machines must be positive");
+  if (jobs.empty()) return 0;
+  const std::uint64_t sum =
+      std::accumulate(jobs.begin(), jobs.end(), std::uint64_t{0});
+  const std::uint64_t maxjob = *std::max_element(jobs.begin(), jobs.end());
+  return std::max(maxjob, (sum + machines - 1) / machines);
+}
+
+Assignment recompute(const std::vector<std::uint64_t>& jobs,
+                     const std::vector<std::uint32_t>& machine_of,
+                     std::uint32_t machines) {
+  LGG_CHECK(jobs.size() == machine_of.size(),
+            "recompute: jobs/machine_of size mismatch");
+  Assignment a;
+  a.machine_of = machine_of;
+  a.load.assign(machines, 0);
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    LGG_CHECK(machine_of[j] < machines,
+              "recompute: machine id " << machine_of[j] << " out of range");
+    a.load[machine_of[j]] += jobs[j];
+  }
+  finalize(a);
+  return a;
+}
+
+}  // namespace lgg::sched

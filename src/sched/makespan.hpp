@@ -1,0 +1,69 @@
+// Makespan scheduling of chunk computations onto streaming
+// multiprocessors (paper Section VI).
+//
+// After Algorithm 1 splits the graph into chunks, each chunk is a job whose
+// processing time is proportional to its size, and the SMs are identical
+// machines.  Minimising the makespan is NP-hard (P||Cmax), so the paper
+// relies on heuristics; we provide:
+//
+//   * list_schedule   — Graham's list scheduling in arrival order
+//                       (2 - 1/m approximation; the "naïve" baseline),
+//   * lpt_schedule    — Longest Processing Time first
+//                       (4/3 - 1/(3m) approximation; the default),
+//   * multifit        — MULTIFIT via binary search on FFD bin capacity
+//                       (13/11 approximation),
+//   * exact_schedule  — optimal via DP over machine-load states for small
+//                       instances (used to measure heuristic gaps in the
+//                       Fig. 1 bench).
+//
+// All schedulers are deterministic: ties break toward the lowest machine
+// index, and equal-length jobs keep input order.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace lgg::sched {
+
+struct Assignment {
+  /// machine_of[j] = machine executing job j.
+  std::vector<std::uint32_t> machine_of;
+  /// Load per machine, in job-time units.
+  std::vector<std::uint64_t> load;
+  /// max(load) — the makespan.
+  std::uint64_t makespan = 0;
+};
+
+/// Graham list scheduling: jobs in given order, each to the least-loaded
+/// machine.
+Assignment list_schedule(const std::vector<std::uint64_t>& jobs,
+                         std::uint32_t machines);
+
+/// LPT: jobs sorted by decreasing length, then list-scheduled.
+Assignment lpt_schedule(const std::vector<std::uint64_t>& jobs,
+                        std::uint32_t machines);
+
+/// MULTIFIT (Coffman–Garey–Johnson): binary search the smallest capacity C
+/// such that first-fit-decreasing packs all jobs into `machines` bins.
+Assignment multifit_schedule(const std::vector<std::uint64_t>& jobs,
+                             std::uint32_t machines,
+                             std::uint32_t iterations = 20);
+
+/// Optimal schedule via branch-and-bound with LPT seeding and dominance
+/// pruning.  Practical for up to ~20 jobs; throws lgg::Error beyond
+/// `max_jobs` to protect callers.
+Assignment exact_schedule(const std::vector<std::uint64_t>& jobs,
+                          std::uint32_t machines,
+                          std::size_t max_jobs = 24);
+
+/// Standard lower bound: max(ceil(sum/m), max job).
+std::uint64_t makespan_lower_bound(const std::vector<std::uint64_t>& jobs,
+                                   std::uint32_t machines);
+
+/// Validate an assignment against its job list (used by property tests):
+/// recompute loads and makespan from machine_of.
+Assignment recompute(const std::vector<std::uint64_t>& jobs,
+                     const std::vector<std::uint32_t>& machine_of,
+                     std::uint32_t machines);
+
+}  // namespace lgg::sched

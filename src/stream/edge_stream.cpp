@@ -1,0 +1,47 @@
+#include "stream/edge_stream.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace lgg::stream {
+
+EdgeStream::EdgeStream(std::string path) : path_(std::move(path)) {
+  std::ifstream probe(path_);
+  LGG_CHECK(probe.good(), "cannot open edge stream: " << path_);
+}
+
+StreamStats EdgeStream::for_each_edge(
+    const std::function<void(std::uint64_t, std::uint64_t)>& fn) const {
+  std::ifstream in(path_);
+  LGG_CHECK(in.good(), "cannot open edge stream: " << path_);
+
+  StreamStats stats;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream ls(line);
+    std::uint64_t u = 0, v = 0;
+    LGG_CHECK(static_cast<bool>(ls >> u >> v),
+              "edge stream " << path_ << ": malformed line " << lineno);
+    ++stats.lines;
+    if (u == v) continue;
+    ++stats.edges;
+    stats.max_vertex = std::max({stats.max_vertex, u, v});
+    if (fn) fn(u, v);
+  }
+  return stats;
+}
+
+const StreamStats& EdgeStream::stats() const {
+  if (!have_stats_) {
+    stats_ = for_each_edge({});
+    have_stats_ = true;
+  }
+  return stats_;
+}
+
+}  // namespace lgg::stream

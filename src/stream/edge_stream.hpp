@@ -1,0 +1,45 @@
+// Edge streams over on-disk graphs (the paper's Section XII future work:
+// "streaming graphs that are much larger in size, and need to be stored
+// externally on disks").
+//
+// An EdgeStream makes repeated sequential passes over a SNAP-format edge
+// list without ever materialising the graph: each pass visits every edge
+// once, in file order, with O(1) memory.  Vertex ids are used raw (the
+// caller densifies if needed); self-loops are skipped.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <string>
+
+namespace lgg::stream {
+
+struct StreamStats {
+  std::uint64_t edges = 0;      // non-loop edges seen (with duplicates)
+  std::uint64_t max_vertex = 0; // largest endpoint id
+  std::uint64_t lines = 0;      // data lines parsed
+};
+
+class EdgeStream {
+ public:
+  /// Opens the file; throws lgg::Error if it cannot be read.
+  explicit EdgeStream(std::string path);
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+  /// One full sequential pass; `fn(u, v)` per non-loop edge in file order.
+  /// Returns pass statistics.  Malformed lines throw lgg::Error.
+  StreamStats for_each_edge(
+      const std::function<void(std::uint64_t, std::uint64_t)>& fn) const;
+
+  /// Cached statistics from a counting pass (first call scans the file).
+  const StreamStats& stats() const;
+
+ private:
+  std::string path_;
+  mutable StreamStats stats_;
+  mutable bool have_stats_ = false;
+};
+
+}  // namespace lgg::stream

@@ -1,0 +1,157 @@
+#include "stream/streaming_triangles.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+#include "core/triangle_cpu.hpp"
+#include "graph/graph.hpp"
+#include "util/error.hpp"
+#include "util/prng.hpp"
+
+namespace lgg::stream {
+
+namespace {
+
+/// Count triangles of `g` (local dense ids) whose raw-id-sorted vertices
+/// fall into the interval triple (a, b, c).  `raw` maps local -> raw id,
+/// `interval_of` classifies raw ids.  Plain neighbour-intersection walk;
+/// the induced subgraphs are small by construction.
+std::uint64_t count_matching_triangles(
+    const graph::Graph& g, const std::vector<std::uint64_t>& raw,
+    const std::function<std::uint32_t(std::uint64_t)>& interval_of,
+    std::uint32_t a, std::uint32_t b, std::uint32_t c) {
+  std::uint64_t count = 0;
+  for (graph::Vertex u = 0; u < g.num_vertices(); ++u) {
+    const auto nu = g.neighbors(u);
+    for (const graph::Vertex v : nu) {
+      if (v <= u) continue;
+      const auto nv = g.neighbors(v);
+      auto iu = nu.begin();
+      auto iv = nv.begin();
+      while (iu != nu.end() && iv != nv.end()) {
+        if (*iu < *iv)
+          ++iu;
+        else if (*iv < *iu)
+          ++iv;
+        else {
+          const graph::Vertex w = *iu;
+          if (w > v) {
+            // Order by RAW id so each triangle is classified once
+            // globally, independent of local-id assignment.
+            std::uint64_t r[3] = {raw[u], raw[v], raw[w]};
+            std::sort(r, r + 3);
+            if (interval_of(r[0]) == a && interval_of(r[1]) == b &&
+                interval_of(r[2]) == c)
+              ++count;
+          }
+          ++iu;
+          ++iv;
+        }
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+ExternalCountResult count_triangles_external(
+    const EdgeStream& stream, std::uint64_t memory_budget_edges) {
+  LGG_CHECK(memory_budget_edges >= 3,
+            "external count: budget must allow at least 3 edges");
+
+  const StreamStats& stats = stream.stats();
+  ExternalCountResult result;
+  result.passes = 1;  // the sizing pass behind stats()
+  if (stats.edges == 0) {
+    result.intervals = 1;
+    return result;
+  }
+
+  // P ≈ 3*sqrt(m/B): a uniformly spread triple then induces ~m*(3/P)^2 <=
+  // B edges.  Raw-id-range intervals keep the classifier O(1)/stateless.
+  const double m = static_cast<double>(stats.edges);
+  const double budget = static_cast<double>(memory_budget_edges);
+  auto p_value = static_cast<std::uint32_t>(
+      std::ceil(3.0 * std::sqrt(m / budget)));
+  p_value = std::max<std::uint32_t>(p_value, 1);
+  result.intervals = p_value;
+
+  const std::uint64_t span = stats.max_vertex + 1;
+  const std::uint64_t width = (span + p_value - 1) / p_value;
+  const auto interval_of = [width](std::uint64_t v) {
+    return static_cast<std::uint32_t>(v / width);
+  };
+
+  for (std::uint32_t a = 0; a < p_value; ++a) {
+    for (std::uint32_t b = a; b < p_value; ++b) {
+      for (std::uint32_t c = b; c < p_value; ++c) {
+        // Stream pass: keep edges whose endpoints both classify into
+        // {a, b, c}, compacting raw ids to local ones on the fly.
+        std::unordered_map<std::uint64_t, graph::Vertex> compact;
+        std::vector<std::uint64_t> raw;
+        std::vector<graph::Edge> edges;
+        const auto keep = [&](std::uint64_t iv) {
+          return iv == a || iv == b || iv == c;
+        };
+        stream.for_each_edge([&](std::uint64_t u, std::uint64_t v) {
+          if (!keep(interval_of(u)) || !keep(interval_of(v))) return;
+          auto local = [&](std::uint64_t r) {
+            auto [it, inserted] = compact.try_emplace(
+                r, static_cast<graph::Vertex>(raw.size()));
+            if (inserted) raw.push_back(r);
+            return it->second;
+          };
+          const graph::Vertex lu = local(u);
+          const graph::Vertex lv = local(v);
+          edges.emplace_back(lu, lv);
+        });
+        ++result.passes;
+        result.peak_edges =
+            std::max<std::uint64_t>(result.peak_edges, edges.size());
+
+        const graph::Graph sub =
+            graph::Graph::from_edges(raw.size(), edges);
+        result.triangles +=
+            count_matching_triangles(sub, raw, interval_of, a, b, c);
+      }
+    }
+  }
+  return result;
+}
+
+StreamDoulionResult doulion_stream(const EdgeStream& stream, double p,
+                                   std::uint64_t seed) {
+  LGG_CHECK(p > 0.0 && p <= 1.0, "doulion_stream: p=" << p
+                                                      << " not in (0,1]");
+  Xoshiro256 rng(seed);
+
+  std::unordered_map<std::uint64_t, graph::Vertex> compact;
+  std::vector<graph::Edge> edges;
+  StreamDoulionResult result;
+  result.p = p;
+  const StreamStats pass = stream.for_each_edge(
+      [&](std::uint64_t u, std::uint64_t v) {
+        if (!rng.bernoulli(p)) return;
+        auto local = [&](std::uint64_t r) {
+          auto [it, inserted] = compact.try_emplace(
+              r, static_cast<graph::Vertex>(compact.size()));
+          (void)inserted;
+          return it->second;
+        };
+        const graph::Vertex lu = local(u);
+        const graph::Vertex lv = local(v);
+        edges.emplace_back(lu, lv);
+      });
+  result.stream_edges = pass.edges;
+  result.kept_edges = edges.size();
+
+  const graph::Graph g = graph::Graph::from_edges(compact.size(), edges);
+  result.estimate =
+      static_cast<double>(core::count_triangles_forward(g)) / (p * p * p);
+  return result;
+}
+
+}  // namespace lgg::stream

@@ -1,0 +1,49 @@
+// Triangle counting over on-disk edge streams with bounded memory — the
+// paper's Section XII future work, built from two published techniques:
+//
+//  * External interval partitioning: split the (densified) vertex range
+//    into P intervals so that the edges induced by any three intervals fit
+//    the memory budget; for every interval triple (a <= b <= c), stream
+//    the file, keep only the induced edges, and count the triangles whose
+//    sorted vertices fall into (a, b, c).  Every triangle is counted in
+//    exactly one triple, so the result is exact.  C(P+2, 3) passes.
+//
+//  * Single-pass DOULION streaming (paper reference [16]): keep each edge
+//    with probability p as it streams by, count at end, scale by 1/p^3 —
+//    memory ~ p*m, one pass, unbiased estimate.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "stream/edge_stream.hpp"
+
+namespace lgg::stream {
+
+struct ExternalCountResult {
+  std::uint64_t triangles = 0;
+  std::uint32_t intervals = 0;   // P
+  std::uint64_t passes = 0;      // file scans performed (incl. sizing pass)
+  std::uint64_t peak_edges = 0;  // largest in-memory edge set across passes
+};
+
+/// Exact external-memory triangle count of the stream, holding at most
+/// ~`memory_budget_edges` edges in memory at any time (plus O(n/P)
+/// bookkeeping).  Throws lgg::Error if the budget is too small for even a
+/// single vertex's incident structure to make progress (budget < 3).
+ExternalCountResult count_triangles_external(
+    const EdgeStream& stream, std::uint64_t memory_budget_edges);
+
+struct StreamDoulionResult {
+  double estimate = 0.0;
+  std::uint64_t kept_edges = 0;
+  std::uint64_t stream_edges = 0;  // distinct non-loop edges in the stream
+  double p = 1.0;
+};
+
+/// One-pass DOULION over the stream: sample, then count in memory.
+/// Duplicate stream edges are deduplicated by the in-memory graph build.
+StreamDoulionResult doulion_stream(const EdgeStream& stream, double p,
+                                   std::uint64_t seed);
+
+}  // namespace lgg::stream

@@ -1,0 +1,55 @@
+// Error-handling helpers shared by all lgg modules.
+//
+// Library code throws `lgg::Error` (an std::runtime_error) on contract
+// violations that depend on user input (bad file, graph too large for a
+// device, ...).  Internal invariants use LGG_ASSERT, which is active in all
+// build types: this is a research library and silent corruption is worse
+// than an abort.
+#pragma once
+
+#include <source_location>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace lgg {
+
+/// Exception type thrown by all lgg components on user-facing errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void assert_fail(const char* expr,
+                                     const std::source_location loc) {
+  std::ostringstream os;
+  os << "lgg internal invariant violated: (" << expr << ") at "
+     << loc.file_name() << ':' << loc.line() << " in "
+     << loc.function_name();
+  throw std::logic_error(os.str());
+}
+}  // namespace detail
+
+/// Throw lgg::Error with a streamed message: LGG_THROW("bad n: " << n);
+#define LGG_THROW(msg_stream)              \
+  do {                                     \
+    std::ostringstream lgg_os_;            \
+    lgg_os_ << msg_stream;                 \
+    throw ::lgg::Error(lgg_os_.str());     \
+  } while (0)
+
+/// Check a user-input precondition; throws lgg::Error when violated.
+#define LGG_CHECK(cond, msg_stream)        \
+  do {                                     \
+    if (!(cond)) LGG_THROW(msg_stream);    \
+  } while (0)
+
+/// Internal invariant, active in every build type.
+#define LGG_ASSERT(cond)                                                  \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::lgg::detail::assert_fail(#cond, std::source_location::current()); \
+  } while (0)
+
+}  // namespace lgg

@@ -1,0 +1,30 @@
+// Wall-clock stopwatch for the benchmark harnesses.  Benches report both
+// real wall time on this machine ("wall_s") and modelled paper-era time
+// ("model_s", from gpusim); this class provides the former.
+#pragma once
+
+#include <chrono>
+
+namespace lgg {
+
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : start_(Clock::now()) {}
+
+  /// Restart the stopwatch.
+  void reset() noexcept { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double elapsed_s() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last reset().
+  [[nodiscard]] double elapsed_ms() const noexcept { return elapsed_s() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace lgg

@@ -1,0 +1,89 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+#include <exception>
+
+#include "util/error.hpp"
+
+namespace lgg {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t chunks = std::min(n, workers_.size());
+  if (chunks <= 1) {
+    fn(0, n);
+    return;
+  }
+
+  std::atomic<std::size_t> remaining{chunks};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+
+  const std::size_t base = n / chunks;
+  const std::size_t extra = n % chunks;
+  std::size_t begin = 0;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t len = base + (c < extra ? 1 : 0);
+    const std::size_t end = begin + len;
+    auto task = [&, begin, end] {
+      try {
+        fn(begin, end);
+      } catch (...) {
+        const std::lock_guard lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      if (remaining.fetch_sub(1) == 1) {
+        const std::lock_guard lock(done_mutex);
+        done_cv.notify_all();
+      }
+    };
+    {
+      const std::lock_guard lock(mutex_);
+      tasks_.emplace(std::move(task));
+    }
+    begin = end;
+  }
+  cv_.notify_all();
+
+  std::unique_lock lock(done_mutex);
+  done_cv.wait(lock, [&] { return remaining.load() == 0; });
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace lgg

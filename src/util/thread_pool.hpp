@@ -1,0 +1,48 @@
+// Minimal fixed-size thread pool with a parallel_for helper.
+//
+// Used by the CPU reference implementations when the host has more than one
+// core, and by tests that exercise concurrent access to shared read-only
+// structures.  The pool follows the structured-parallelism idiom from the
+// OpenMP examples guide: work is submitted as a batch and joined before the
+// submitting scope exits; no detached tasks.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace lgg {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` worker threads (default: hardware concurrency, at
+  /// least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Runs fn(chunk_begin, chunk_end) over [0, n) split into roughly equal
+  /// contiguous chunks, one per worker, and waits for completion.
+  /// Exceptions thrown by fn propagate to the caller (first one wins).
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t, std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace lgg

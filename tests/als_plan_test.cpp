@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "combi/binomial.hpp"
+#include "core/als_plan.hpp"
+#include "graph/generators.hpp"
+#include "util/error.hpp"
+#include "util/prng.hpp"
+
+namespace lgg::core {
+namespace {
+
+using combi::binomial;
+using graph::Graph;
+
+TEST(AlsCounts, ClosedFormsAgree) {
+  for (std::uint32_t s = 3; s <= 40; ++s)
+    for (std::uint32_t x_max = 1; x_max + 2 <= s; ++x_max) {
+      std::uint64_t manual = 0;
+      for (std::uint32_t x = 0; x < x_max; ++x)
+        manual += als_tests_for_x(s, x);
+      EXPECT_EQ(als_total_tests(s, x_max), manual)
+          << "s=" << s << " x_max=" << x_max;
+    }
+}
+
+TEST(AlsPlan, CompleteGraphSingleAls) {
+  // K_n from any root: levels {root}, {rest} -> one ALS, last, covering
+  // all C(n,3) tests.
+  const Graph g = graph::complete(10);
+  const AlsPlan plan = build_als_plan(g);
+  ASSERT_EQ(plan.jobs.size(), 1u);
+  EXPECT_EQ(plan.jobs[0].s, 10u);
+  EXPECT_EQ(plan.jobs[0].a, 1u);
+  EXPECT_EQ(plan.jobs[0].x_max, 8u);  // s - 2: last ALS widens the bound
+  EXPECT_EQ(plan.total_tests, binomial(10, 3));
+}
+
+TEST(AlsPlan, PathPlanShape) {
+  // Path 0-1-2-3-4: levels are singletons; ALS r = {r, r+1} has s=2 ->
+  // zero tests each, but jobs still exist.
+  const Graph g = graph::path(5);
+  const AlsPlan plan = build_als_plan(g);
+  EXPECT_EQ(plan.jobs.size(), 4u);
+  EXPECT_EQ(plan.total_tests, 0u);
+}
+
+TEST(AlsPlan, IsolatedVerticesAreEmptyJobs) {
+  const Graph g(3);
+  const AlsPlan plan = build_als_plan(g);
+  EXPECT_EQ(plan.num_components, 3u);
+  EXPECT_EQ(plan.total_tests, 0u);
+  for (const AlsJob& job : plan.jobs) EXPECT_EQ(job.tests, 0u);
+}
+
+TEST(AlsPlan, OffsetsArePrefixSums) {
+  const Graph g = graph::erdos_renyi(80, 0.06, 3);
+  const AlsPlan plan = build_als_plan(g);
+  std::uint64_t expect = 0;
+  for (const AlsJob& job : plan.jobs) {
+    EXPECT_EQ(job.test_offset, expect);
+    expect += job.tests;
+  }
+  EXPECT_EQ(plan.total_tests, expect);
+}
+
+TEST(AlsPlan, LocalVerticesAreFirstThenSecondLevel) {
+  const Graph g = graph::star(6);  // root BFS: {0}, {1..5}
+  const AlsPlan plan = build_als_plan(g);
+  ASSERT_EQ(plan.jobs.size(), 1u);
+  const AlsJob& job = plan.jobs[0];
+  EXPECT_EQ(job.a, 1u);
+  EXPECT_EQ(job.local_to_global[0], 0u);
+  EXPECT_EQ(job.local_to_global.size(), 6u);
+}
+
+TEST(AlsDecode, RoundTripExhaustiveSmall) {
+  AlsJob job;
+  job.s = 9;
+  job.a = 4;
+  job.x_max = 4;
+  job.tests = als_total_tests(job.s, job.x_max);
+  std::set<std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>> seen;
+  for (std::uint64_t i = 0; i < job.tests; ++i) {
+    const TestTriple t = als_decode_test(job, i);
+    EXPECT_LT(t.x, t.y);
+    EXPECT_LT(t.y, t.z);
+    EXPECT_LT(t.z, job.s);
+    EXPECT_LT(t.x, job.x_max);
+    EXPECT_EQ(als_test_index(job, t), i);
+    seen.insert({t.x, t.y, t.z});
+  }
+  EXPECT_EQ(seen.size(), job.tests);
+}
+
+TEST(AlsDecode, RoundTripLargeRandom) {
+  AlsJob job;
+  job.s = 50000;
+  job.a = 20000;
+  job.x_max = 20000;
+  job.tests = als_total_tests(job.s, job.x_max);
+  Xoshiro256 rng(12);
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::uint64_t i = rng.uniform(job.tests);
+    const TestTriple t = als_decode_test(job, i);
+    EXPECT_EQ(als_test_index(job, t), i);
+  }
+}
+
+TEST(AlsDecode, OutOfRangeThrows) {
+  AlsJob job;
+  job.s = 5;
+  job.a = 2;
+  job.x_max = 2;
+  job.tests = als_total_tests(5, 2);
+  EXPECT_THROW(als_decode_test(job, job.tests), lgg::Error);
+}
+
+TEST(AlsAdvance, MatchesDecodeSequence) {
+  AlsJob job;
+  job.s = 12;
+  job.a = 5;
+  job.x_max = 5;
+  job.tests = als_total_tests(job.s, job.x_max);
+  TestTriple t = als_decode_test(job, 0);
+  for (std::uint64_t i = 1; i < job.tests; ++i) {
+    ASSERT_TRUE(als_advance_test(job, t)) << "i=" << i;
+    const TestTriple want = als_decode_test(job, i);
+    EXPECT_EQ(t.x, want.x);
+    EXPECT_EQ(t.y, want.y);
+    EXPECT_EQ(t.z, want.z);
+  }
+  EXPECT_FALSE(als_advance_test(job, t));
+}
+
+TEST(AlsPlan, DisconnectedComponentsAllPlanned) {
+  const Graph g =
+      graph::disjoint_union(graph::complete(5), graph::complete(4));
+  const AlsPlan plan = build_als_plan(g);
+  EXPECT_EQ(plan.num_components, 2u);
+  EXPECT_EQ(plan.total_tests, binomial(5, 3) + binomial(4, 3));
+}
+
+TEST(AlsPlan, BfsEdgeAccounting) {
+  const Graph g = graph::cycle(10);
+  const AlsPlan plan = build_als_plan(g);
+  EXPECT_EQ(plan.bfs_edges_visited, 2 * g.num_edges());
+}
+
+}  // namespace
+}  // namespace lgg::core

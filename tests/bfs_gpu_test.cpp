@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "core/bfs_gpu.hpp"
+#include "graph/generators.hpp"
+#include "util/error.hpp"
+
+namespace lgg::core {
+namespace {
+
+using graph::Graph;
+
+void expect_levels_match(const Graph& g, graph::Vertex source) {
+  const graph::BfsTree host = graph::bfs(g, source);
+  const GpuBfsResult gpu = bfs_gpu(g, source);
+  ASSERT_EQ(gpu.tree.level.size(), host.level.size());
+  for (graph::Vertex v = 0; v < g.num_vertices(); ++v)
+    EXPECT_EQ(gpu.tree.level[v], host.level[v]) << "vertex " << v;
+  EXPECT_EQ(gpu.tree.depth, host.depth);
+  // Parents are valid BFS parents: level(parent) == level(v) - 1.
+  for (graph::Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (gpu.tree.level[v] == graph::kUnreached || v == source) continue;
+    const graph::Vertex p = gpu.tree.parent[v];
+    ASSERT_NE(p, graph::kUnreached);
+    EXPECT_TRUE(g.has_edge(p, v));
+    EXPECT_EQ(gpu.tree.level[p] + 1, gpu.tree.level[v]);
+  }
+}
+
+TEST(GpuBfs, MatchesHostOnStructuredGraphs) {
+  expect_levels_match(graph::path(30), 0);
+  expect_levels_match(graph::path(30), 15);
+  expect_levels_match(graph::star(20), 3);
+  expect_levels_match(graph::cycle(17), 5);
+  expect_levels_match(graph::grid2d(6, 7), 0);
+  expect_levels_match(graph::complete(12), 4);
+}
+
+TEST(GpuBfs, MatchesHostOnRandomGraphs) {
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull})
+    expect_levels_match(graph::erdos_renyi(150, 0.03, seed), 0);
+  expect_levels_match(graph::barabasi_albert(200, 3, 5), 7);
+}
+
+TEST(GpuBfs, DisconnectedComponentStaysUnreached) {
+  const Graph g = graph::disjoint_union(graph::path(5), graph::path(5));
+  const GpuBfsResult r = bfs_gpu(g, 0);
+  for (graph::Vertex v = 5; v < 10; ++v)
+    EXPECT_EQ(r.tree.level[v], graph::kUnreached);
+}
+
+TEST(GpuBfs, IterationsEqualDepthPlusOne) {
+  const Graph g = graph::path(12);
+  const GpuBfsResult r = bfs_gpu(g, 0);
+  // One launch per frontier level plus the final empty-frontier pass.
+  EXPECT_EQ(r.iterations, r.tree.depth + 1);
+  EXPECT_GT(r.kernel_time_s, 0.0);
+  EXPECT_GT(r.transactions, 0u);
+}
+
+TEST(GpuBfs, DeeperGraphsCostMoreLaunches) {
+  const GpuBfsResult deep = bfs_gpu(graph::path(60), 0);
+  const GpuBfsResult shallow = bfs_gpu(graph::star(60), 0);
+  EXPECT_GT(deep.iterations, shallow.iterations);
+  EXPECT_GT(deep.kernel_time_s, shallow.kernel_time_s);
+}
+
+TEST(GpuBfs, Validation) {
+  EXPECT_THROW(bfs_gpu(Graph(3), 5), lgg::Error);
+  GpuBfsOptions bad;
+  bad.threads_per_block = 40;
+  EXPECT_THROW(bfs_gpu(graph::path(4), 0, bad), lgg::Error);
+}
+
+}  // namespace
+}  // namespace lgg::core

@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "combi/binomial.hpp"
+
+namespace lgg::combi {
+namespace {
+
+TEST(Binomial, SmallValues) {
+  EXPECT_EQ(binomial(0, 0), 1u);
+  EXPECT_EQ(binomial(5, 0), 1u);
+  EXPECT_EQ(binomial(5, 5), 1u);
+  EXPECT_EQ(binomial(5, 1), 5u);
+  EXPECT_EQ(binomial(5, 2), 10u);
+  EXPECT_EQ(binomial(5, 3), 10u);
+  EXPECT_EQ(binomial(10, 3), 120u);
+  EXPECT_EQ(binomial(52, 5), 2598960u);
+}
+
+TEST(Binomial, KGreaterThanNIsZero) {
+  EXPECT_EQ(binomial(3, 4), 0u);
+  EXPECT_EQ(binomial(0, 1), 0u);
+}
+
+TEST(Binomial, PascalIdentityHolds) {
+  for (std::uint64_t n = 1; n <= 40; ++n)
+    for (std::uint64_t k = 1; k <= n; ++k)
+      EXPECT_EQ(binomial(n, k), binomial(n - 1, k - 1) + binomial(n - 1, k))
+          << n << " choose " << k;
+}
+
+TEST(Binomial, Symmetry) {
+  for (std::uint64_t n = 0; n <= 60; ++n)
+    for (std::uint64_t k = 0; k <= n; ++k)
+      EXPECT_EQ(binomial(n, k), binomial(n, n - k));
+}
+
+TEST(Binomial, LargeExactValues) {
+  // C(100000, 3) — the paper's 100k-node triangle scale.
+  EXPECT_EQ(binomial(100000, 3), 166661666700000ull);
+  // C(61, 30) is near the top of what fits in 64 bits.
+  EXPECT_EQ(binomial(61, 30), 232714176627630544ull);
+  // C(62, 28): also representable.
+  EXPECT_NE(binomial(62, 28), kBinomialOverflow);
+}
+
+TEST(Binomial, OverflowDetected) {
+  EXPECT_EQ(binomial(70, 35), kBinomialOverflow);
+  EXPECT_EQ(binomial(1u << 20, 7), kBinomialOverflow);
+  EXPECT_FALSE(binomial_checked(70, 35).has_value());
+  EXPECT_EQ(binomial_checked(10, 5).value(), 252u);
+}
+
+TEST(Binomial, TriangleCountsForPaperSizes) {
+  // The n=200..1200 sweep of Figs. 10/12 stays comfortably in range.
+  for (std::uint64_t n = 200; n <= 1200; n += 200)
+    EXPECT_EQ(binomial(n, 3), n * (n - 1) * (n - 2) / 6);
+}
+
+TEST(PrecomputedStorage, MatchesSectionVIIIFormula) {
+  // n=16, k=3: C(16,3)=560 combos, 4 bits per id, 3 ids.
+  EXPECT_EQ(precomputed_storage_bits(16, 3), 560u * 3 * 4);
+  // n=17 -> ids need 5 bits (ceil(log2 17)).
+  EXPECT_EQ(precomputed_storage_bits(17, 3), binomial(17, 3) * 3 * 5);
+}
+
+TEST(PrecomputedStorage, OverflowPropagates) {
+  EXPECT_EQ(precomputed_storage_bits(1u << 21, 8), kBinomialOverflow);
+}
+
+}  // namespace
+}  // namespace lgg::combi

@@ -1,0 +1,145 @@
+// Randomised cross-algorithm consistency sweep: for a spread of random
+// generators, sizes and densities, every triangle-counting path in the
+// library must agree, and the structural invariants that the paper's
+// algorithms rest on must hold.  This is the belt-and-braces layer above
+// the per-module tests.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "lgg.hpp"
+
+namespace lgg {
+namespace {
+
+using core::GpuLayout;
+using graph::Graph;
+
+struct FuzzCase {
+  const char* family;
+  Graph graph;
+};
+
+std::vector<FuzzCase> fuzz_cases(std::uint64_t seed) {
+  std::vector<FuzzCase> cases;
+  cases.push_back({"gnp-sparse", graph::erdos_renyi(60, 0.05, seed)});
+  cases.push_back({"gnp-dense", graph::erdos_renyi(40, 0.4, seed + 1)});
+  cases.push_back({"gnm", graph::gnm(50, 120, seed + 2)});
+  cases.push_back({"ba", graph::barabasi_albert(60, 3, seed + 3)});
+  cases.push_back({"rmat", graph::rmat(6, 4, seed + 4)});
+  cases.push_back(
+      {"layered", graph::layered_random(80, 15, 0.2, 0.1, seed + 5)});
+  cases.push_back(
+      {"union", graph::disjoint_union(graph::erdos_renyi(25, 0.3, seed + 6),
+                                      graph::complete(8))});
+  return cases;
+}
+
+class ConsistencyFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ConsistencyFuzz, AllTriangleCountersAgree) {
+  for (const auto& fc : fuzz_cases(GetParam() * 100)) {
+    const std::uint64_t want = core::count_triangles_edge_iterator(fc.graph);
+    EXPECT_EQ(core::count_triangles_forward(fc.graph), want) << fc.family;
+    EXPECT_EQ(core::count_triangles_bitmatrix(
+                  graph::BitMatrix::from_graph(fc.graph)),
+              want)
+        << fc.family;
+    EXPECT_EQ(core::count_triangles_cpu_als(fc.graph).triangles, want)
+        << fc.family;
+    EXPECT_EQ(core::count_kcliques(fc.graph, 3), want) << fc.family;
+
+    core::GpuTriangleOptions gopts;
+    gopts.blocks = 4;
+    gopts.threads_per_block = 64;
+    for (const GpuLayout layout :
+         {GpuLayout::kNaive, GpuLayout::kCoalescedAntiCamping}) {
+      gopts.layout = layout;
+      EXPECT_EQ(core::count_triangles_gpu(fc.graph, gopts).triangles, want)
+          << fc.family << "/" << core::gpu_layout_name(layout);
+    }
+
+    core::GpuIntersectOptions iopts;
+    iopts.blocks = 4;
+    iopts.threads_per_block = 64;
+    EXPECT_EQ(core::count_triangles_gpu_intersect(fc.graph, iopts).triangles,
+              want)
+        << fc.family;
+
+    core::HybridOptions hopts;
+    hopts.threads_per_block = 64;
+    EXPECT_EQ(core::count_triangles_hybrid(fc.graph, hopts).triangles, want)
+        << fc.family;
+
+    // Listing agrees with counting; per-vertex counts sum to 3x.
+    EXPECT_EQ(core::list_triangles(fc.graph).size(), want) << fc.family;
+    const auto per_vertex = core::triangles_per_vertex(fc.graph);
+    std::uint64_t sum = 0;
+    for (const auto t : per_vertex) sum += t;
+    EXPECT_EQ(sum, 3 * want) << fc.family;
+  }
+}
+
+TEST_P(ConsistencyFuzz, StreamRoundTripAndExternalAgree) {
+  for (const auto& fc : fuzz_cases(GetParam() * 100 + 50)) {
+    std::stringstream buffer;
+    graph::write_snap_edge_list(buffer, fc.graph);
+    const Graph reloaded = graph::read_snap_edge_list(buffer).graph;
+    EXPECT_EQ(core::count_triangles_forward(reloaded),
+              core::count_triangles_forward(fc.graph))
+        << fc.family;
+  }
+}
+
+TEST_P(ConsistencyFuzz, StructuralInvariants) {
+  for (const auto& fc : fuzz_cases(GetParam() * 100 + 77)) {
+    const Graph& g = fc.graph;
+    // Degree sum.
+    std::size_t degsum = 0;
+    for (graph::Vertex v = 0; v < g.num_vertices(); ++v)
+      degsum += g.degree(v);
+    EXPECT_EQ(degsum, 2 * g.num_edges()) << fc.family;
+
+    // ALS plan totals equal the sum of per-job closed forms and cover a
+    // count consistent with Algorithm 2's dedup guarantee (verified by
+    // the counters above); offsets are a prefix sum.
+    const core::AlsPlan plan = core::build_als_plan(g);
+    std::uint64_t acc = 0;
+    for (const auto& job : plan.jobs) {
+      EXPECT_EQ(job.test_offset, acc) << fc.family;
+      acc += job.tests;
+    }
+    EXPECT_EQ(acc, plan.total_tests) << fc.family;
+
+    // Chunking covers all vertices and respects level bounds.
+    graph::ChunkingOptions copts;
+    copts.shared_mem_bits = 2000;
+    const auto chunks = graph::split_into_chunks(g, copts);
+    std::vector<bool> seen(g.num_vertices(), false);
+    for (const auto& chunk : chunks.chunks)
+      for (const graph::Vertex v : chunk.vertices) seen[v] = true;
+    for (graph::Vertex v = 0; v < g.num_vertices(); ++v)
+      EXPECT_TRUE(seen[v]) << fc.family << " vertex " << v;
+
+    // Truss numbers never below 2, never above degeneracy + 1 bound...
+    // use the definitional check instead: 3-truss edges sit in triangles.
+    const Graph t3 = core::ktruss_subgraph(g, 3);
+    for (const auto& [u, v] : t3.edges()) {
+      bool ok = false;
+      for (const graph::Vertex w : t3.neighbors(u))
+        if (t3.has_edge(v, w)) ok = true;
+      EXPECT_TRUE(ok) << fc.family;
+    }
+
+    // Transitivity is a ratio in [0, 1].
+    const double t = core::transitivity(g);
+    EXPECT_GE(t, 0.0);
+    EXPECT_LE(t, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConsistencyFuzz,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace lgg

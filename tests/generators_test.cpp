@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "combi/binomial.hpp"
+#include "graph/bfs.hpp"
+#include "graph/generators.hpp"
+#include "util/error.hpp"
+
+namespace lgg::graph {
+namespace {
+
+TEST(ErdosRenyi, Deterministic) {
+  const Graph a = erdos_renyi(200, 0.05, 123);
+  const Graph b = erdos_renyi(200, 0.05, 123);
+  EXPECT_EQ(a.edges(), b.edges());
+}
+
+TEST(ErdosRenyi, SeedChangesGraph) {
+  const Graph a = erdos_renyi(200, 0.05, 1);
+  const Graph b = erdos_renyi(200, 0.05, 2);
+  EXPECT_NE(a.edges(), b.edges());
+}
+
+TEST(ErdosRenyi, EdgeCountNearExpectation) {
+  const std::size_t n = 500;
+  const double p = 0.1;
+  const Graph g = erdos_renyi(n, p, 99);
+  const double expect = p * static_cast<double>(n * (n - 1) / 2);
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expect, 5 * std::sqrt(expect));
+}
+
+TEST(ErdosRenyi, ExtremeProbabilities) {
+  EXPECT_EQ(erdos_renyi(50, 0.0, 1).num_edges(), 0u);
+  EXPECT_EQ(erdos_renyi(50, 1.0, 1).num_edges(), 50u * 49 / 2);
+  EXPECT_THROW(erdos_renyi(10, 1.5, 1), lgg::Error);
+  EXPECT_THROW(erdos_renyi(10, -0.1, 1), lgg::Error);
+}
+
+TEST(ErdosRenyi, TinyGraphs) {
+  EXPECT_EQ(erdos_renyi(0, 0.5, 1).num_vertices(), 0u);
+  EXPECT_EQ(erdos_renyi(1, 0.5, 1).num_edges(), 0u);
+}
+
+TEST(Gnm, ExactEdgeCount) {
+  const Graph g = gnm(100, 250, 7);
+  EXPECT_EQ(g.num_vertices(), 100u);
+  EXPECT_EQ(g.num_edges(), 250u);
+}
+
+TEST(Gnm, FullAndOverfull) {
+  EXPECT_EQ(gnm(10, 45, 3).num_edges(), 45u);
+  EXPECT_THROW(gnm(10, 46, 3), lgg::Error);
+}
+
+TEST(BarabasiAlbert, DegreeStructure) {
+  const Graph g = barabasi_albert(500, 3, 11);
+  EXPECT_EQ(g.num_vertices(), 500u);
+  // Every non-seed vertex attaches with exactly `attach` edges.
+  EXPECT_GE(g.num_edges(), (500 - 4) * 3u);
+  // Preferential attachment produces hubs far above the minimum degree.
+  EXPECT_GT(g.max_degree(), 20u);
+  // Connected by construction.
+  EXPECT_EQ(connected_components(g).count, 1u);
+}
+
+TEST(BarabasiAlbert, ParameterValidation) {
+  EXPECT_THROW(barabasi_albert(5, 0, 1), lgg::Error);
+  EXPECT_THROW(barabasi_albert(3, 3, 1), lgg::Error);
+}
+
+TEST(Rmat, SizeAndDeterminism) {
+  const Graph a = rmat(10, 8, 4);
+  const Graph b = rmat(10, 8, 4);
+  EXPECT_EQ(a.num_vertices(), 1024u);
+  EXPECT_EQ(a.edges(), b.edges());
+  // Skewed quadrants produce hubs.
+  EXPECT_GT(a.max_degree(), 30u);
+}
+
+TEST(Rmat, ProbabilityValidation) {
+  EXPECT_THROW(rmat(4, 2, 1, 0.5, 0.5, 0.5, 0.5), lgg::Error);
+}
+
+TEST(Complete, StructureAndTriangles) {
+  const Graph g = complete(8);
+  EXPECT_EQ(g.num_edges(), 28u);
+  for (Vertex u = 0; u < 8; ++u) EXPECT_EQ(g.degree(u), 7u);
+}
+
+TEST(Cycle, Structure) {
+  const Graph g = cycle(10);
+  EXPECT_EQ(g.num_edges(), 10u);
+  for (Vertex v = 0; v < 10; ++v) EXPECT_EQ(g.degree(v), 2u);
+  EXPECT_THROW(cycle(2), lgg::Error);
+  EXPECT_EQ(cycle(0).num_vertices(), 0u);
+}
+
+TEST(StarPathGrid, Structure) {
+  EXPECT_EQ(star(10).num_edges(), 9u);
+  EXPECT_EQ(path(10).num_edges(), 9u);
+  const Graph g = grid2d(4, 5);
+  EXPECT_EQ(g.num_vertices(), 20u);
+  EXPECT_EQ(g.num_edges(), 4u * 4 + 3u * 5);
+}
+
+TEST(CompleteBipartite, Structure) {
+  const Graph g = complete_bipartite(3, 4);
+  EXPECT_EQ(g.num_vertices(), 7u);
+  EXPECT_EQ(g.num_edges(), 12u);
+  // No edge within either side.
+  for (Vertex u = 0; u < 3; ++u)
+    for (Vertex v = u + 1; v < 3; ++v) EXPECT_FALSE(g.has_edge(u, v));
+}
+
+TEST(LayeredRandom, StructureAndDeterminism) {
+  const Graph a = layered_random(2000, 200, 0.02, 0.01, 7);
+  const Graph b = layered_random(2000, 200, 0.02, 0.01, 7);
+  EXPECT_EQ(a.edges(), b.edges());
+  EXPECT_EQ(a.num_vertices(), 2000u);
+  // Edges only within a layer or between adjacent layers.
+  for (const auto& [u, v] : a.edges()) {
+    const std::size_t lu = u / 200, lv = v / 200;
+    EXPECT_LE(lv - lu, 1u) << u << "-" << v;
+  }
+  // BFS from layer 0 reaches depth near the layer count: the deep tree
+  // the Fig. 11 workload depends on.
+  const BfsTree t = bfs(a, 0);
+  EXPECT_GE(t.depth, 8u);
+}
+
+TEST(LayeredRandom, EdgeDensityNearExpectation) {
+  const std::size_t width = 300;
+  const Graph g = layered_random(3000, width, 0.01, 0.005, 3);
+  const double within =
+      10.0 * 0.01 * static_cast<double>(width * (width - 1) / 2);
+  const double between = 9.0 * 0.005 * static_cast<double>(width * width);
+  const double expect = within + between;
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expect,
+              6 * std::sqrt(expect));
+}
+
+TEST(LayeredRandom, Validation) {
+  EXPECT_THROW(layered_random(10, 0, 0.1, 0.1, 1), lgg::Error);
+  EXPECT_THROW(layered_random(10, 2, 1.5, 0.1, 1), lgg::Error);
+}
+
+TEST(DisjointUnion, OffsetsSecondGraph) {
+  const Graph g = disjoint_union(complete(3), cycle(4));
+  EXPECT_EQ(g.num_vertices(), 7u);
+  EXPECT_EQ(g.num_edges(), 3u + 4u);
+  EXPECT_EQ(connected_components(g).count, 2u);
+  EXPECT_TRUE(g.has_edge(3, 4));
+  EXPECT_FALSE(g.has_edge(2, 3));
+}
+
+}  // namespace
+}  // namespace lgg::graph

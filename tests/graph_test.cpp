@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "util/error.hpp"
+#include "util/prng.hpp"
+
+namespace lgg::graph {
+namespace {
+
+TEST(Graph, EmptyGraph) {
+  const Graph g(0);
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Graph, IsolatedVertices) {
+  const Graph g(5);
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  for (Vertex v = 0; v < 5; ++v) EXPECT_EQ(g.degree(v), 0u);
+}
+
+TEST(Graph, BuildsSortedAdjacency) {
+  const std::vector<Edge> edges{{2, 0}, {0, 1}, {2, 1}};
+  const Graph g = Graph::from_edges(3, edges);
+  EXPECT_EQ(g.num_edges(), 3u);
+  const auto n0 = g.neighbors(0);
+  EXPECT_TRUE(std::is_sorted(n0.begin(), n0.end()));
+  EXPECT_EQ(n0.size(), 2u);
+  EXPECT_EQ(n0[0], 1u);
+  EXPECT_EQ(n0[1], 2u);
+}
+
+TEST(Graph, DropsSelfLoopsAndDuplicates) {
+  const std::vector<Edge> edges{{0, 1}, {1, 0}, {0, 1}, {2, 2}};
+  const Graph g = Graph::from_edges(3, edges);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.degree(2), 0u);
+}
+
+TEST(Graph, OutOfRangeEndpointThrows) {
+  const std::vector<Edge> edges{{0, 3}};
+  EXPECT_THROW(Graph::from_edges(3, edges), Error);
+}
+
+TEST(Graph, HasEdgeSymmetric) {
+  const Graph g = Graph::from_edges(4, std::vector<Edge>{{0, 1}, {1, 2}});
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_FALSE(g.has_edge(0, 0));
+  EXPECT_FALSE(g.has_edge(0, 99));  // out of range is just "no"
+}
+
+TEST(Graph, EdgesRoundTrip) {
+  Xoshiro256 rng(3);
+  std::vector<Edge> edges;
+  for (int i = 0; i < 40; ++i)
+    edges.emplace_back(static_cast<Vertex>(rng.uniform(20)),
+                       static_cast<Vertex>(rng.uniform(20)));
+  const Graph g = Graph::from_edges(20, edges);
+  const Graph g2 = Graph::from_edges(20, g.edges());
+  EXPECT_EQ(g2.num_edges(), g.num_edges());
+  for (const auto& [u, v] : g.edges()) {
+    EXPECT_LT(u, v);
+    EXPECT_TRUE(g2.has_edge(u, v));
+  }
+}
+
+TEST(Graph, DegreeSumIsTwiceEdges) {
+  const Graph g = erdos_renyi(100, 0.1, 5);
+  std::size_t sum = 0;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) sum += g.degree(v);
+  EXPECT_EQ(sum, 2 * g.num_edges());
+}
+
+TEST(Graph, InducedSubgraphKeepsInternalEdges) {
+  // Path 0-1-2-3 plus chord 0-2.
+  const Graph g =
+      Graph::from_edges(4, std::vector<Edge>{{0, 1}, {1, 2}, {2, 3}, {0, 2}});
+  const std::vector<Vertex> pick{0, 2, 3};
+  const auto sub = g.induced_subgraph(pick);
+  EXPECT_EQ(sub.graph.num_vertices(), 3u);
+  // Edges 0-2 and 2-3 survive; 0-1 and 1-2 do not.
+  EXPECT_EQ(sub.graph.num_edges(), 2u);
+  EXPECT_EQ(sub.to_original, pick);
+  // Local ids follow pick order: 0->0, 2->1, 3->2.
+  EXPECT_TRUE(sub.graph.has_edge(0, 1));
+  EXPECT_TRUE(sub.graph.has_edge(1, 2));
+  EXPECT_FALSE(sub.graph.has_edge(0, 2));
+}
+
+TEST(Graph, InducedSubgraphDuplicateThrows) {
+  const Graph g(3);
+  const std::vector<Vertex> pick{1, 1};
+  EXPECT_THROW(g.induced_subgraph(pick), Error);
+}
+
+TEST(Graph, MaxDegree) {
+  const Graph g = star(10);
+  EXPECT_EQ(g.max_degree(), 9u);
+  EXPECT_EQ(Graph(4).max_degree(), 0u);
+}
+
+TEST(Graph, RawCsrConsistent) {
+  const Graph g = complete(5);
+  const auto offsets = g.raw_offsets();
+  const auto adj = g.raw_adjacency();
+  ASSERT_EQ(offsets.size(), 6u);
+  EXPECT_EQ(offsets.front(), 0u);
+  EXPECT_EQ(offsets.back(), adj.size());
+  EXPECT_EQ(adj.size(), 2 * g.num_edges());
+}
+
+}  // namespace
+}  // namespace lgg::graph

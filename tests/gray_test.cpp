@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "combi/binomial.hpp"
+#include "combi/gray.hpp"
+#include "util/error.hpp"
+
+namespace lgg::combi {
+namespace {
+
+using Combos = std::vector<std::vector<std::uint32_t>>;
+
+class GrayProperty
+    : public ::testing::TestWithParam<std::pair<std::uint32_t, std::uint32_t>> {
+};
+
+TEST_P(GrayProperty, CoversAllOnceWithSingleSwapSteps) {
+  const auto [n, k] = GetParam();
+  const Combos combos = gray_combinations(n, k);
+  EXPECT_EQ(combos.size(), binomial(n, k));
+
+  std::set<std::vector<std::uint32_t>> seen;
+  for (std::size_t i = 0; i < combos.size(); ++i) {
+    const auto& c = combos[i];
+    EXPECT_EQ(c.size(), k);
+    EXPECT_TRUE(std::is_sorted(c.begin(), c.end()));
+    if (k > 0) {
+      EXPECT_LT(c.back(), n);
+    }
+    EXPECT_TRUE(seen.insert(c).second) << "duplicate at " << i;
+    if (i > 0) {
+      EXPECT_EQ(combination_distance(combos[i - 1], c), 1u)
+          << "non-Gray step at " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GrayProperty,
+    ::testing::Values(std::pair{5u, 2u}, std::pair{5u, 3u}, std::pair{7u, 1u},
+                      std::pair{7u, 4u}, std::pair{8u, 3u}, std::pair{9u, 5u},
+                      std::pair{6u, 6u}, std::pair{10u, 2u}));
+
+TEST(Gray, KnownSmallSequenceStartsAtIdentity) {
+  const Combos combos = gray_combinations(4, 2);
+  ASSERT_EQ(combos.size(), 6u);
+  EXPECT_EQ(combos.front(), (std::vector<std::uint32_t>{0, 1}));
+  // The construction ends at {0, .., k-2, n-1}.
+  EXPECT_EQ(combos.back(), (std::vector<std::uint32_t>{0, 3}));
+}
+
+TEST(Gray, EdgeCases) {
+  EXPECT_TRUE(gray_combinations(3, 4).empty());  // k > n
+  EXPECT_EQ(gray_combinations(4, 0).size(), 1u);
+  EXPECT_TRUE(gray_combinations(4, 0).front().empty());
+  EXPECT_EQ(gray_combinations(4, 4).size(), 1u);
+}
+
+TEST(Gray, StreamingAgreesWithMaterialised) {
+  Combos streamed;
+  for_each_gray_combination(7, 3,
+                            [&](std::span<const std::uint32_t> c) {
+                              streamed.emplace_back(c.begin(), c.end());
+                            });
+  EXPECT_EQ(streamed, gray_combinations(7, 3));
+  EXPECT_THROW(for_each_gray_combination(5, 2, {}), lgg::Error);
+}
+
+TEST(Gray, MaterialisationGuard) {
+  EXPECT_THROW(gray_combinations(64, 32), lgg::Error);
+}
+
+TEST(CombinationDistance, Basics) {
+  const std::vector<std::uint32_t> a{1, 2, 3}, b{1, 2, 4}, c{4, 5, 6};
+  EXPECT_EQ(combination_distance(a, a), 0u);
+  EXPECT_EQ(combination_distance(a, b), 1u);
+  EXPECT_EQ(combination_distance(a, c), 3u);
+  const std::vector<std::uint32_t> wrong{1, 2};
+  EXPECT_THROW(combination_distance(a, wrong), lgg::Error);
+}
+
+}  // namespace
+}  // namespace lgg::combi

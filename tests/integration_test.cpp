@@ -1,0 +1,137 @@
+// Cross-module integration tests: the full paper pipeline end to end.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "lgg.hpp"
+
+namespace lgg {
+namespace {
+
+using core::GpuLayout;
+using core::GpuTriangleOptions;
+using graph::Graph;
+
+// Pipeline: generate -> SNAP round trip -> chunk -> schedule -> count on
+// CPU and on every GPU layout -> all counts agree.
+TEST(Integration, FullPipelineCountsAgree) {
+  const Graph original = graph::barabasi_albert(90, 3, 77);
+
+  // SNAP round trip.
+  std::stringstream buffer;
+  graph::write_snap_edge_list(buffer, original, "integration");
+  const Graph g = graph::read_snap_edge_list(buffer).graph;
+  ASSERT_EQ(g.num_edges(), original.num_edges());
+
+  // Algorithm 1 chunking against the C1060 shared-memory budget.
+  graph::ChunkingOptions copts;
+  copts.shared_mem_bits = gpusim::tesla_c1060().shared_mem_bits();
+  const auto chunks = graph::split_into_chunks(g, copts);
+  EXPECT_FALSE(chunks.chunks.empty());
+
+  // Section VI: schedule chunk jobs on the 30 SMs.
+  std::vector<std::uint64_t> jobs;
+  for (const auto& chunk : chunks.chunks) jobs.push_back(chunk.bits);
+  const auto schedule =
+      sched::lpt_schedule(jobs, gpusim::tesla_c1060().sm_count);
+  EXPECT_GE(schedule.makespan, sched::makespan_lower_bound(
+                                   jobs, gpusim::tesla_c1060().sm_count));
+
+  // Counting: CPU reference vs all GPU layouts.
+  const std::uint64_t want = core::count_triangles_forward(g);
+  EXPECT_EQ(core::count_triangles_cpu_als(g).triangles, want);
+  for (const GpuLayout layout :
+       {GpuLayout::kNaive, GpuLayout::kCoalesced,
+        GpuLayout::kCoalescedAntiCamping}) {
+    GpuTriangleOptions opts;
+    opts.layout = layout;
+    opts.blocks = 8;
+    opts.threads_per_block = 64;
+    const auto result = core::count_triangles_gpu(g, opts);
+    EXPECT_TRUE(result.exact);
+    EXPECT_EQ(result.triangles, want) << core::gpu_layout_name(layout);
+  }
+}
+
+// The paper's headline claims, at test scale, on the modelled clock.
+TEST(Integration, ModelledGpuBeatsModelledCpuOnLargeEnoughGraphs) {
+  const Graph g = graph::erdos_renyi(500, 0.1, 5);
+  const double cpu_s = core::cpu_model_time_s(core::build_als_plan(g));
+
+  GpuTriangleOptions opts;
+  opts.layout = GpuLayout::kCoalescedAntiCamping;
+  opts.max_simulated_tests = 200000;
+  const auto gpu = core::count_triangles_gpu(g, opts);
+  EXPECT_LT(gpu.total_time_s, cpu_s);
+  EXPECT_GT(cpu_s / gpu.total_time_s, 2.0) << "expected a clear GPU win";
+}
+
+TEST(Integration, TransferOverheadDominatesTinyGraphs) {
+  // Paper Fig. 10: for small graphs CPU and GPU are comparable because of
+  // host->device transfer; the kernel itself is a small share.
+  const Graph g = graph::erdos_renyi(24, 0.3, 2);
+  GpuTriangleOptions opts;
+  opts.blocks = 4;
+  opts.threads_per_block = 32;
+  const auto gpu = core::count_triangles_gpu(g, opts);
+  const double fixed_overhead = gpu.transfer.time_s +
+                                gpusim::calibration::kDispatchOverheadS +
+                                gpusim::calibration::kDeviceInitOverheadS +
+                                gpu.preprocessing_s;
+  EXPECT_GT(fixed_overhead, 0.2 * gpu.total_time_s);
+}
+
+// Eq. 6 of the paper: total chunk time mu*tau_s + psi_g*tau_g — verify the
+// scheduler + chunking machinery produces the quantities the equation
+// needs and that they behave monotonically.
+TEST(Integration, Eq6QuantitiesBehave) {
+  const Graph g = graph::barabasi_albert(200, 2, 3);
+  graph::ChunkingOptions copts;
+  copts.shared_mem_bits = 3000;  // force a mixed shared/global split
+  const auto result = graph::split_into_chunks(g, copts);
+  std::size_t fits = 0, global = 0;
+  for (const auto& chunk : result.chunks)
+    (chunk.fits_shared ? fits : global)++;
+  EXPECT_EQ(result.oversized_chunks, global);
+  EXPECT_EQ(fits + global, result.chunks.size());
+}
+
+// Table II is computable from the device table alone.
+TEST(Integration, TableTwoFromDeviceSpecs) {
+  const auto& c1060 = gpusim::tesla_c1060();
+  EXPECT_EQ(graph::BitMatrix::max_vertices_for(c1060.shared_mem_bits()), 362u);
+  EXPECT_EQ(graph::SutMatrix::max_vertices_for(c1060.shared_mem_bits()), 512u);
+  EXPECT_EQ(graph::BitMatrix::max_vertices_for(c1060.global_mem_bits()),
+            185363u);
+  EXPECT_EQ(graph::SutMatrix::max_vertices_for(c1060.global_mem_bits()),
+            262144u);
+}
+
+// A graph exceeding device global memory must be rejected loudly (Eq. 1
+// becoming operational).
+TEST(Integration, DeviceCapacityEnforcedByGpuCounter) {
+  // 300k vertices -> 300k rows x ceil(300k/32)*4 B ≈ 11 GB > 4 GiB C1060.
+  // Building a real 300k graph is cheap as long as it has few edges.
+  const Graph g = graph::path(300000);
+  GpuTriangleOptions opts;
+  opts.layout = GpuLayout::kNaive;
+  EXPECT_THROW(core::count_triangles_gpu(g, opts), Error);
+}
+
+// Makespan scheduling quality carries to chunk workloads from real splits.
+TEST(Integration, LptNearLowerBoundOnRealChunks) {
+  const Graph g = graph::rmat(11, 4, 6);
+  graph::ChunkingOptions copts;
+  copts.shared_mem_bits = 5000;
+  const auto chunks = graph::split_into_chunks(g, copts);
+  std::vector<std::uint64_t> jobs;
+  for (const auto& chunk : chunks.chunks) jobs.push_back(chunk.bits);
+  if (jobs.empty()) GTEST_SKIP() << "graph produced no chunks";
+  const auto lpt = sched::lpt_schedule(jobs, 30);
+  const auto lb = sched::makespan_lower_bound(jobs, 30);
+  EXPECT_LE(static_cast<double>(lpt.makespan),
+            4.0 / 3.0 * static_cast<double>(lb) + 1.0);
+}
+
+}  // namespace
+}  // namespace lgg

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "sched/makespan.hpp"
+#include "util/error.hpp"
+#include "util/prng.hpp"
+
+namespace lgg::sched {
+namespace {
+
+void expect_valid(const Assignment& a, const std::vector<std::uint64_t>& jobs,
+                  std::uint32_t machines) {
+  ASSERT_EQ(a.machine_of.size(), jobs.size());
+  const Assignment re = recompute(jobs, a.machine_of, machines);
+  EXPECT_EQ(re.load, a.load);
+  EXPECT_EQ(re.makespan, a.makespan);
+  EXPECT_GE(a.makespan, makespan_lower_bound(jobs, machines));
+}
+
+TEST(ListSchedule, AssignsToLeastLoaded) {
+  const std::vector<std::uint64_t> jobs{5, 5, 5, 5};
+  const Assignment a = list_schedule(jobs, 2);
+  expect_valid(a, jobs, 2);
+  EXPECT_EQ(a.makespan, 10u);
+}
+
+TEST(ListSchedule, ClassicAdversarialOrder) {
+  // Small jobs first then one big: list scheduling suffers, LPT does not.
+  const std::vector<std::uint64_t> jobs{1, 1, 1, 1, 1, 1, 6};
+  const Assignment list = list_schedule(jobs, 3);
+  const Assignment lpt = lpt_schedule(jobs, 3);
+  expect_valid(list, jobs, 3);
+  expect_valid(lpt, jobs, 3);
+  EXPECT_EQ(lpt.makespan, 6u);
+  EXPECT_GT(list.makespan, lpt.makespan);
+}
+
+TEST(LptSchedule, OptimalOnPaperFigure1Example) {
+  // Fig. 1: 7 chunks on 4 machines (sizes chosen to match the diagram's
+  // proportions): the optimum balances to the lower bound.
+  const std::vector<std::uint64_t> jobs{8, 7, 6, 5, 4, 3, 2};
+  const Assignment lpt = lpt_schedule(jobs, 4);
+  expect_valid(lpt, jobs, 4);
+  const Assignment exact = exact_schedule(jobs, 4);
+  expect_valid(exact, jobs, 4);
+  EXPECT_EQ(exact.makespan, 9u);  // ceil(35/4) = 9 is achievable
+  EXPECT_LE(lpt.makespan, 10u);
+}
+
+TEST(LptSchedule, WithinGrahamBound) {
+  Xoshiro256 rng(5);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::uint32_t m = 2 + static_cast<std::uint32_t>(rng.uniform(5));
+    std::vector<std::uint64_t> jobs(5 + rng.uniform(12));
+    for (auto& j : jobs) j = 1 + rng.uniform(50);
+    const Assignment lpt = lpt_schedule(jobs, m);
+    expect_valid(lpt, jobs, m);
+    const Assignment exact = exact_schedule(jobs, m);
+    expect_valid(exact, jobs, m);
+    // LPT is a (4/3 - 1/(3m))-approximation.
+    EXPECT_LE(3.0 * static_cast<double>(lpt.makespan) * m,
+              static_cast<double>(exact.makespan) * (4.0 * m - 1.0) + 1e-9)
+        << "trial " << trial;
+    EXPECT_LE(exact.makespan, lpt.makespan);
+  }
+}
+
+TEST(Multifit, NeverWorseThanItsBoundAndValid) {
+  Xoshiro256 rng(9);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::uint32_t m = 2 + static_cast<std::uint32_t>(rng.uniform(4));
+    std::vector<std::uint64_t> jobs(6 + rng.uniform(10));
+    for (auto& j : jobs) j = 1 + rng.uniform(40);
+    const Assignment mf = multifit_schedule(jobs, m);
+    expect_valid(mf, jobs, m);
+    const Assignment exact = exact_schedule(jobs, m);
+    // MULTIFIT is a 13/11-approximation.
+    EXPECT_LE(11.0 * static_cast<double>(mf.makespan),
+              13.0 * static_cast<double>(exact.makespan) + 1e-9);
+  }
+}
+
+TEST(ExactSchedule, KnownOptimum) {
+  // {3,3,2,2,2} on 2 machines: optimum 6 (3+3 / 2+2+2).
+  const std::vector<std::uint64_t> jobs{3, 3, 2, 2, 2};
+  const Assignment a = exact_schedule(jobs, 2);
+  expect_valid(a, jobs, 2);
+  EXPECT_EQ(a.makespan, 6u);
+}
+
+TEST(ExactSchedule, BeatsLptWhereLptIsSuboptimal) {
+  // Classic LPT-suboptimal instance: {5,5,4,4,3,3,3} on 3 machines.
+  // LPT gives 11; optimum is 9 (5+4 / 5+4 / 3+3+3).
+  const std::vector<std::uint64_t> jobs{5, 5, 4, 4, 3, 3, 3};
+  EXPECT_EQ(lpt_schedule(jobs, 3).makespan, 11u);
+  EXPECT_EQ(exact_schedule(jobs, 3).makespan, 9u);
+}
+
+TEST(ExactSchedule, SizeGuardThrows) {
+  const std::vector<std::uint64_t> jobs(30, 1);
+  EXPECT_THROW(exact_schedule(jobs, 3), lgg::Error);
+}
+
+TEST(ExactSchedule, EmptyAndSingle) {
+  const Assignment empty = exact_schedule({}, 4);
+  EXPECT_EQ(empty.makespan, 0u);
+  const std::vector<std::uint64_t> one{7};
+  const Assignment single = exact_schedule(one, 4);
+  EXPECT_EQ(single.makespan, 7u);
+}
+
+TEST(LowerBound, MaxOfAvgAndMaxJob) {
+  EXPECT_EQ(makespan_lower_bound({10, 1, 1}, 3), 10u);
+  EXPECT_EQ(makespan_lower_bound({4, 4, 4, 4}, 2), 8u);
+  EXPECT_EQ(makespan_lower_bound({}, 3), 0u);
+  EXPECT_THROW(makespan_lower_bound({1}, 0), lgg::Error);
+}
+
+TEST(Schedulers, SingleMachineSerializesEverything) {
+  const std::vector<std::uint64_t> jobs{3, 1, 4, 1, 5};
+  const std::uint64_t sum =
+      std::accumulate(jobs.begin(), jobs.end(), std::uint64_t{0});
+  EXPECT_EQ(list_schedule(jobs, 1).makespan, sum);
+  EXPECT_EQ(lpt_schedule(jobs, 1).makespan, sum);
+  EXPECT_EQ(multifit_schedule(jobs, 1).makespan, sum);
+  EXPECT_EQ(exact_schedule(jobs, 1).makespan, sum);
+}
+
+TEST(Schedulers, MoreMachinesThanJobs) {
+  const std::vector<std::uint64_t> jobs{9, 2};
+  EXPECT_EQ(lpt_schedule(jobs, 30).makespan, 9u);
+  EXPECT_EQ(exact_schedule(jobs, 30).makespan, 9u);
+}
+
+TEST(Recompute, RejectsBadMachineIds) {
+  EXPECT_THROW(recompute({1, 2}, {0, 5}, 2), lgg::Error);
+  EXPECT_THROW(recompute({1, 2}, {0}, 2), lgg::Error);
+}
+
+// Paper context: chunk sizes on 30 SMs (the C1060) — the scheduler must
+// track the lower bound closely for realistic chunk distributions.
+TEST(Schedulers, ThirtyStreamingMultiprocessors) {
+  Xoshiro256 rng(30);
+  std::vector<std::uint64_t> chunks(100);
+  for (auto& c : chunks) c = 10 + rng.uniform(1000);
+  const Assignment lpt = lpt_schedule(chunks, 30);
+  expect_valid(lpt, chunks, 30);
+  const std::uint64_t lb = makespan_lower_bound(chunks, 30);
+  EXPECT_LE(static_cast<double>(lpt.makespan), 1.34 * static_cast<double>(lb));
+}
+
+}  // namespace
+}  // namespace lgg::sched

@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "gpusim/memory.hpp"
+#include "gpusim/partition.hpp"
+#include "util/error.hpp"
+
+namespace lgg::gpusim {
+namespace {
+
+TEST(DeviceMemory, BumpAllocationAligned) {
+  DeviceMemory mem(tesla_c1060());
+  const Buffer a = mem.alloc(100);
+  const Buffer b = mem.alloc(100);
+  EXPECT_EQ(a.base % 256, 0u);
+  EXPECT_EQ(b.base % 256, 0u);
+  EXPECT_GE(b.base, a.base + a.bytes);
+  EXPECT_EQ(mem.used(), b.base + b.bytes);
+}
+
+TEST(DeviceMemory, CustomAlignment) {
+  DeviceMemory mem(tesla_c1060());
+  mem.alloc(1);
+  const Buffer b = mem.alloc(8, 4096);
+  EXPECT_EQ(b.base % 4096, 0u);
+  EXPECT_THROW(mem.alloc(8, 3), lgg::Error);  // not a power of two
+}
+
+TEST(DeviceMemory, CapacityEnforced) {
+  DeviceMemory mem(tesla_c1060());
+  mem.alloc(3ull * 1024 * 1024 * 1024);
+  EXPECT_THROW(mem.alloc(2ull * 1024 * 1024 * 1024), lgg::Error);
+  mem.reset();
+  EXPECT_EQ(mem.used(), 0u);
+  EXPECT_NO_THROW(mem.alloc(4ull * 1024 * 1024 * 1024));
+}
+
+TEST(DeviceMemory, AllocInPartitionPinsBase) {
+  DeviceMemory mem(tesla_c1060());  // 8 partitions x 256 B
+  const PartitionModel model(tesla_c1060());
+  for (std::uint32_t p = 0; p < 8; ++p) {
+    const Buffer b = mem.alloc_in_partition(100, p);
+    EXPECT_EQ(model.partition_of(b.base), p) << "partition " << p;
+  }
+  EXPECT_THROW(mem.alloc_in_partition(10, 8), lgg::Error);
+}
+
+TEST(DeviceMemory, AllocInPartitionAdvancesCursor) {
+  DeviceMemory mem(tesla_c1060());
+  const Buffer a = mem.alloc_in_partition(10, 3);
+  const Buffer b = mem.alloc_in_partition(10, 3);
+  EXPECT_GT(b.base, a.base);
+  EXPECT_EQ((b.base / 256) % 8, 3u);
+}
+
+TEST(Buffer, AddrBoundsChecked) {
+  DeviceMemory mem(tesla_c1060());
+  const Buffer b = mem.alloc(64);
+  EXPECT_EQ(b.addr(0), b.base);
+  EXPECT_EQ(b.addr(63), b.base + 63);
+  EXPECT_THROW((void)b.addr(64), lgg::Error);
+}
+
+TEST(Transfer, TimeModel) {
+  const DeviceSpec& d = tesla_c1060();
+  const double t_small = transfer_time_s(d, 0);
+  EXPECT_DOUBLE_EQ(t_small, d.pcie_latency_s);
+  const double t_1gb = transfer_time_s(d, 1'000'000'000);
+  EXPECT_NEAR(t_1gb, d.pcie_latency_s + 1.0 / d.pcie_bandwidth_gbps, 1e-9);
+  EXPECT_GT(transfer_time_s(d, 2'000'000'000), t_1gb);
+}
+
+}  // namespace
+}  // namespace lgg::gpusim

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "gpusim/partition.hpp"
+#include "util/error.hpp"
+
+namespace lgg::gpusim {
+namespace {
+
+TEST(PartitionModel, AddressMapping) {
+  const PartitionModel model(8, 256);
+  EXPECT_EQ(model.partition_of(0), 0u);
+  EXPECT_EQ(model.partition_of(255), 0u);
+  EXPECT_EQ(model.partition_of(256), 1u);
+  EXPECT_EQ(model.partition_of(256 * 7), 7u);
+  EXPECT_EQ(model.partition_of(256 * 8), 0u);  // wraps round-robin
+  EXPECT_EQ(model.partition_of(256 * 9 + 17), 1u);
+}
+
+TEST(PartitionModel, FromDeviceSpec) {
+  const PartitionModel model(tesla_c1060());
+  EXPECT_EQ(model.partitions(), 8u);
+  EXPECT_EQ(model.width_bytes(), 256u);
+}
+
+TEST(PartitionHistogram, CampingExtreme) {
+  // Fig. 6: every access in the same partition.
+  const PartitionModel model(8, 256);
+  PartitionHistogram h;
+  for (int i = 0; i < 64; ++i) h.add(model, 256 * 8ull * i);  // all part 0
+  EXPECT_EQ(h.total, 64u);
+  EXPECT_EQ(h.serialized_steps(), 64u);
+  EXPECT_EQ(h.ideal_steps(), 8u);
+  EXPECT_DOUBLE_EQ(h.camping_factor(), 8.0);
+}
+
+TEST(PartitionHistogram, PerfectSpread) {
+  // Fig. 7: accesses spread modulo the partition count.
+  const PartitionModel model(8, 256);
+  PartitionHistogram h;
+  for (int i = 0; i < 64; ++i) h.add(model, 256ull * i);
+  EXPECT_EQ(h.serialized_steps(), 8u);
+  EXPECT_EQ(h.ideal_steps(), 8u);
+  EXPECT_DOUBLE_EQ(h.camping_factor(), 1.0);
+}
+
+TEST(PartitionHistogram, EmptyIsNeutral) {
+  PartitionHistogram h;
+  EXPECT_EQ(h.serialized_steps(), 0u);
+  EXPECT_EQ(h.ideal_steps(), 0u);
+  EXPECT_DOUBLE_EQ(h.camping_factor(), 1.0);
+}
+
+TEST(PartitionHistogram, AddTransactions) {
+  const PartitionModel model(4, 256);
+  PartitionHistogram h;
+  const std::vector<Transaction> txns{{0, 64}, {256, 64}, {512, 64}};
+  h.add_transactions(model, txns);
+  EXPECT_EQ(h.total, 3u);
+  EXPECT_EQ(h.count[0], 1u);
+  EXPECT_EQ(h.count[1], 1u);
+  EXPECT_EQ(h.count[2], 1u);
+  EXPECT_EQ(h.count[3], 0u);
+}
+
+TEST(PartitionHistogram, MergeAccumulates) {
+  const PartitionModel model(4, 256);
+  PartitionHistogram a, b;
+  a.add(model, 0);
+  b.add(model, 256);
+  b.add(model, 0);
+  a.merge(b);
+  EXPECT_EQ(a.total, 3u);
+  EXPECT_EQ(a.count[0], 2u);
+  EXPECT_EQ(a.count[1], 1u);
+}
+
+TEST(PartitionHistogram, MergeMismatchThrows) {
+  PartitionHistogram a, b;
+  a.add(PartitionModel(4, 256), 0);
+  b.add(PartitionModel(8, 256), 0);
+  EXPECT_THROW(a.merge(b), lgg::Error);
+}
+
+TEST(PartitionHistogram, MergeIntoEmpty) {
+  PartitionHistogram a, b;
+  b.add(PartitionModel(4, 256), 256);
+  a.merge(b);
+  EXPECT_EQ(a.total, 1u);
+  EXPECT_EQ(a.count[1], 1u);
+}
+
+// Paper Eq. 11: warp i -> partition i % p spreads perfectly for any warp
+// count that is a multiple of p.
+TEST(PartitionHistogram, Eq11MappingIsCampingFree) {
+  const PartitionModel model(6, 256);
+  PartitionHistogram h;
+  for (std::uint32_t warp = 0; warp < 30; ++warp) {
+    const std::uint32_t target = warp % model.partitions();
+    h.add(model, static_cast<std::uint64_t>(target) * 256);
+  }
+  EXPECT_DOUBLE_EQ(h.camping_factor(), 1.0);
+}
+
+}  // namespace
+}  // namespace lgg::gpusim

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gpusim/calibration.hpp"
+#include "gpusim/report.hpp"
+
+namespace lgg::gpusim {
+namespace {
+
+TEST(KernelReport, StreamOperatorMentionsKeyFields) {
+  KernelReport r;
+  r.name = "demo-kernel";
+  r.blocks = 60;
+  r.threads_per_block = 128;
+  r.warps = 240;
+  r.global_slots = 100;
+  r.transactions = 250;
+  r.bytes = 16000;
+  r.camping_factor = 1.25;
+  r.kernel_time_s = 0.00234;
+  std::ostringstream os;
+  os << r;
+  const std::string s = os.str();
+  EXPECT_NE(s.find("demo-kernel"), std::string::npos);
+  EXPECT_NE(s.find("240 warps"), std::string::npos);
+  EXPECT_NE(s.find("2.50/slot"), std::string::npos);  // transactions/slot
+  EXPECT_NE(s.find("1.25"), std::string::npos);
+  EXPECT_NE(s.find("ms"), std::string::npos);
+}
+
+TEST(KernelReport, SampledRunsAnnotated) {
+  KernelReport r;
+  r.sample_fraction = 0.25;
+  std::ostringstream os;
+  os << r;
+  EXPECT_NE(os.str().find("sampled"), std::string::npos);
+}
+
+TEST(KernelReport, TransactionsPerSlotSafeOnEmpty) {
+  const KernelReport r;
+  EXPECT_DOUBLE_EQ(r.transactions_per_slot(), 0.0);
+}
+
+TEST(RunReport, StreamOperator) {
+  RunReport r;
+  r.host_to_device = {1 << 20, 0.001};
+  r.kernels = 3;
+  r.kernel_time_s = 0.5;
+  r.total_time_s = 0.75;
+  r.mean_camping_factor = 1.1;
+  std::ostringstream os;
+  os << r;
+  EXPECT_NE(os.str().find("3 kernel(s)"), std::string::npos);
+  EXPECT_NE(os.str().find("1.00 MiB"), std::string::npos);
+}
+
+TEST(Calibration, ConstantsAreSane) {
+  namespace cal = calibration;
+  // The calibration must stay physically plausible; these bounds guard
+  // against accidental unit slips (s vs ms, cycles vs ns).
+  EXPECT_GT(cal::kCpuClockGhz, 1.0);
+  EXPECT_LT(cal::kCpuClockGhz, 5.0);
+  EXPECT_GT(cal::kCpuCyclesPerTest, 10.0);
+  EXPECT_LT(cal::kCpuCyclesPerTest, 5000.0);
+  EXPECT_GT(cal::kKernelLaunchOverheadS, 1e-7);
+  EXPECT_LT(cal::kKernelLaunchOverheadS, 1e-3);
+  EXPECT_GT(cal::kDeviceInitOverheadS, 0.01);
+  EXPECT_LT(cal::kDeviceInitOverheadS, 2.0);
+  EXPECT_GE(cal::kCyclesPerWarpInstruction, 1.0);
+}
+
+}  // namespace
+}  // namespace lgg::gpusim

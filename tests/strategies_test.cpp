@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "combi/binomial.hpp"
+#include "combi/strategies.hpp"
+#include "util/error.hpp"
+
+namespace lgg::combi {
+namespace {
+
+TEST(DivideWork, EqualSplitWithRemainder) {
+  const auto ranges = divide_work(10, 3);
+  ASSERT_EQ(ranges.size(), 3u);
+  EXPECT_EQ(ranges[0].size(), 4u);  // "a single test more"
+  EXPECT_EQ(ranges[1].size(), 3u);
+  EXPECT_EQ(ranges[2].size(), 3u);
+  EXPECT_EQ(ranges[0].begin, 0u);
+  EXPECT_EQ(ranges[2].end, 10u);
+  for (std::size_t i = 1; i < ranges.size(); ++i)
+    EXPECT_EQ(ranges[i].begin, ranges[i - 1].end);
+}
+
+TEST(DivideWork, MoreThreadsThanWork) {
+  const auto ranges = divide_work(2, 5);
+  std::uint64_t total = 0;
+  for (const auto& r : ranges) total += r.size();
+  EXPECT_EQ(total, 2u);
+}
+
+TEST(DivideWork, ZeroThreadsThrows) {
+  EXPECT_THROW(divide_work(5, 0), lgg::Error);
+}
+
+using StrategyCase = std::tuple<Strategy, std::uint32_t, std::uint32_t,
+                                std::uint32_t>;  // strategy, n, k, threads
+
+class AllStrategies : public ::testing::TestWithParam<StrategyCase> {};
+
+TEST_P(AllStrategies, EnumeratesEveryCombinationExactlyOnce) {
+  const auto [strategy, n, k, threads] = GetParam();
+  std::set<std::vector<std::uint32_t>> seen;
+  std::uint64_t emitted = 0;
+  const StrategyStats stats = enumerate_combinations(
+      strategy, n, k, threads,
+      [&](std::uint32_t thread, std::span<const std::uint32_t> combo) {
+        EXPECT_LT(thread, threads);
+        EXPECT_TRUE(std::is_sorted(combo.begin(), combo.end()));
+        EXPECT_LT(combo.back(), n);
+        seen.emplace(combo.begin(), combo.end());
+        ++emitted;
+      });
+  EXPECT_EQ(stats.total_combinations, binomial(n, k));
+  EXPECT_EQ(emitted, binomial(n, k));
+  EXPECT_EQ(seen.size(), binomial(n, k)) << "duplicates emitted";
+  const std::uint64_t thread_sum = std::accumulate(
+      stats.per_thread.begin(), stats.per_thread.end(), std::uint64_t{0});
+  EXPECT_EQ(thread_sum, stats.total_combinations);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AllStrategies,
+    ::testing::Combine(
+        ::testing::Values(Strategy::kPrecomputed, Strategy::kSequential,
+                          Strategy::kSplitByStart, Strategy::kEqualDivision),
+        ::testing::Values(6u, 9u, 12u),
+        ::testing::Values(1u, 3u, 4u),
+        ::testing::Values(1u, 4u, 7u)));
+
+TEST(Strategies, EqualDivisionIsBalanced) {
+  const auto stats =
+      enumerate_combinations(Strategy::kEqualDivision, 20, 3, 8);
+  EXPECT_LE(stats.imbalance(), 1.01);
+}
+
+TEST(Strategies, SplitByStartIsImbalanced) {
+  // Thread 0 owns start-0 combinations: C(n-1, k-1) of them — far above
+  // the mean (the paper's Section VIII-C objection).
+  const auto stats =
+      enumerate_combinations(Strategy::kSplitByStart, 20, 3, 8);
+  EXPECT_GT(stats.imbalance(), 1.5);
+}
+
+TEST(Strategies, SequentialIsSingleThreaded) {
+  const auto stats = enumerate_combinations(Strategy::kSequential, 10, 3, 4);
+  EXPECT_EQ(stats.per_thread[0], binomial(10, 3));
+  EXPECT_EQ(stats.per_thread[1], 0u);
+}
+
+TEST(Strategies, StorageAccountingMatchesSectionVIII) {
+  // A: nCk * k * log n; B: 2 k log n.
+  const auto a = enumerate_combinations(Strategy::kPrecomputed, 16, 3, 2);
+  EXPECT_EQ(a.storage_bits, binomial(16, 3) * 3 * 4);
+  const auto b = enumerate_combinations(Strategy::kSequential, 16, 3, 2);
+  EXPECT_EQ(b.storage_bits, 2u * 3 * 4);
+  EXPECT_LT(b.storage_bits, a.storage_bits);
+}
+
+TEST(Strategies, InvalidArgumentsThrow) {
+  EXPECT_THROW(enumerate_combinations(Strategy::kSequential, 5, 0, 1),
+               lgg::Error);
+  EXPECT_THROW(enumerate_combinations(Strategy::kSequential, 5, 6, 1),
+               lgg::Error);
+  EXPECT_THROW(enumerate_combinations(Strategy::kSequential, 5, 2, 0),
+               lgg::Error);
+}
+
+TEST(Strategies, StatsWithoutSink) {
+  const auto stats = enumerate_combinations(Strategy::kEqualDivision, 15, 4, 5);
+  EXPECT_EQ(stats.total_combinations, binomial(15, 4));
+}
+
+TEST(StrategyName, AllNamed) {
+  EXPECT_STREQ(strategy_name(Strategy::kPrecomputed), "A:precomputed");
+  EXPECT_STREQ(strategy_name(Strategy::kSequential), "B:sequential");
+  EXPECT_STREQ(strategy_name(Strategy::kSplitByStart), "C:split-by-start");
+  EXPECT_STREQ(strategy_name(Strategy::kEqualDivision), "D:equal-division");
+}
+
+}  // namespace
+}  // namespace lgg::combi

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "combi/binomial.hpp"
+#include "combi/stratified.hpp"
+#include "util/error.hpp"
+
+namespace lgg::combi {
+namespace {
+
+TEST(CountWithFirstSet, ClosedForm) {
+  // C(a+b, k) - C(b, k).
+  EXPECT_EQ(count_with_first_set(3, 4, 3), binomial(7, 3) - binomial(4, 3));
+  EXPECT_EQ(count_with_first_set(0, 5, 3), 0u);
+  EXPECT_EQ(count_with_first_set(5, 0, 3), binomial(5, 3));
+  EXPECT_EQ(count_with_first_set(1, 1, 2), 1u);
+}
+
+TEST(StratifiedChooser, CountMatchesClosedForm) {
+  for (std::uint32_t a = 0; a <= 8; ++a)
+    for (std::uint32_t b = 0; b <= 8; ++b)
+      for (std::uint32_t k = 1; k <= 5; ++k) {
+        const StratifiedChooser chooser(a, b, k);
+        EXPECT_EQ(chooser.count(), count_with_first_set(a, b, k))
+            << "a=" << a << " b=" << b << " k=" << k;
+      }
+}
+
+TEST(StratifiedChooser, UnrankEnumeratesEveryCombinationOnce) {
+  const std::uint32_t a = 4, b = 5, k = 3;
+  const StratifiedChooser chooser(a, b, k);
+  std::set<std::vector<std::uint32_t>> seen;
+  std::vector<std::uint32_t> fa(k), fb(k);
+  for (std::uint64_t i = 0; i < chooser.count(); ++i) {
+    const auto parts = chooser.unrank(i, fa, fb);
+    EXPECT_GE(parts.a_count, 1u);
+    EXPECT_EQ(parts.a_count + parts.b_count, k);
+    // Encode as a canonical key over the union [0, a+b): A ids as-is,
+    // B ids shifted by a.
+    std::vector<std::uint32_t> key;
+    for (std::uint32_t j = 0; j < parts.a_count; ++j) key.push_back(fa[j]);
+    for (std::uint32_t j = 0; j < parts.b_count; ++j) key.push_back(a + fb[j]);
+    EXPECT_TRUE(seen.insert(key).second) << "duplicate at index " << i;
+  }
+  EXPECT_EQ(seen.size(), chooser.count());
+}
+
+TEST(StratifiedChooser, RankIsInverseOfUnrank) {
+  const StratifiedChooser chooser(5, 6, 4);
+  std::vector<std::uint32_t> fa(4), fb(4);
+  for (std::uint64_t i = 0; i < chooser.count(); ++i) {
+    const auto parts = chooser.unrank(i, fa, fb);
+    const std::uint64_t back = chooser.rank(
+        std::span<const std::uint32_t>(fa.data(), parts.a_count),
+        std::span<const std::uint32_t>(fb.data(), parts.b_count));
+    EXPECT_EQ(back, i);
+  }
+}
+
+TEST(StratifiedChooser, UnrankVerticesMapsThroughSets) {
+  const std::vector<std::uint32_t> set_a{100, 101, 102};
+  const std::vector<std::uint32_t> set_b{200, 201};
+  const StratifiedChooser chooser(3, 2, 3);
+  std::vector<std::uint32_t> out(3);
+  std::set<std::vector<std::uint32_t>> seen;
+  for (std::uint64_t i = 0; i < chooser.count(); ++i) {
+    chooser.unrank_vertices(i, set_a, set_b, out);
+    for (const std::uint32_t v : out)
+      EXPECT_TRUE(v >= 200 ? v <= 201 : (v >= 100 && v <= 102));
+    auto sorted = out;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_TRUE(seen.insert(sorted).second);
+  }
+  EXPECT_EQ(seen.size(), binomial(5, 3) - binomial(2, 3));
+}
+
+TEST(StratifiedChooser, EmptyFamilies) {
+  // k > a + b: nothing to choose.
+  EXPECT_EQ(StratifiedChooser(2, 1, 4).count(), 0u);
+  // a == 0: constraint unsatisfiable.
+  EXPECT_EQ(StratifiedChooser(0, 9, 3).count(), 0u);
+}
+
+TEST(StratifiedChooser, UnrankOutOfRangeThrows) {
+  const StratifiedChooser chooser(3, 3, 3);
+  std::vector<std::uint32_t> fa(3), fb(3);
+  EXPECT_THROW(chooser.unrank(chooser.count(), fa, fb), lgg::Error);
+}
+
+TEST(StratifiedChooser, SetSizeMismatchThrows) {
+  const StratifiedChooser chooser(3, 2, 3);
+  const std::vector<std::uint32_t> set_a{1, 2, 3};
+  const std::vector<std::uint32_t> wrong_b{9};
+  std::vector<std::uint32_t> out(3);
+  EXPECT_THROW(chooser.unrank_vertices(0, set_a, wrong_b, out), lgg::Error);
+}
+
+TEST(StratifiedChooser, TriangleStrataMatchPaperFormulas) {
+  // k=3: strata are C(a,3), C(a,2)b, aC(b,2) — Algorithm 2's firstLvl /
+  // bothLvls split.
+  const std::uint32_t a = 6, b = 7;
+  const StratifiedChooser chooser(a, b, 3);
+  EXPECT_EQ(chooser.count(), binomial(a, 3) + binomial(a, 2) * b +
+                                 a * binomial(b, 2));
+}
+
+}  // namespace
+}  // namespace lgg::combi

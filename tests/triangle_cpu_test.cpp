@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "combi/binomial.hpp"
+#include "core/triangle_cpu.hpp"
+#include "core/timing_model.hpp"
+#include "graph/generators.hpp"
+
+namespace lgg::core {
+namespace {
+
+using combi::binomial;
+using graph::Graph;
+
+std::uint64_t oracle(const Graph& g) { return count_triangles_edge_iterator(g); }
+
+// ---- known counts on structured graphs ----
+
+struct KnownCount {
+  const char* name;
+  Graph graph;
+  std::uint64_t triangles;
+};
+
+std::vector<KnownCount> known_cases() {
+  std::vector<KnownCount> cases;
+  cases.push_back({"K4", graph::complete(4), 4});
+  cases.push_back({"K5", graph::complete(5), 10});
+  cases.push_back({"K10", graph::complete(10), binomial(10, 3)});
+  cases.push_back({"C3", graph::cycle(3), 1});
+  cases.push_back({"C4", graph::cycle(4), 0});
+  cases.push_back({"C10", graph::cycle(10), 0});
+  cases.push_back({"star", graph::star(20), 0});
+  cases.push_back({"path", graph::path(20), 0});
+  cases.push_back({"grid", graph::grid2d(5, 6), 0});
+  cases.push_back({"K3,4", graph::complete_bipartite(3, 4), 0});
+  cases.push_back({"empty", Graph(7), 0});
+  cases.push_back(
+      {"2xK4", graph::disjoint_union(graph::complete(4), graph::complete(4)),
+       8});
+  return cases;
+}
+
+TEST(TriangleCountsKnown, AllAlgorithmsAgree) {
+  for (const auto& c : known_cases()) {
+    EXPECT_EQ(count_triangles_edge_iterator(c.graph), c.triangles) << c.name;
+    EXPECT_EQ(count_triangles_forward(c.graph), c.triangles) << c.name;
+    EXPECT_EQ(
+        count_triangles_bitmatrix(graph::BitMatrix::from_graph(c.graph)),
+        c.triangles)
+        << c.name;
+    EXPECT_EQ(count_triangles_cpu_als(c.graph).triangles, c.triangles)
+        << c.name;
+  }
+}
+
+// ---- property: all four algorithms agree on random graphs ----
+
+class TriangleAgreement
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, double>> {};
+
+TEST_P(TriangleAgreement, RandomGraphs) {
+  const auto [seed, p] = GetParam();
+  const Graph g = graph::erdos_renyi(60, p, seed);
+  const std::uint64_t want = oracle(g);
+  EXPECT_EQ(count_triangles_forward(g), want);
+  EXPECT_EQ(count_triangles_bitmatrix(graph::BitMatrix::from_graph(g)), want);
+  EXPECT_EQ(count_triangles_cpu_als(g).triangles, want);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TriangleAgreement,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5),
+                       ::testing::Values(0.02, 0.1, 0.3, 0.7)));
+
+TEST(TriangleAgreement, PowerLawGraphs) {
+  const Graph ba = graph::barabasi_albert(300, 4, 9);
+  EXPECT_EQ(count_triangles_forward(ba), oracle(ba));
+  EXPECT_EQ(count_triangles_cpu_als(ba).triangles, oracle(ba));
+  const Graph rm = graph::rmat(8, 6, 4);
+  EXPECT_EQ(count_triangles_forward(rm), oracle(rm));
+  EXPECT_EQ(count_triangles_cpu_als(rm).triangles, oracle(rm));
+}
+
+// ---- operation accounting ----
+
+TEST(CpuAls, TestCountMatchesPlan) {
+  const Graph g = graph::erdos_renyi(70, 0.08, 11);
+  const CpuAlsResult r = count_triangles_cpu_als(g);
+  const AlsPlan plan = build_als_plan(g);
+  EXPECT_EQ(r.tests, plan.total_tests);
+  EXPECT_EQ(r.bfs_edges, plan.bfs_edges_visited);
+  // Short-circuit probing: between 1 and 3 probes per test.
+  EXPECT_GE(r.adjacency_probes, r.tests);
+  EXPECT_LE(r.adjacency_probes, 3 * r.tests);
+}
+
+TEST(CpuAls, ModelTimeIsPositiveAndMonotone) {
+  const Graph small = graph::erdos_renyi(40, 0.2, 1);
+  const Graph large = graph::erdos_renyi(120, 0.2, 1);
+  const double ts = cpu_model_time_s(count_triangles_cpu_als(small));
+  const double tl = cpu_model_time_s(count_triangles_cpu_als(large));
+  EXPECT_GT(ts, 0.0);
+  EXPECT_GT(tl, ts);
+  // Plan-based and measurement-based models agree exactly (same counts).
+  EXPECT_DOUBLE_EQ(cpu_model_time_s(build_als_plan(large)), tl);
+}
+
+// ---- listing ----
+
+TEST(TriangleListing, MatchesCountAndIsValid) {
+  const Graph g = graph::erdos_renyi(50, 0.15, 13);
+  const auto triangles = list_triangles(g);
+  EXPECT_EQ(triangles.size(), oracle(g));
+  std::set<std::array<graph::Vertex, 3>> unique(triangles.begin(),
+                                                triangles.end());
+  EXPECT_EQ(unique.size(), triangles.size()) << "duplicate triangle listed";
+  for (const auto& t : triangles) {
+    EXPECT_LT(t[0], t[1]);
+    EXPECT_LT(t[1], t[2]);
+    EXPECT_TRUE(g.has_edge(t[0], t[1]));
+    EXPECT_TRUE(g.has_edge(t[1], t[2]));
+    EXPECT_TRUE(g.has_edge(t[0], t[2]));
+  }
+}
+
+TEST(TriangleFree, Detection) {
+  EXPECT_TRUE(is_triangle_free(graph::cycle(5)));
+  EXPECT_TRUE(is_triangle_free(graph::complete_bipartite(4, 4)));
+  EXPECT_TRUE(is_triangle_free(graph::grid2d(4, 4)));
+  EXPECT_FALSE(is_triangle_free(graph::complete(3)));
+  EXPECT_TRUE(is_triangle_free(Graph(0)));
+}
+
+// ---- clustering statistics ----
+
+TEST(Clustering, CompleteGraphAllOnes) {
+  const auto cc = clustering_coefficients(graph::complete(6));
+  for (const double c : cc) EXPECT_DOUBLE_EQ(c, 1.0);
+  EXPECT_DOUBLE_EQ(transitivity(graph::complete(6)), 1.0);
+}
+
+TEST(Clustering, TriangleFreeAllZero) {
+  const auto cc = clustering_coefficients(graph::complete_bipartite(3, 3));
+  for (const double c : cc) EXPECT_DOUBLE_EQ(c, 0.0);
+  EXPECT_DOUBLE_EQ(transitivity(graph::complete_bipartite(3, 3)), 0.0);
+}
+
+TEST(Clustering, KnownMixedGraph) {
+  // Triangle 0-1-2 plus pendant 3 attached to 2.
+  const Graph g = Graph::from_edges(
+      4, std::vector<graph::Edge>{{0, 1}, {1, 2}, {0, 2}, {2, 3}});
+  const auto cc = clustering_coefficients(g);
+  EXPECT_DOUBLE_EQ(cc[0], 1.0);
+  EXPECT_DOUBLE_EQ(cc[1], 1.0);
+  EXPECT_DOUBLE_EQ(cc[2], 1.0 / 3.0);  // one closed pair of three
+  EXPECT_DOUBLE_EQ(cc[3], 0.0);
+  // Wedges: deg {2,2,3,1} -> 1+1+3+0 = 5; transitivity = 3*1/5.
+  EXPECT_DOUBLE_EQ(transitivity(g), 0.6);
+}
+
+TEST(TrianglesPerVertex, SumsToThreeTimesTotal) {
+  const Graph g = graph::erdos_renyi(80, 0.1, 17);
+  const auto per_vertex = triangles_per_vertex(g);
+  std::uint64_t sum = 0;
+  for (const auto t : per_vertex) sum += t;
+  EXPECT_EQ(sum, 3 * oracle(g));
+}
+
+}  // namespace
+}  // namespace lgg::core

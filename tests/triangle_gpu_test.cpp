@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "core/triangle_cpu.hpp"
+#include "core/triangle_gpu.hpp"
+#include "gpusim/calibration.hpp"
+#include "graph/generators.hpp"
+#include "util/error.hpp"
+
+namespace lgg::core {
+namespace {
+
+using graph::Graph;
+
+GpuTriangleOptions with_layout(GpuLayout layout) {
+  GpuTriangleOptions opts;
+  opts.layout = layout;
+  opts.blocks = 8;  // small launches keep exact simulation fast in tests
+  opts.threads_per_block = 64;
+  return opts;
+}
+
+const GpuLayout kAllLayouts[] = {GpuLayout::kNaive, GpuLayout::kCoalesced,
+                                 GpuLayout::kCoalescedAntiCamping};
+
+// ---- functional correctness: exact simulation equals CPU oracle ----
+
+class GpuLayoutsCorrect : public ::testing::TestWithParam<GpuLayout> {};
+
+TEST_P(GpuLayoutsCorrect, MatchesOracleOnRandomGraphs) {
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    const Graph g = graph::erdos_renyi(48, 0.15, seed);
+    const auto result = count_triangles_gpu(g, with_layout(GetParam()));
+    EXPECT_TRUE(result.exact);
+    EXPECT_EQ(result.triangles, count_triangles_edge_iterator(g))
+        << "seed " << seed;
+    EXPECT_EQ(result.simulated_tests, result.total_tests);
+  }
+}
+
+TEST_P(GpuLayoutsCorrect, MatchesOracleOnStructuredGraphs) {
+  const Graph cases[] = {graph::complete(12), graph::cycle(9),
+                         graph::star(15), graph::complete_bipartite(5, 6),
+                         graph::disjoint_union(graph::complete(5),
+                                               graph::cycle(7))};
+  for (const Graph& g : cases) {
+    const auto result = count_triangles_gpu(g, with_layout(GetParam()));
+    EXPECT_TRUE(result.exact);
+    EXPECT_EQ(result.triangles, count_triangles_edge_iterator(g));
+  }
+}
+
+TEST_P(GpuLayoutsCorrect, EmptyAndTinyGraphs) {
+  EXPECT_EQ(count_triangles_gpu(Graph(0), with_layout(GetParam())).triangles,
+            0u);
+  EXPECT_EQ(count_triangles_gpu(Graph(2), with_layout(GetParam())).triangles,
+            0u);
+  EXPECT_EQ(
+      count_triangles_gpu(graph::complete(3), with_layout(GetParam()))
+          .triangles,
+      1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLayouts, GpuLayoutsCorrect,
+                         ::testing::ValuesIn(kAllLayouts));
+
+// ---- architectural claims the paper makes ----
+
+TEST(GpuLayouts, CoalescedIssuesFewerTransactionsThanNaive) {
+  const Graph g = graph::erdos_renyi(64, 0.2, 7);
+  const auto naive = count_triangles_gpu(g, with_layout(GpuLayout::kNaive));
+  const auto coalesced =
+      count_triangles_gpu(g, with_layout(GpuLayout::kCoalesced));
+  EXPECT_EQ(naive.kernel.global_slots > 0, true);
+  EXPECT_LT(coalesced.kernel.transactions_per_slot(),
+            naive.kernel.transactions_per_slot());
+}
+
+TEST(GpuLayouts, AntiCampingReducesCampingFactor) {
+  // Several similar components give multiple ALS blocks to spread.
+  Graph g = graph::erdos_renyi(40, 0.25, 1);
+  for (std::uint64_t s = 2; s <= 4; ++s)
+    g = graph::disjoint_union(g, graph::erdos_renyi(40, 0.25, s));
+  const auto coalesced =
+      count_triangles_gpu(g, with_layout(GpuLayout::kCoalesced));
+  const auto anti =
+      count_triangles_gpu(g, with_layout(GpuLayout::kCoalescedAntiCamping));
+  EXPECT_LE(anti.kernel.camping_factor,
+            coalesced.kernel.camping_factor + 1e-9);
+}
+
+TEST(GpuLayouts, RedundantLayoutUsesMoreDeviceMemory) {
+  // The Fig. 9 layout duplicates boundary levels, so its footprint can
+  // exceed the single matrix for multi-ALS graphs.
+  const Graph g = graph::barabasi_albert(120, 2, 5);
+  const auto shared_matrix =
+      count_triangles_gpu(g, with_layout(GpuLayout::kCoalesced));
+  const auto redundant =
+      count_triangles_gpu(g, with_layout(GpuLayout::kCoalescedAntiCamping));
+  EXPECT_GT(redundant.device_bytes, 0u);
+  EXPECT_GT(shared_matrix.device_bytes, 0u);
+  // Device bytes drive the transfer model.
+  EXPECT_GT(redundant.transfer.time_s, 0.0);
+  EXPECT_EQ(shared_matrix.transfer.bytes, shared_matrix.device_bytes);
+}
+
+TEST(GpuResult, TimingDecomposition) {
+  const Graph g = graph::erdos_renyi(40, 0.3, 3);
+  const auto r = count_triangles_gpu(g, with_layout(GpuLayout::kNaive));
+  EXPECT_GT(r.preprocessing_s, 0.0);
+  EXPECT_GT(r.kernel.kernel_time_s, 0.0);
+  EXPECT_NEAR(r.total_time_s,
+              r.preprocessing_s + r.transfer.time_s +
+                  gpusim::calibration::kDispatchOverheadS +
+                  gpusim::calibration::kDeviceInitOverheadS +
+                  r.kernel.kernel_time_s,
+              1e-12);
+}
+
+// ---- test sampling ----
+
+TEST(GpuSampling, TruncatedRunRescalesStatistics) {
+  const Graph g = graph::erdos_renyi(64, 0.3, 5);
+  GpuTriangleOptions exact_opts = with_layout(GpuLayout::kCoalesced);
+  const auto exact = count_triangles_gpu(g, exact_opts);
+
+  GpuTriangleOptions sampled_opts = exact_opts;
+  sampled_opts.max_simulated_tests = exact.total_tests / 4;
+  const auto sampled = count_triangles_gpu(g, sampled_opts);
+
+  EXPECT_FALSE(sampled.exact);
+  EXPECT_LT(sampled.simulated_tests, sampled.total_tests);
+  EXPECT_EQ(sampled.total_tests, exact.total_tests);
+  // Rescaled aggregate statistics land near the exact run.
+  EXPECT_NEAR(static_cast<double>(sampled.kernel.global_slots),
+              static_cast<double>(exact.kernel.global_slots),
+              0.05 * static_cast<double>(exact.kernel.global_slots));
+  EXPECT_NEAR(sampled.kernel.kernel_time_s, exact.kernel.kernel_time_s,
+              0.5 * exact.kernel.kernel_time_s);
+  EXPECT_LT(sampled.kernel.sample_fraction, 1.0);
+}
+
+TEST(GpuSampling, BudgetLargerThanWorkStaysExact) {
+  const Graph g = graph::complete(10);
+  GpuTriangleOptions opts = with_layout(GpuLayout::kNaive);
+  opts.max_simulated_tests = 1u << 30;
+  const auto r = count_triangles_gpu(g, opts);
+  EXPECT_TRUE(r.exact);
+  EXPECT_EQ(r.triangles, 120u);
+}
+
+// ---- devices and validation ----
+
+TEST(GpuOptions, RunsOnFermiDevices) {
+  const Graph g = graph::erdos_renyi(40, 0.2, 2);
+  GpuTriangleOptions opts = with_layout(GpuLayout::kCoalesced);
+  opts.device = &gpusim::tesla_c2050();
+  const auto r = count_triangles_gpu(g, opts);
+  EXPECT_TRUE(r.exact);
+  EXPECT_EQ(r.triangles, count_triangles_edge_iterator(g));
+}
+
+TEST(GpuOptions, InvalidThreadsPerBlockThrows) {
+  GpuTriangleOptions opts;
+  opts.threads_per_block = 20;  // not a warp multiple
+  EXPECT_THROW(count_triangles_gpu(graph::complete(4), opts), lgg::Error);
+}
+
+TEST(GpuLayoutName, AllNamed) {
+  EXPECT_STREQ(gpu_layout_name(GpuLayout::kNaive), "naive");
+  EXPECT_STREQ(gpu_layout_name(GpuLayout::kCoalesced), "coalesced");
+  EXPECT_STREQ(gpu_layout_name(GpuLayout::kCoalescedAntiCamping),
+               "coalesced+anti-camping");
+}
+
+}  // namespace
+}  // namespace lgg::core

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "core/truss.hpp"
+#include "core/triangle_cpu.hpp"
+#include "graph/generators.hpp"
+#include "util/error.hpp"
+
+namespace lgg::core {
+namespace {
+
+using graph::Graph;
+
+TEST(Truss, KnownDecompositions) {
+  // K_n: every edge in n-2 triangles -> everything is the n-truss.
+  const TrussDecomposition k6 = truss_decomposition(graph::complete(6));
+  EXPECT_EQ(k6.max_truss, 6u);
+  for (const auto t : k6.truss) EXPECT_EQ(t, 6u);
+
+  // Triangle-free graphs: all edges have truss exactly 2.
+  const TrussDecomposition bip =
+      truss_decomposition(graph::complete_bipartite(4, 4));
+  EXPECT_EQ(bip.max_truss, 2u);
+  for (const auto t : bip.truss) EXPECT_EQ(t, 2u);
+
+  // A single triangle: all three edges truss 3.
+  const TrussDecomposition tri = truss_decomposition(graph::cycle(3));
+  EXPECT_EQ(tri.max_truss, 3u);
+  for (const auto t : tri.truss) EXPECT_EQ(t, 3u);
+
+  // Edgeless graph.
+  EXPECT_EQ(truss_decomposition(Graph(5)).max_truss, 0u);
+}
+
+TEST(Truss, TriangleWithPendantEdge) {
+  // Triangle 0-1-2 plus pendant 2-3: triangle edges truss 3, pendant 2.
+  const Graph g = Graph::from_edges(
+      4, std::vector<graph::Edge>{{0, 1}, {1, 2}, {0, 2}, {2, 3}});
+  const TrussDecomposition d = truss_decomposition(g);
+  for (std::size_t i = 0; i < d.edges.size(); ++i) {
+    const bool pendant = d.edges[i] == graph::Edge{2, 3};
+    EXPECT_EQ(d.truss[i], pendant ? 2u : 3u);
+  }
+}
+
+TEST(Truss, SubgraphDefinitionHolds) {
+  // Every edge of the k-truss must sit in >= k-2 triangles WITHIN it.
+  const Graph g = graph::erdos_renyi(60, 0.15, 9);
+  const TrussDecomposition d = truss_decomposition(g);
+  for (std::uint32_t k = 3; k <= d.max_truss; ++k) {
+    const Graph sub = ktruss_subgraph(g, k);
+    for (const auto& [u, v] : sub.edges()) {
+      std::uint64_t support = 0;
+      for (const graph::Vertex w : sub.neighbors(u))
+        if (sub.has_edge(v, w)) ++support;
+      EXPECT_GE(support + 2, k) << "edge " << u << "-" << v << " in " << k
+                                << "-truss";
+    }
+  }
+}
+
+TEST(Truss, MaximalityAtMaxTruss) {
+  // The max_truss subgraph is non-empty; the (max_truss+1)-truss is empty.
+  const Graph g = graph::barabasi_albert(120, 5, 3);
+  const TrussDecomposition d = truss_decomposition(g);
+  ASSERT_GE(d.max_truss, 3u);
+  EXPECT_GT(ktruss_subgraph(g, d.max_truss).num_edges(), 0u);
+  EXPECT_EQ(ktruss_subgraph(g, d.max_truss + 1).num_edges(), 0u);
+}
+
+TEST(Truss, TwoTrussIsWholeGraph) {
+  const Graph g = graph::erdos_renyi(50, 0.1, 4);
+  EXPECT_EQ(ktruss_subgraph(g, 2).num_edges(), g.num_edges());
+  EXPECT_THROW(ktruss_subgraph(g, 1), lgg::Error);
+}
+
+TEST(Truss, ThreeTrussEdgesEachInATriangle) {
+  const Graph g = graph::erdos_renyi(70, 0.12, 11);
+  const Graph t3 = ktruss_subgraph(g, 3);
+  for (const auto& [u, v] : t3.edges()) {
+    bool in_triangle = false;
+    for (const graph::Vertex w : t3.neighbors(u))
+      if (t3.has_edge(v, w)) in_triangle = true;
+    EXPECT_TRUE(in_triangle);
+  }
+}
+
+TEST(Truss, NestedSubgraphs) {
+  const Graph g = graph::barabasi_albert(150, 4, 7);
+  const TrussDecomposition d = truss_decomposition(g);
+  for (std::uint32_t k = 3; k <= d.max_truss; ++k)
+    EXPECT_LE(ktruss_subgraph(g, k).num_edges(),
+              ktruss_subgraph(g, k - 1).num_edges());
+}
+
+}  // namespace
+}  // namespace lgg::core
