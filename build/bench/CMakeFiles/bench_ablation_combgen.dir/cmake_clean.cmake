@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_combgen.dir/ablation_combgen.cpp.o"
+  "CMakeFiles/bench_ablation_combgen.dir/ablation_combgen.cpp.o.d"
+  "bench_ablation_combgen"
+  "bench_ablation_combgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_combgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

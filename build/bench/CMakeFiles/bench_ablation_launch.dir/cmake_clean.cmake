@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_launch.dir/ablation_launch.cpp.o"
+  "CMakeFiles/bench_ablation_launch.dir/ablation_launch.cpp.o.d"
+  "bench_ablation_launch"
+  "bench_ablation_launch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_launch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_approx_doulion.dir/approx_doulion.cpp.o"
+  "CMakeFiles/bench_approx_doulion.dir/approx_doulion.cpp.o.d"
+  "bench_approx_doulion"
+  "bench_approx_doulion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_approx_doulion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_eq6_chunktime.dir/eq6_chunktime.cpp.o"
+  "CMakeFiles/bench_eq6_chunktime.dir/eq6_chunktime.cpp.o.d"
+  "bench_eq6_chunktime"
+  "bench_eq6_chunktime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_eq6_chunktime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

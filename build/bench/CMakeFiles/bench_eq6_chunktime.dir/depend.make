@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_eq6_chunktime.
+# This may be replaced when dependencies are built.

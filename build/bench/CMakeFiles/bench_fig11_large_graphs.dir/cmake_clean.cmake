@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_large_graphs.dir/fig11_large_graphs.cpp.o"
+  "CMakeFiles/bench_fig11_large_graphs.dir/fig11_large_graphs.cpp.o.d"
+  "bench_fig11_large_graphs"
+  "bench_fig11_large_graphs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_large_graphs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

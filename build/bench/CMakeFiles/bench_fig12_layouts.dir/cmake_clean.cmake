@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_layouts.dir/fig12_layouts.cpp.o"
+  "CMakeFiles/bench_fig12_layouts.dir/fig12_layouts.cpp.o.d"
+  "bench_fig12_layouts"
+  "bench_fig12_layouts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_layouts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

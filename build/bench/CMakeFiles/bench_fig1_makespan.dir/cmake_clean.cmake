@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_makespan.dir/fig1_makespan.cpp.o"
+  "CMakeFiles/bench_fig1_makespan.dir/fig1_makespan.cpp.o.d"
+  "bench_fig1_makespan"
+  "bench_fig1_makespan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_makespan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig67_camping.dir/fig67_camping.cpp.o"
+  "CMakeFiles/bench_fig67_camping.dir/fig67_camping.cpp.o.d"
+  "bench_fig67_camping"
+  "bench_fig67_camping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig67_camping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_maxsize.dir/table2_maxsize.cpp.o"
+  "CMakeFiles/bench_table2_maxsize.dir/table2_maxsize.cpp.o.d"
+  "bench_table2_maxsize"
+  "bench_table2_maxsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_maxsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

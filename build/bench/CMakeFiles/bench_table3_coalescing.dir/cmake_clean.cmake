@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_coalescing.dir/table3_coalescing.cpp.o"
+  "CMakeFiles/bench_table3_coalescing.dir/table3_coalescing.cpp.o.d"
+  "bench_table3_coalescing"
+  "bench_table3_coalescing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_coalescing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chunked_large_graph.dir/chunked_large_graph.cpp.o"
+  "CMakeFiles/chunked_large_graph.dir/chunked_large_graph.cpp.o.d"
+  "chunked_large_graph"
+  "chunked_large_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chunked_large_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snap_analyzer.dir/snap_analyzer.cpp.o"
+  "CMakeFiles/snap_analyzer.dir/snap_analyzer.cpp.o.d"
+  "snap_analyzer"
+  "snap_analyzer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snap_analyzer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/combi/binomial.cpp" "src/combi/CMakeFiles/lgg_combi.dir/binomial.cpp.o" "gcc" "src/combi/CMakeFiles/lgg_combi.dir/binomial.cpp.o.d"
+  "/root/repo/src/combi/combinadic.cpp" "src/combi/CMakeFiles/lgg_combi.dir/combinadic.cpp.o" "gcc" "src/combi/CMakeFiles/lgg_combi.dir/combinadic.cpp.o.d"
+  "/root/repo/src/combi/gray.cpp" "src/combi/CMakeFiles/lgg_combi.dir/gray.cpp.o" "gcc" "src/combi/CMakeFiles/lgg_combi.dir/gray.cpp.o.d"
+  "/root/repo/src/combi/strategies.cpp" "src/combi/CMakeFiles/lgg_combi.dir/strategies.cpp.o" "gcc" "src/combi/CMakeFiles/lgg_combi.dir/strategies.cpp.o.d"
+  "/root/repo/src/combi/stratified.cpp" "src/combi/CMakeFiles/lgg_combi.dir/stratified.cpp.o" "gcc" "src/combi/CMakeFiles/lgg_combi.dir/stratified.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lgg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

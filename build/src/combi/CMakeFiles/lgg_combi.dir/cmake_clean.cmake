@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lgg_combi.dir/binomial.cpp.o"
+  "CMakeFiles/lgg_combi.dir/binomial.cpp.o.d"
+  "CMakeFiles/lgg_combi.dir/combinadic.cpp.o"
+  "CMakeFiles/lgg_combi.dir/combinadic.cpp.o.d"
+  "CMakeFiles/lgg_combi.dir/gray.cpp.o"
+  "CMakeFiles/lgg_combi.dir/gray.cpp.o.d"
+  "CMakeFiles/lgg_combi.dir/strategies.cpp.o"
+  "CMakeFiles/lgg_combi.dir/strategies.cpp.o.d"
+  "CMakeFiles/lgg_combi.dir/stratified.cpp.o"
+  "CMakeFiles/lgg_combi.dir/stratified.cpp.o.d"
+  "liblgg_combi.a"
+  "liblgg_combi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lgg_combi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for lgg_combi.
+# This may be replaced when dependencies are built.

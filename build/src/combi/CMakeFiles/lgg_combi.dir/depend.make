@@ -1,0 +1,2 @@
+# Empty dependencies file for lgg_combi.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/als_plan.cpp" "src/core/CMakeFiles/lgg_core.dir/als_plan.cpp.o" "gcc" "src/core/CMakeFiles/lgg_core.dir/als_plan.cpp.o.d"
+  "/root/repo/src/core/approx.cpp" "src/core/CMakeFiles/lgg_core.dir/approx.cpp.o" "gcc" "src/core/CMakeFiles/lgg_core.dir/approx.cpp.o.d"
+  "/root/repo/src/core/bfs_gpu.cpp" "src/core/CMakeFiles/lgg_core.dir/bfs_gpu.cpp.o" "gcc" "src/core/CMakeFiles/lgg_core.dir/bfs_gpu.cpp.o.d"
+  "/root/repo/src/core/hybrid.cpp" "src/core/CMakeFiles/lgg_core.dir/hybrid.cpp.o" "gcc" "src/core/CMakeFiles/lgg_core.dir/hybrid.cpp.o.d"
+  "/root/repo/src/core/intersect_gpu.cpp" "src/core/CMakeFiles/lgg_core.dir/intersect_gpu.cpp.o" "gcc" "src/core/CMakeFiles/lgg_core.dir/intersect_gpu.cpp.o.d"
+  "/root/repo/src/core/kcount.cpp" "src/core/CMakeFiles/lgg_core.dir/kcount.cpp.o" "gcc" "src/core/CMakeFiles/lgg_core.dir/kcount.cpp.o.d"
+  "/root/repo/src/core/social.cpp" "src/core/CMakeFiles/lgg_core.dir/social.cpp.o" "gcc" "src/core/CMakeFiles/lgg_core.dir/social.cpp.o.d"
+  "/root/repo/src/core/subgraph_gpu.cpp" "src/core/CMakeFiles/lgg_core.dir/subgraph_gpu.cpp.o" "gcc" "src/core/CMakeFiles/lgg_core.dir/subgraph_gpu.cpp.o.d"
+  "/root/repo/src/core/timing_model.cpp" "src/core/CMakeFiles/lgg_core.dir/timing_model.cpp.o" "gcc" "src/core/CMakeFiles/lgg_core.dir/timing_model.cpp.o.d"
+  "/root/repo/src/core/triangle_cpu.cpp" "src/core/CMakeFiles/lgg_core.dir/triangle_cpu.cpp.o" "gcc" "src/core/CMakeFiles/lgg_core.dir/triangle_cpu.cpp.o.d"
+  "/root/repo/src/core/triangle_gpu.cpp" "src/core/CMakeFiles/lgg_core.dir/triangle_gpu.cpp.o" "gcc" "src/core/CMakeFiles/lgg_core.dir/triangle_gpu.cpp.o.d"
+  "/root/repo/src/core/truss.cpp" "src/core/CMakeFiles/lgg_core.dir/truss.cpp.o" "gcc" "src/core/CMakeFiles/lgg_core.dir/truss.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/lgg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/combi/CMakeFiles/lgg_combi.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/lgg_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/lgg_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lgg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lgg_core.dir/als_plan.cpp.o"
+  "CMakeFiles/lgg_core.dir/als_plan.cpp.o.d"
+  "CMakeFiles/lgg_core.dir/approx.cpp.o"
+  "CMakeFiles/lgg_core.dir/approx.cpp.o.d"
+  "CMakeFiles/lgg_core.dir/bfs_gpu.cpp.o"
+  "CMakeFiles/lgg_core.dir/bfs_gpu.cpp.o.d"
+  "CMakeFiles/lgg_core.dir/hybrid.cpp.o"
+  "CMakeFiles/lgg_core.dir/hybrid.cpp.o.d"
+  "CMakeFiles/lgg_core.dir/intersect_gpu.cpp.o"
+  "CMakeFiles/lgg_core.dir/intersect_gpu.cpp.o.d"
+  "CMakeFiles/lgg_core.dir/kcount.cpp.o"
+  "CMakeFiles/lgg_core.dir/kcount.cpp.o.d"
+  "CMakeFiles/lgg_core.dir/social.cpp.o"
+  "CMakeFiles/lgg_core.dir/social.cpp.o.d"
+  "CMakeFiles/lgg_core.dir/subgraph_gpu.cpp.o"
+  "CMakeFiles/lgg_core.dir/subgraph_gpu.cpp.o.d"
+  "CMakeFiles/lgg_core.dir/timing_model.cpp.o"
+  "CMakeFiles/lgg_core.dir/timing_model.cpp.o.d"
+  "CMakeFiles/lgg_core.dir/triangle_cpu.cpp.o"
+  "CMakeFiles/lgg_core.dir/triangle_cpu.cpp.o.d"
+  "CMakeFiles/lgg_core.dir/triangle_gpu.cpp.o"
+  "CMakeFiles/lgg_core.dir/triangle_gpu.cpp.o.d"
+  "CMakeFiles/lgg_core.dir/truss.cpp.o"
+  "CMakeFiles/lgg_core.dir/truss.cpp.o.d"
+  "liblgg_core.a"
+  "liblgg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lgg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

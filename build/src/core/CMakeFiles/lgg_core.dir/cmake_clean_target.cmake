@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblgg_core.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpusim/banks.cpp" "src/gpusim/CMakeFiles/lgg_gpusim.dir/banks.cpp.o" "gcc" "src/gpusim/CMakeFiles/lgg_gpusim.dir/banks.cpp.o.d"
+  "/root/repo/src/gpusim/coalescing.cpp" "src/gpusim/CMakeFiles/lgg_gpusim.dir/coalescing.cpp.o" "gcc" "src/gpusim/CMakeFiles/lgg_gpusim.dir/coalescing.cpp.o.d"
+  "/root/repo/src/gpusim/device.cpp" "src/gpusim/CMakeFiles/lgg_gpusim.dir/device.cpp.o" "gcc" "src/gpusim/CMakeFiles/lgg_gpusim.dir/device.cpp.o.d"
+  "/root/repo/src/gpusim/executor.cpp" "src/gpusim/CMakeFiles/lgg_gpusim.dir/executor.cpp.o" "gcc" "src/gpusim/CMakeFiles/lgg_gpusim.dir/executor.cpp.o.d"
+  "/root/repo/src/gpusim/memory.cpp" "src/gpusim/CMakeFiles/lgg_gpusim.dir/memory.cpp.o" "gcc" "src/gpusim/CMakeFiles/lgg_gpusim.dir/memory.cpp.o.d"
+  "/root/repo/src/gpusim/occupancy.cpp" "src/gpusim/CMakeFiles/lgg_gpusim.dir/occupancy.cpp.o" "gcc" "src/gpusim/CMakeFiles/lgg_gpusim.dir/occupancy.cpp.o.d"
+  "/root/repo/src/gpusim/partition.cpp" "src/gpusim/CMakeFiles/lgg_gpusim.dir/partition.cpp.o" "gcc" "src/gpusim/CMakeFiles/lgg_gpusim.dir/partition.cpp.o.d"
+  "/root/repo/src/gpusim/report.cpp" "src/gpusim/CMakeFiles/lgg_gpusim.dir/report.cpp.o" "gcc" "src/gpusim/CMakeFiles/lgg_gpusim.dir/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lgg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lgg_gpusim.dir/banks.cpp.o"
+  "CMakeFiles/lgg_gpusim.dir/banks.cpp.o.d"
+  "CMakeFiles/lgg_gpusim.dir/coalescing.cpp.o"
+  "CMakeFiles/lgg_gpusim.dir/coalescing.cpp.o.d"
+  "CMakeFiles/lgg_gpusim.dir/device.cpp.o"
+  "CMakeFiles/lgg_gpusim.dir/device.cpp.o.d"
+  "CMakeFiles/lgg_gpusim.dir/executor.cpp.o"
+  "CMakeFiles/lgg_gpusim.dir/executor.cpp.o.d"
+  "CMakeFiles/lgg_gpusim.dir/memory.cpp.o"
+  "CMakeFiles/lgg_gpusim.dir/memory.cpp.o.d"
+  "CMakeFiles/lgg_gpusim.dir/occupancy.cpp.o"
+  "CMakeFiles/lgg_gpusim.dir/occupancy.cpp.o.d"
+  "CMakeFiles/lgg_gpusim.dir/partition.cpp.o"
+  "CMakeFiles/lgg_gpusim.dir/partition.cpp.o.d"
+  "CMakeFiles/lgg_gpusim.dir/report.cpp.o"
+  "CMakeFiles/lgg_gpusim.dir/report.cpp.o.d"
+  "liblgg_gpusim.a"
+  "liblgg_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lgg_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/bfs.cpp" "src/graph/CMakeFiles/lgg_graph.dir/bfs.cpp.o" "gcc" "src/graph/CMakeFiles/lgg_graph.dir/bfs.cpp.o.d"
+  "/root/repo/src/graph/bit_matrix.cpp" "src/graph/CMakeFiles/lgg_graph.dir/bit_matrix.cpp.o" "gcc" "src/graph/CMakeFiles/lgg_graph.dir/bit_matrix.cpp.o.d"
+  "/root/repo/src/graph/chunking.cpp" "src/graph/CMakeFiles/lgg_graph.dir/chunking.cpp.o" "gcc" "src/graph/CMakeFiles/lgg_graph.dir/chunking.cpp.o.d"
+  "/root/repo/src/graph/formats.cpp" "src/graph/CMakeFiles/lgg_graph.dir/formats.cpp.o" "gcc" "src/graph/CMakeFiles/lgg_graph.dir/formats.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/graph/CMakeFiles/lgg_graph.dir/generators.cpp.o" "gcc" "src/graph/CMakeFiles/lgg_graph.dir/generators.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/graph/CMakeFiles/lgg_graph.dir/graph.cpp.o" "gcc" "src/graph/CMakeFiles/lgg_graph.dir/graph.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "src/graph/CMakeFiles/lgg_graph.dir/io.cpp.o" "gcc" "src/graph/CMakeFiles/lgg_graph.dir/io.cpp.o.d"
+  "/root/repo/src/graph/metrics.cpp" "src/graph/CMakeFiles/lgg_graph.dir/metrics.cpp.o" "gcc" "src/graph/CMakeFiles/lgg_graph.dir/metrics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lgg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

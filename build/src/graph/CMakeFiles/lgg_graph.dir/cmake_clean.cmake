@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lgg_graph.dir/bfs.cpp.o"
+  "CMakeFiles/lgg_graph.dir/bfs.cpp.o.d"
+  "CMakeFiles/lgg_graph.dir/bit_matrix.cpp.o"
+  "CMakeFiles/lgg_graph.dir/bit_matrix.cpp.o.d"
+  "CMakeFiles/lgg_graph.dir/chunking.cpp.o"
+  "CMakeFiles/lgg_graph.dir/chunking.cpp.o.d"
+  "CMakeFiles/lgg_graph.dir/formats.cpp.o"
+  "CMakeFiles/lgg_graph.dir/formats.cpp.o.d"
+  "CMakeFiles/lgg_graph.dir/generators.cpp.o"
+  "CMakeFiles/lgg_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/lgg_graph.dir/graph.cpp.o"
+  "CMakeFiles/lgg_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/lgg_graph.dir/io.cpp.o"
+  "CMakeFiles/lgg_graph.dir/io.cpp.o.d"
+  "CMakeFiles/lgg_graph.dir/metrics.cpp.o"
+  "CMakeFiles/lgg_graph.dir/metrics.cpp.o.d"
+  "liblgg_graph.a"
+  "liblgg_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lgg_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lgg_sched.dir/makespan.cpp.o"
+  "CMakeFiles/lgg_sched.dir/makespan.cpp.o.d"
+  "liblgg_sched.a"
+  "liblgg_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lgg_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

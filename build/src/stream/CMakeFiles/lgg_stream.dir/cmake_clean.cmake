@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lgg_stream.dir/edge_stream.cpp.o"
+  "CMakeFiles/lgg_stream.dir/edge_stream.cpp.o.d"
+  "CMakeFiles/lgg_stream.dir/streaming_triangles.cpp.o"
+  "CMakeFiles/lgg_stream.dir/streaming_triangles.cpp.o.d"
+  "liblgg_stream.a"
+  "liblgg_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lgg_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lgg_util.dir/prng.cpp.o"
+  "CMakeFiles/lgg_util.dir/prng.cpp.o.d"
+  "CMakeFiles/lgg_util.dir/table.cpp.o"
+  "CMakeFiles/lgg_util.dir/table.cpp.o.d"
+  "CMakeFiles/lgg_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/lgg_util.dir/thread_pool.cpp.o.d"
+  "liblgg_util.a"
+  "liblgg_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lgg_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

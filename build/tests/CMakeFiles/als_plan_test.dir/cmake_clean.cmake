@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/als_plan_test.dir/als_plan_test.cpp.o"
+  "CMakeFiles/als_plan_test.dir/als_plan_test.cpp.o.d"
+  "als_plan_test"
+  "als_plan_test.pdb"
+  "als_plan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/als_plan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/binomial_test.cpp" "tests/CMakeFiles/binomial_test.dir/binomial_test.cpp.o" "gcc" "tests/CMakeFiles/binomial_test.dir/binomial_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stream/CMakeFiles/lgg_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lgg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/lgg_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/lgg_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/combi/CMakeFiles/lgg_combi.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/lgg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lgg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitmatrix_test.dir/bitmatrix_test.cpp.o"
+  "CMakeFiles/bitmatrix_test.dir/bitmatrix_test.cpp.o.d"
+  "bitmatrix_test"
+  "bitmatrix_test.pdb"
+  "bitmatrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitmatrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

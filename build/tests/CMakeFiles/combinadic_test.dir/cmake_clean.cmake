@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/combinadic_test.dir/combinadic_test.cpp.o"
+  "CMakeFiles/combinadic_test.dir/combinadic_test.cpp.o.d"
+  "combinadic_test"
+  "combinadic_test.pdb"
+  "combinadic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/combinadic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gray_test.dir/gray_test.cpp.o"
+  "CMakeFiles/gray_test.dir/gray_test.cpp.o.d"
+  "gray_test"
+  "gray_test.pdb"
+  "gray_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gray_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intersect_gpu_test.dir/intersect_gpu_test.cpp.o"
+  "CMakeFiles/intersect_gpu_test.dir/intersect_gpu_test.cpp.o.d"
+  "intersect_gpu_test"
+  "intersect_gpu_test.pdb"
+  "intersect_gpu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intersect_gpu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

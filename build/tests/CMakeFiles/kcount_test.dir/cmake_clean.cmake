@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kcount_test.dir/kcount_test.cpp.o"
+  "CMakeFiles/kcount_test.dir/kcount_test.cpp.o.d"
+  "kcount_test"
+  "kcount_test.pdb"
+  "kcount_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kcount_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

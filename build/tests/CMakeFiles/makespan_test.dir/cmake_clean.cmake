@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/makespan_test.dir/makespan_test.cpp.o"
+  "CMakeFiles/makespan_test.dir/makespan_test.cpp.o.d"
+  "makespan_test"
+  "makespan_test.pdb"
+  "makespan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/makespan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

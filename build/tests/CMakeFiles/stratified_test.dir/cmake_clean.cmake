@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stratified_test.dir/stratified_test.cpp.o"
+  "CMakeFiles/stratified_test.dir/stratified_test.cpp.o.d"
+  "stratified_test"
+  "stratified_test.pdb"
+  "stratified_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stratified_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

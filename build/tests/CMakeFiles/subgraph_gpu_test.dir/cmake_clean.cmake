@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subgraph_gpu_test.dir/subgraph_gpu_test.cpp.o"
+  "CMakeFiles/subgraph_gpu_test.dir/subgraph_gpu_test.cpp.o.d"
+  "subgraph_gpu_test"
+  "subgraph_gpu_test.pdb"
+  "subgraph_gpu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subgraph_gpu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/triangle_cpu_test.dir/triangle_cpu_test.cpp.o"
+  "CMakeFiles/triangle_cpu_test.dir/triangle_cpu_test.cpp.o.d"
+  "triangle_cpu_test"
+  "triangle_cpu_test.pdb"
+  "triangle_cpu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/triangle_cpu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/triangle_gpu_test.dir/triangle_gpu_test.cpp.o"
+  "CMakeFiles/triangle_gpu_test.dir/triangle_gpu_test.cpp.o.d"
+  "triangle_gpu_test"
+  "triangle_gpu_test.pdb"
+  "triangle_gpu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/triangle_gpu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lgg_cli.dir/lgg_cli.cpp.o"
+  "CMakeFiles/lgg_cli.dir/lgg_cli.cpp.o.d"
+  "lgg_cli"
+  "lgg_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lgg_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_generate_and_stats "sh" "-c" "/root/repo/build/tools/lgg_cli generate ba /root/repo/build/cli_smoke.txt 200 3 7 && /root/repo/build/tools/lgg_cli stats /root/repo/build/cli_smoke.txt")
+set_tests_properties(cli_generate_and_stats PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_count_matches "sh" "-c" "/root/repo/build/tools/lgg_cli count /root/repo/build/cli_smoke.txt forward && /root/repo/build/tools/lgg_cli count /root/repo/build/cli_smoke.txt external 2000")
+set_tests_properties(cli_count_matches PROPERTIES  DEPENDS "cli_generate_and_stats" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_gpu_and_hybrid "sh" "-c" "/root/repo/build/tools/lgg_cli gpu /root/repo/build/cli_smoke.txt improved C1060 && /root/repo/build/tools/lgg_cli hybrid /root/repo/build/cli_smoke.txt")
+set_tests_properties(cli_gpu_and_hybrid PROPERTIES  DEPENDS "cli_generate_and_stats" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_rejects_bad_usage "/root/repo/build/tools/lgg_cli" "frobnicate")
+set_tests_properties(cli_rejects_bad_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
