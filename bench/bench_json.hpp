@@ -1,0 +1,103 @@
+// Machine-readable benchmark output (DESIGN.md §4).
+//
+// Each bench row is emitted as one JSON object on its own stdout line,
+// prefixed with "BENCHJSON " so `bench/run_all.sh` can grep it out of the
+// human-readable tables.  If $LGG_BENCH_JSON names a file, the bare JSON
+// line is also appended there so results survive pipelines that eat stdout.
+//
+// The schema is flat on purpose: {"name": ..., "wall_ms": ..., fields...,
+// "config": {...}} with `config` the only nested object.  No external JSON
+// dependency — the emitter writes the handful of types the benches need.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace lgg::bench {
+
+inline std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Builder for one flat JSON object; `name` is always the first field.
+class JsonRecord {
+ public:
+  explicit JsonRecord(std::string_view name) {
+    os_ << "{\"name\":\"" << json_escape(name) << '"';
+  }
+
+  JsonRecord& field(std::string_view key, std::string_view value) {
+    key_(key) << '"' << json_escape(value) << '"';
+    return *this;
+  }
+  JsonRecord& field(std::string_view key, const char* value) {
+    return field(key, std::string_view(value));
+  }
+  JsonRecord& field(std::string_view key, double value) {
+    key_(key).precision(10);
+    os_ << value;
+    return *this;
+  }
+  JsonRecord& field(std::string_view key, std::uint64_t value) {
+    key_(key) << value;
+    return *this;
+  }
+  JsonRecord& field(std::string_view key, std::int64_t value) {
+    key_(key) << value;
+    return *this;
+  }
+  JsonRecord& field(std::string_view key, bool value) {
+    key_(key) << (value ? "true" : "false");
+    return *this;
+  }
+  /// Splice a pre-rendered JSON value (e.g. a nested config object).
+  JsonRecord& raw(std::string_view key, std::string_view json) {
+    key_(key) << json;
+    return *this;
+  }
+
+  std::string str() const { return os_.str() + "}"; }
+
+ private:
+  std::ostream& key_(std::string_view key) {
+    os_ << ",\"" << json_escape(key) << "\":";
+    return os_;
+  }
+  std::ostringstream os_;
+};
+
+/// Print the record on stdout (BENCHJSON-prefixed) and append the bare
+/// line to $LGG_BENCH_JSON when that variable names a writable file.
+inline void emit(const JsonRecord& rec) {
+  const std::string line = rec.str();
+  std::cout << "BENCHJSON " << line << '\n';
+  if (const char* path = std::getenv("LGG_BENCH_JSON")) {
+    std::ofstream f(path, std::ios::app);
+    if (f) f << line << '\n';
+  }
+}
+
+}  // namespace lgg::bench

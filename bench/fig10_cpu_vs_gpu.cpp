@@ -8,7 +8,9 @@
 // Fig. 12 compares layouts).  wall_s is this machine's real time for the
 // exact triangle count (forward algorithm), printed for scale only.
 #include <iostream>
+#include <string>
 
+#include "bench_json.hpp"
 #include "core/timing_model.hpp"
 #include "core/triangle_cpu.hpp"
 #include "core/triangle_gpu.hpp"
@@ -36,7 +38,19 @@ int main() {
     core::GpuTriangleOptions opts;
     opts.layout = core::GpuLayout::kNaive;
     opts.max_simulated_tests = 1500000;
+    Stopwatch sim_wall;
     const auto gpu = core::count_triangles_gpu(g, opts);
+    const double sim_ms = sim_wall.elapsed_ms();
+
+    bench::emit(
+        bench::JsonRecord("fig10_cpu_vs_gpu/n" + std::to_string(n))
+            .field("wall_ms", sim_ms)
+            .field("triangles", triangles)
+            .field("cpu_model_s", cpu_s)
+            .field("gpu_model_s", gpu.total_time_s)
+            .raw("config",
+                 "{\"layout\":\"naive\",\"p\":0.05,"
+                 "\"max_simulated_tests\":1500000}"));
 
     table.new_row()
         .add(std::uint64_t{n})

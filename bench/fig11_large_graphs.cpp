@@ -6,13 +6,23 @@
 // is the layered community generator (DESIGN.md §2) which reproduces the
 // deep-and-wide BFS level structure of the SNAP community graphs [11].
 // Pass a SNAP edge-list file as argv[1] to run on real data instead.
+//
+// Besides the modelled paper-era seconds, each row emits a BENCHJSON
+// record with this machine's wall time for the simulated GPU run.  At the
+// largest size the simulation is run twice — serial and parallel host
+// execution (same KernelReport by construction) — so the host-side
+// simulator speedup is computable from the JSON output.
+#include <cstddef>
 #include <iostream>
+#include <string>
 
+#include "bench_json.hpp"
 #include "core/timing_model.hpp"
 #include "core/triangle_cpu.hpp"
 #include "core/triangle_gpu.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
+#include "util/stopwatch.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -24,6 +34,17 @@ lgg::graph::Graph workload(std::size_t n) {
   return lgg::graph::layered_random(n, 300, 0.012, 0.006, 4000 + n);
 }
 
+std::string config_json(const lgg::core::GpuTriangleOptions& opts,
+                        const lgg::gpusim::ExecPolicy& exec) {
+  std::ostringstream os;
+  os << "{\"layout\":\"naive\",\"max_simulated_tests\":"
+     << opts.max_simulated_tests << ",\"exec\":\""
+     << (exec.mode == lgg::gpusim::ExecPolicy::Mode::kSerial ? "serial"
+                                                             : "parallel")
+     << "\"}";
+  return os.str();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -32,17 +53,51 @@ int main(int argc, char** argv) {
                "(community-structured, 5k..25k) ===\n\n";
 
   TextTable table({"n", "edges", "triangles", "tests", "CPU model_s",
-                   "GPU model_s", "speedup"});
+                   "GPU model_s", "speedup", "sim wall_ms"});
 
-  auto add_row = [&](const graph::Graph& g, bool include_cpu) {
+  auto add_row = [&](const graph::Graph& g, bool include_cpu,
+                     bool compare_serial) {
     const std::uint64_t triangles = core::count_triangles_forward(g);
     const core::AlsPlan plan = core::build_als_plan(g);
     const double cpu_s = core::cpu_model_time_s(plan);
 
     core::GpuTriangleOptions opts;
     opts.layout = core::GpuLayout::kNaive;
-    opts.max_simulated_tests = 1000000;
+    // The serial/parallel comparison point simulates more tests so warp
+    // replay (the parallelised part) dominates the fixed plan/layout cost.
+    opts.max_simulated_tests = compare_serial ? 4000000 : 1000000;
+
+    Stopwatch wall;
     const auto gpu = core::count_triangles_gpu(g, opts);
+    const double wall_ms = wall.elapsed_ms();
+
+    bench::emit(bench::JsonRecord("fig11_large_graphs/n" +
+                                  std::to_string(g.num_vertices()))
+                    .field("wall_ms", wall_ms)
+                    .field("triangles", triangles)
+                    .field("gpu_model_s", gpu.total_time_s)
+                    .raw("config", config_json(opts, opts.exec)));
+
+    if (compare_serial) {
+      // Same simulation, serial host execution: the report is bit-identical
+      // (tests/executor_parallel_test.cpp); only the wall time differs.
+      core::GpuTriangleOptions serial_opts = opts;
+      serial_opts.exec = gpusim::ExecPolicy::serial();
+      Stopwatch serial_wall;
+      const auto serial_gpu = core::count_triangles_gpu(g, serial_opts);
+      const double serial_ms = serial_wall.elapsed_ms();
+      bench::emit(bench::JsonRecord("fig11_large_graphs/n" +
+                                    std::to_string(g.num_vertices()) +
+                                    "/serial-host")
+                      .field("wall_ms", serial_ms)
+                      .field("triangles", triangles)
+                      .field("gpu_model_s", serial_gpu.total_time_s)
+                      .raw("config", config_json(serial_opts,
+                                                 serial_opts.exec)));
+      std::cout << "(host simulator wall: serial " << serial_ms
+                << " ms, parallel " << wall_ms << " ms, speedup "
+                << serial_ms / wall_ms << "x)\n";
+    }
 
     table.new_row()
         .add(std::uint64_t{g.num_vertices()})
@@ -53,16 +108,20 @@ int main(int argc, char** argv) {
       table.add(cpu_s, 1);
     else
       table.add("(not run in paper)");
-    table.add(gpu.total_time_s, 1).add(cpu_s / gpu.total_time_s, 1);
+    table.add(gpu.total_time_s, 1)
+        .add(cpu_s / gpu.total_time_s, 1)
+        .add(wall_ms, 1);
   };
 
   if (argc > 1) {
     std::cout << "(loading SNAP edge list: " << argv[1] << ")\n";
-    add_row(graph::read_snap_edge_list_file(argv[1]).graph, true);
+    add_row(graph::read_snap_edge_list_file(argv[1]).graph, true, true);
   } else {
-    for (std::size_t n = 5000; n <= 25000; n += 5000) add_row(workload(n), true);
-    // The paper's 100k-node observation, GPU timing only.
-    add_row(workload(100000), false);
+    for (std::size_t n = 5000; n <= 25000; n += 5000)
+      add_row(workload(n), true, false);
+    // The paper's 100k-node observation, GPU timing only; this is the
+    // largest simulation, so it carries the serial-vs-parallel comparison.
+    add_row(workload(100000), false, true);
   }
 
   table.print(std::cout);

@@ -15,9 +15,12 @@
 // is larger in our simulator because the paper's baseline was already
 // partially coalesced.
 #include <iostream>
+#include <string>
 
+#include "bench_json.hpp"
 #include "core/triangle_gpu.hpp"
 #include "graph/generators.hpp"
+#include "util/stopwatch.hpp"
 #include "util/table.hpp"
 
 int main() {
@@ -36,13 +39,26 @@ int main() {
     double kernel[3] = {0, 0, 0};
     const GpuLayout layouts[3] = {GpuLayout::kNaive, GpuLayout::kCoalesced,
                                   GpuLayout::kCoalescedAntiCamping};
+    const char* layout_names[3] = {"naive", "coalesced",
+                                   "coalesced_anti_camping"};
     for (int i = 0; i < 3; ++i) {
       core::GpuTriangleOptions opts;
       opts.layout = layouts[i];
       opts.max_simulated_tests = 4000000;
+      Stopwatch sim_wall;
       const auto r = core::count_triangles_gpu(g, opts);
+      const double sim_ms = sim_wall.elapsed_ms();
       total[i] = r.total_time_s;
       kernel[i] = r.kernel.kernel_time_s;
+      bench::emit(
+          bench::JsonRecord("fig12_layouts/n" + std::to_string(n) + "/" +
+                            layout_names[i])
+              .field("wall_ms", sim_ms)
+              .field("triangles", r.triangles)
+              .field("gpu_model_s", r.total_time_s)
+              .field("kernel_model_s", r.kernel.kernel_time_s)
+              .raw("config", std::string("{\"layout\":\"") + layout_names[i] +
+                                 "\",\"max_simulated_tests\":4000000}"));
     }
     table.new_row()
         .add(std::uint64_t{n})

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Run the full benchmark suite and collect machine-readable results.
+#
+# Usage:  bench/run_all.sh [build_dir] [out.json]
+#
+# Every bench binary prints its human-readable tables to
+# <out>.d/<bench>.log; lines prefixed "BENCHJSON " (see bench_json.hpp)
+# are stripped of the prefix and concatenated into <out.json>, one JSON
+# object per line.  Benches that are intentionally skipped (interactive,
+# needs-external-data, or not yet instrumented for JSON) are logged so a
+# silent gap in the output is never mistaken for coverage.
+set -u
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-bench_results.json}"
+BENCH_DIR="${BUILD_DIR}/bench"
+
+if [ ! -d "${BENCH_DIR}" ]; then
+  echo "error: ${BENCH_DIR} not found — build first:" >&2
+  echo "  cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j" >&2
+  exit 1
+fi
+
+# Intentionally skipped binaries, with the reason printed below:
+#   bench_micro_primitives — google-benchmark harness with its own JSON
+#                            reporter (--benchmark_format=json); not part
+#                            of the paper-figure schema.
+SKIP="bench_micro_primitives"
+
+LOG_DIR="${OUT}.d"
+mkdir -p "${LOG_DIR}"
+: > "${OUT}"
+
+ran=0
+failed=0
+for bin in "${BENCH_DIR}"/bench_*; do
+  [ -x "${bin}" ] || continue
+  name="$(basename "${bin}")"
+  case " ${SKIP} " in
+    *" ${name} "*)
+      echo "SKIP ${name} (see SKIP list in bench/run_all.sh)"
+      continue
+      ;;
+  esac
+  echo "RUN  ${name}"
+  if ! "${bin}" > "${LOG_DIR}/${name}.log" 2>&1; then
+    echo "FAIL ${name} (log: ${LOG_DIR}/${name}.log)" >&2
+    failed=$((failed + 1))
+    continue
+  fi
+  sed -n 's/^BENCHJSON //p' "${LOG_DIR}/${name}.log" >> "${OUT}"
+  ran=$((ran + 1))
+done
+
+rows="$(wc -l < "${OUT}")"
+echo
+echo "ran ${ran} benches (${failed} failed); ${rows} JSON rows in ${OUT}"
+echo "per-bench logs under ${LOG_DIR}/"
+[ "${failed}" -eq 0 ]

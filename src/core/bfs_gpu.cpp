@@ -48,6 +48,10 @@ GpuBfsResult bfs_gpu(const Graph& g, Vertex source,
   std::uint32_t current = 0;
   while (advanced) {
     advanced = false;
+    // Thread-safe under the simulator's parallel replay: the kernel only
+    // reads `tree` (frozen for the duration of the launch — the level
+    // update below runs strictly after sim.run returns) and records
+    // through its per-thread recorder.
     const gpusim::KernelFn kernel = [&](const gpusim::ThreadCtx& ctx,
                                         gpusim::ThreadRecorder& rec) {
       const std::uint64_t v = ctx.global_id;
@@ -80,7 +84,7 @@ GpuBfsResult bfs_gpu(const Graph& g, Vertex source,
     config.name = "bfs/level" + std::to_string(current);
     config.blocks = std::max<std::uint32_t>(blocks, 1);
     config.threads_per_block = tpb;
-    const gpusim::KernelReport report = sim.run(kernel, config);
+    const gpusim::KernelReport report = sim.run(kernel, config, 1, opts.exec);
     result.kernel_time_s += report.kernel_time_s;
     result.transactions += report.transactions;
     result.bytes += report.bytes;

@@ -15,6 +15,7 @@
 #include "graph/bfs.hpp"
 #include "graph/graph.hpp"
 #include "gpusim/device.hpp"
+#include "gpusim/executor.hpp"
 #include "gpusim/report.hpp"
 
 namespace lgg::core {
@@ -22,6 +23,9 @@ namespace lgg::core {
 struct GpuBfsOptions {
   const gpusim::DeviceSpec* device = nullptr;  // nullptr -> C1060
   std::uint32_t threads_per_block = 256;
+  /// Host-side simulator execution policy (parallel by default;
+  /// bit-identical to serial).
+  gpusim::ExecPolicy exec;
 };
 
 struct GpuBfsResult {

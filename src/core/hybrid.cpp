@@ -192,8 +192,11 @@ HybridResult count_triangles_hybrid(const graph::Graph& g,
               1, opts.max_simulated_tests_per_chunk / threads));
     }
 
-    std::uint64_t simulated = 0;
-    std::uint64_t found = 0;
+    // Per-warp functional output slots (simulator thread-safety contract:
+    // warps replay concurrently; everything else captured is read-only).
+    const std::uint64_t chunk_warps = tpb / dev.warp_size;  // one block
+    std::vector<std::uint64_t> warp_simulated(chunk_warps, 0);
+    std::vector<std::uint64_t> warp_found(chunk_warps, 0);
     const gpusim::KernelFn kernel = [&](const gpusim::ThreadCtx& ctx,
                                         gpusim::ThreadRecorder& rec) {
       for (std::uint64_t i = 0; i < per_thread; ++i) {
@@ -233,8 +236,8 @@ HybridResult count_triangles_hybrid(const graph::Graph& g,
           rec.global_read(buffer, word(lu, lw), 4);
         }
         if (g.has_edge(u, v) && g.has_edge(v, w) && g.has_edge(u, w))
-          ++found;
-        ++simulated;
+          ++warp_found[ctx.global_warp];
+        ++warp_simulated[ctx.global_warp];
       }
     };
 
@@ -242,7 +245,14 @@ HybridResult count_triangles_hybrid(const graph::Graph& g,
     config.name = chunk.fits_shared ? "chunk/shared" : "chunk/global";
     config.blocks = 1;
     config.threads_per_block = tpb;
-    gpusim::KernelReport report = sim.run(kernel, config);
+    gpusim::KernelReport report = sim.run(kernel, config, 1, opts.exec);
+
+    // Deterministic reduction: fold per-warp slots in warp order.
+    std::uint64_t simulated = 0, found = 0;
+    for (std::uint64_t wid = 0; wid < chunk_warps; ++wid) {
+      simulated += warp_simulated[wid];
+      found += warp_found[wid];
+    }
 
     if (simulated < work.tests) {
       result.exact = false;

@@ -20,6 +20,7 @@
 #include "graph/chunking.hpp"
 #include "graph/graph.hpp"
 #include "gpusim/device.hpp"
+#include "gpusim/executor.hpp"
 #include "sched/makespan.hpp"
 
 namespace lgg::core {
@@ -37,6 +38,9 @@ struct HybridOptions {
   /// Cap on candidate triples simulated per chunk (0 = all); statistics
   /// of truncated chunks are rescaled exactly as in count_triangles_gpu.
   std::uint64_t max_simulated_tests_per_chunk = 0;
+  /// Host-side simulator execution policy (parallel by default;
+  /// bit-identical to serial).
+  gpusim::ExecPolicy exec;
 };
 
 /// Per-chunk execution record.

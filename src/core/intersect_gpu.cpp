@@ -118,11 +118,17 @@ GpuIntersectResult count_triangles_gpu_intersect(
     per_warp_budget =
         std::max<std::uint64_t>(1, opts.max_simulated_edges / warps);
 
-  std::uint64_t triangles = 0, simulated_edges = 0;
-  std::uint64_t total_work = 0, simulated_work = 0;
+  std::uint64_t total_work = 0;
   for (const auto& [u, v] : oriented.edges)
     total_work += (oriented.offsets[u + 1] - oriented.offsets[u]) +
                   (oriented.offsets[v + 1] - oriented.offsets[v]);
+
+  // Per-warp functional output slots (simulator thread-safety contract:
+  // warps may replay concurrently; lane 0 of each warp owns its slot, all
+  // other captures below are read-only for the launch).
+  std::vector<std::uint64_t> warp_triangles(warps, 0);
+  std::vector<std::uint64_t> warp_edges(warps, 0);
+  std::vector<std::uint64_t> warp_work(warps, 0);
 
   const gpusim::KernelFn kernel = [&](const gpusim::ThreadCtx& ctx,
                                       gpusim::ThreadRecorder& rec) {
@@ -160,9 +166,9 @@ GpuIntersectResult count_triangles_gpu_intersect(
         const std::span<const Vertex> lv(
             oriented.out.data() + oriented.offsets[v],
             oriented.offsets[v + 1] - oriented.offsets[v]);
-        triangles += merge_count(lu, lv);
-        ++simulated_edges;
-        simulated_work += lu.size() + lv.size();
+        warp_triangles[ctx.global_warp] += merge_count(lu, lv);
+        ++warp_edges[ctx.global_warp];
+        warp_work[ctx.global_warp] += lu.size() + lv.size();
       }
     }
   };
@@ -171,7 +177,15 @@ GpuIntersectResult count_triangles_gpu_intersect(
   config.name = "triangles/intersect";
   config.blocks = blocks;
   config.threads_per_block = tpb;
-  result.kernel = sim.run(kernel, config);
+  result.kernel = sim.run(kernel, config, 1, opts.exec);
+
+  // Deterministic reduction: fold per-warp slots in warp order.
+  std::uint64_t triangles = 0, simulated_edges = 0, simulated_work = 0;
+  for (std::uint64_t wid = 0; wid < warps; ++wid) {
+    triangles += warp_triangles[wid];
+    simulated_edges += warp_edges[wid];
+    simulated_work += warp_work[wid];
+  }
   result.simulated_edges = simulated_edges;
   result.triangles = triangles;
   result.exact = simulated_edges == oriented.edges.size();

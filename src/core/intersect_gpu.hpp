@@ -18,6 +18,7 @@
 
 #include "graph/graph.hpp"
 #include "gpusim/device.hpp"
+#include "gpusim/executor.hpp"
 #include "gpusim/report.hpp"
 
 namespace lgg::core {
@@ -28,6 +29,9 @@ struct GpuIntersectOptions {
   std::uint32_t threads_per_block = 128;
   /// Cap on edges simulated (0 = all); statistics rescale when truncated.
   std::uint64_t max_simulated_edges = 0;
+  /// Host-side simulator execution policy (parallel by default;
+  /// bit-identical to serial).
+  gpusim::ExecPolicy exec;
 };
 
 struct GpuIntersectResult {

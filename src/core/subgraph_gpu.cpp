@@ -155,7 +155,10 @@ void rescale(gpusim::KernelReport& k, double factor,
 }
 
 /// Shared implementation: enumerate window candidates on the simulator,
-/// probing all C(k,2) pairs; `accept` decides whether a candidate counts.
+/// probing all C(k,2) pairs; `accept(candidate, global_warp)` decides
+/// whether a candidate counts.  The simulator replays warps concurrently,
+/// so accept hooks must only read shared state and write to per-warp
+/// slots indexed by the passed warp id.
 template <typename Accept>
 GpuKCountResult run_kcount(const Graph& g, std::uint32_t k,
                            std::uint32_t window_levels,
@@ -199,7 +202,9 @@ GpuKCountResult run_kcount(const Graph& g, std::uint32_t k,
         1, opts.max_simulated_tests /
                (static_cast<std::uint64_t>(blocks) * tpb));
 
-  std::uint64_t found = 0, simulated = 0;
+  // Per-warp functional output slots (simulator thread-safety contract).
+  std::vector<std::uint64_t> warp_found(warps, 0);
+  std::vector<std::uint64_t> warp_simulated(warps, 0);
   const double instr_per_test =
       cal::kGpuInstructionsPerTest * (static_cast<double>(k) *
                                       static_cast<double>(k - 1) / 6.0);
@@ -232,8 +237,9 @@ GpuKCountResult run_kcount(const Graph& g, std::uint32_t k,
               static_cast<std::uint64_t>(verts[a]) * row_bytes +
                   (static_cast<std::uint64_t>(verts[b]) >> 5) * 4,
               4);
-      if (accept(std::span<const Vertex>(verts, k))) ++found;
-      ++simulated;
+      if (accept(std::span<const Vertex>(verts, k), ctx.global_warp))
+        ++warp_found[ctx.global_warp];
+      ++warp_simulated[ctx.global_warp];
     }
   };
 
@@ -241,7 +247,14 @@ GpuKCountResult run_kcount(const Graph& g, std::uint32_t k,
   config.name = "kcount";
   config.blocks = blocks;
   config.threads_per_block = tpb;
-  result.kernel = sim.run(kernel, config);
+  result.kernel = sim.run(kernel, config, 1, opts.exec);
+
+  // Deterministic reduction: fold per-warp slots in warp order.
+  std::uint64_t found = 0, simulated = 0;
+  for (std::uint64_t wid = 0; wid < warps; ++wid) {
+    found += warp_found[wid];
+    simulated += warp_simulated[wid];
+  }
   result.simulated_tests = simulated;
   result.count = found;
   result.exact = simulated == total;
@@ -260,7 +273,7 @@ GpuKCountResult run_kcount(const Graph& g, std::uint32_t k,
 GpuKCountResult count_kcliques_gpu(const Graph& g, std::uint32_t k,
                                    const GpuKCountOptions& opts) {
   return run_kcount(g, k, /*window_levels=*/2, opts,
-                    [&](std::span<const Vertex> vs) {
+                    [&](std::span<const Vertex> vs, std::uint64_t) {
                       for (std::size_t a = 0; a < vs.size(); ++a)
                         for (std::size_t b = a + 1; b < vs.size(); ++b)
                           if (!g.has_edge(vs[a], vs[b])) return false;
@@ -272,7 +285,7 @@ GpuKCountResult count_connected_subgraphs_gpu(const Graph& g,
                                               std::uint32_t k,
                                               const GpuKCountOptions& opts) {
   return run_kcount(g, k, /*window_levels=*/k, opts,
-                    [&](std::span<const Vertex> vs) {
+                    [&](std::span<const Vertex> vs, std::uint64_t) {
                       return induced_connected(g, vs);
                     });
 }
@@ -305,16 +318,30 @@ GpuTriangleListing list_triangles_gpu(const Graph& g,
     // approach: run the counting kernel, then account the output writes
     // analytically (3 coalesced 4-byte writes per found triangle; one
     // 64-byte transaction per half-warp-worth of finds).
-    base = run_kcount(g, 3, 2, inner, [&](std::span<const Vertex> vs) {
-      if (g.has_edge(vs[0], vs[1]) && g.has_edge(vs[1], vs[2]) &&
-          g.has_edge(vs[0], vs[2])) {
-        std::array<Vertex, 3> tri{vs[0], vs[1], vs[2]};
-        std::sort(tri.begin(), tri.end());
-        out.push_back(tri);
-        return true;
-      }
-      return false;
-    });
+    //
+    // The hook appends into a per-warp listing slot (warps replay
+    // concurrently); the slots are concatenated in warp order below,
+    // which reproduces the serial append order exactly.
+    const std::uint32_t list_blocks =
+        inner.blocks ? inner.blocks : 2 * dev.sm_count;
+    const std::uint64_t list_warps =
+        static_cast<std::uint64_t>(list_blocks) * inner.threads_per_block /
+        dev.warp_size;
+    std::vector<std::vector<std::array<Vertex, 3>>> warp_out(list_warps);
+    base = run_kcount(
+        g, 3, 2, inner,
+        [&](std::span<const Vertex> vs, std::uint64_t global_warp) {
+          if (g.has_edge(vs[0], vs[1]) && g.has_edge(vs[1], vs[2]) &&
+              g.has_edge(vs[0], vs[2])) {
+            std::array<Vertex, 3> tri{vs[0], vs[1], vs[2]};
+            std::sort(tri.begin(), tri.end());
+            warp_out[global_warp].push_back(tri);
+            return true;
+          }
+          return false;
+        });
+    for (const auto& w : warp_out)
+      out.insert(out.end(), w.begin(), w.end());
   }
 
   listing.exact = base.exact;

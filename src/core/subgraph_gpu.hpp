@@ -22,6 +22,7 @@
 
 #include "graph/graph.hpp"
 #include "gpusim/device.hpp"
+#include "gpusim/executor.hpp"
 #include "gpusim/report.hpp"
 
 namespace lgg::core {
@@ -34,6 +35,9 @@ struct GpuKCountOptions {
   /// Cap on candidates simulated (0 = all); statistics rescale, `exact`
   /// clears, as in count_triangles_gpu.
   std::uint64_t max_simulated_tests = 0;
+  /// Host-side simulator execution policy (parallel by default;
+  /// bit-identical to serial).
+  gpusim::ExecPolicy exec;
 };
 
 struct GpuKCountResult {

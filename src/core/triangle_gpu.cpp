@@ -183,8 +183,12 @@ GpuTriangleResult count_triangles_gpu(const graph::Graph& g,
                                  ? divide_work(plan.total_tests, warps)
                                  : divide_work(plan.total_tests, threads);
 
-  std::uint64_t triangles = 0;
-  std::uint64_t simulated = 0;
+  // Per-warp functional output slots: the simulator may replay warps
+  // concurrently, so every mutable capture below is indexed by
+  // ctx.global_warp (lanes of one warp run sequentially on one host
+  // thread).  All other captures are read-only for the launch.
+  std::vector<std::uint64_t> warp_triangles(warps, 0);
+  std::vector<std::uint64_t> warp_simulated(warps, 0);
 
   const gpusim::KernelFn kernel = [&](const gpusim::ThreadCtx& ctx,
                                       gpusim::ThreadRecorder& rec) {
@@ -249,8 +253,8 @@ GpuTriangleResult count_triangles_gpu(const graph::Graph& g,
       const graph::Vertex v = job.local_to_global[t.y];
       const graph::Vertex w = job.local_to_global[t.z];
       if (g.has_edge(u, v) && g.has_edge(v, w) && g.has_edge(u, w))
-        ++triangles;
-      ++simulated;
+        ++warp_triangles[ctx.global_warp];
+      ++warp_simulated[ctx.global_warp];
     }
   };
 
@@ -258,7 +262,15 @@ GpuTriangleResult count_triangles_gpu(const graph::Graph& g,
   config.name = std::string("triangles/") + gpu_layout_name(opts.layout);
   config.blocks = blocks;
   config.threads_per_block = tpb;
-  result.kernel = sim.run(kernel, config);
+  result.kernel = sim.run(kernel, config, 1, opts.exec);
+
+  // Deterministic reduction: fold per-warp slots in warp order.
+  std::uint64_t triangles = 0;
+  std::uint64_t simulated = 0;
+  for (std::uint64_t wid = 0; wid < warps; ++wid) {
+    triangles += warp_triangles[wid];
+    simulated += warp_simulated[wid];
+  }
 
   result.simulated_tests = simulated;
   result.triangles = triangles;

@@ -61,6 +61,9 @@ struct GpuTriangleOptions {
   /// When the cap truncates, traffic/timing statistics are rescaled by
   /// total/simulated and `exact` is false.
   std::uint64_t max_simulated_tests = 0;
+  /// Host-side execution policy for the simulator (default: parallel
+  /// across host cores; results are bit-identical to serial).
+  gpusim::ExecPolicy exec;
 };
 
 struct GpuTriangleResult {

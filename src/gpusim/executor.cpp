@@ -6,6 +6,7 @@
 #include "gpusim/calibration.hpp"
 #include "gpusim/coalescing.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace lgg::gpusim {
 
@@ -18,10 +19,42 @@ struct SmAccumulator {
   std::uint64_t warps = 0;
 };
 
+/// Private accumulation state of one shard.  Shard s owns every block
+/// mapped to SM s (block % sm_count == s) and replays those warps in
+/// increasing warp order, so each SM's floating-point compute sum folds in
+/// exactly the serial-iteration order no matter which host worker runs the
+/// shard — the basis of the bit-identical-report guarantee.
+struct ShardState {
+  SmAccumulator sm;
+  PartitionHistogram hist;
+  std::uint64_t transactions = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t shared_slots = 0;
+  std::uint64_t sampled_warps = 0;
+};
+
+/// Per-host-worker scratch reused across every warp the worker replays:
+/// lane tapes keep their heap capacity across clear(), and the coalescing
+/// slot / bank half-warp buffers are hoisted out of the warp loop, so
+/// steady-state replay performs no allocations.
+struct WorkerScratch {
+  std::vector<ThreadRecorder> lanes;
+  std::vector<LaneAccess> slot;
+  std::vector<std::uint64_t> half_addrs;
+
+  // Lane tapes are reserved by the caller (ThreadRecorder::reserve is
+  // simulator-private, and this struct lives outside the friendship).
+  explicit WorkerScratch(std::uint32_t warp_size) : lanes(warp_size) {
+    slot.reserve(warp_size);
+    half_addrs.reserve(16);
+  }
+};
+
 }  // namespace
 
 KernelReport Simulator::run(const KernelFn& kernel, const KernelConfig& config,
-                            std::uint32_t sample_stride) const {
+                            std::uint32_t sample_stride,
+                            const ExecPolicy& policy) const {
   LGG_CHECK(config.blocks > 0 && config.threads_per_block > 0,
             "Simulator::run: empty launch configuration");
   LGG_CHECK(config.threads_per_block <= 1024,
@@ -31,10 +64,8 @@ KernelReport Simulator::run(const KernelFn& kernel, const KernelConfig& config,
 
   const DeviceSpec& dev = *spec_;
   const std::uint32_t warp_size = dev.warp_size;
-  const std::uint32_t warps_per_block =
-      (config.threads_per_block + warp_size - 1) / warp_size;
-  const std::uint64_t total_warps =
-      static_cast<std::uint64_t>(config.blocks) * warps_per_block;
+  const std::uint32_t warps_per_block = config.warps_per_block(warp_size);
+  const std::uint64_t total_warps = config.total_warps(warp_size);
 
   KernelReport report;
   report.name = config.name;
@@ -45,82 +76,131 @@ KernelReport Simulator::run(const KernelFn& kernel, const KernelConfig& config,
   report.partition_histogram.count.assign(dev.partitions, 0);
 
   const PartitionModel partition_model(dev);
-  std::vector<SmAccumulator> sms(dev.sm_count);
-  std::vector<ThreadRecorder> lanes(warp_size);
+  std::vector<ShardState> shards(dev.sm_count);
 
-  std::uint64_t sampled_warps = 0;
-  std::uint64_t warp_index = 0;
-  for (std::uint32_t block = 0; block < config.blocks; ++block) {
-    const std::uint32_t sm = block % dev.sm_count;
-    for (std::uint32_t w = 0; w < warps_per_block; ++w, ++warp_index) {
-      if (warp_index % sample_stride != 0) continue;
-      ++sampled_warps;
-      ++sms[sm].warps;
+  const auto make_scratch = [warp_size]() {
+    WorkerScratch scratch(warp_size);
+    for (auto& lane : scratch.lanes) lane.reserve(64);
+    return scratch;
+  };
 
-      // Run the warp's lanes, collecting tapes.
-      const std::uint32_t first_thread = w * warp_size;
-      const std::uint32_t lanes_in_warp = std::min(
-          warp_size, config.threads_per_block - first_thread);
-      double warp_compute = 0.0;
-      std::size_t max_global = 0, max_shared = 0;
-      for (std::uint32_t lane = 0; lane < lanes_in_warp; ++lane) {
-        lanes[lane].clear();
-        ThreadCtx ctx;
-        ctx.block = block;
-        ctx.thread = first_thread + lane;
-        ctx.global_id = static_cast<std::uint64_t>(block) *
-                            config.threads_per_block +
-                        ctx.thread;
-        ctx.lane = lane;
-        ctx.warp = w;
-        kernel(ctx, lanes[lane]);
-        warp_compute = std::max(warp_compute, lanes[lane].compute_);
-        max_global = std::max(max_global, lanes[lane].global_.size());
-        max_shared = std::max(max_shared, lanes[lane].shared_.size());
-      }
-      sms[sm].warp_instructions += warp_compute;
+  // Replays every warp of shard `sm` (blocks sm, sm + sm_count, ... in
+  // increasing order) into that shard's private state.  Pure function of
+  // (sm, launch config): safe and deterministic under any worker mapping.
+  const auto run_shard = [&](std::uint32_t sm, WorkerScratch& scratch) {
+    ShardState& sh = shards[sm];
+    sh.hist.count.assign(dev.partitions, 0);
+    auto& lanes = scratch.lanes;
+    for (std::uint32_t block = sm; block < config.blocks;
+         block += dev.sm_count) {
+      for (std::uint32_t w = 0; w < warps_per_block; ++w) {
+        // Global warp index in serial iteration order: the sampling
+        // decision is identical to a single-threaded sweep.
+        const std::uint64_t warp_index =
+            static_cast<std::uint64_t>(block) * warps_per_block + w;
+        if (warp_index % sample_stride != 0) continue;
+        ++sh.sampled_warps;
+        ++sh.sm.warps;
 
-      // Global slots: coalesce the s-th access of every lane together.
-      std::vector<LaneAccess> slot;
-      for (std::size_t s = 0; s < max_global; ++s) {
-        slot.clear();
-        std::uint32_t word_bytes = 0;
+        // Run the warp's lanes, collecting tapes.
+        const std::uint32_t first_thread = w * warp_size;
+        const std::uint32_t lanes_in_warp =
+            std::min(warp_size, config.threads_per_block - first_thread);
+        double warp_compute = 0.0;
+        std::size_t max_global = 0, max_shared = 0;
         for (std::uint32_t lane = 0; lane < lanes_in_warp; ++lane) {
-          if (s >= lanes[lane].global_.size()) continue;
-          const auto& access = lanes[lane].global_[s];
-          if (word_bytes == 0) word_bytes = access.word_bytes;
-          LGG_ASSERT(word_bytes == access.word_bytes);
-          slot.push_back({lane, access.addr});
+          lanes[lane].clear();
+          ThreadCtx ctx;
+          ctx.block = block;
+          ctx.thread = first_thread + lane;
+          ctx.global_id = static_cast<std::uint64_t>(block) *
+                              config.threads_per_block +
+                          ctx.thread;
+          ctx.lane = lane;
+          ctx.warp = w;
+          ctx.global_warp = warp_index;
+          kernel(ctx, lanes[lane]);
+          warp_compute = std::max(warp_compute, lanes[lane].compute_);
+          max_global = std::max(max_global, lanes[lane].global_.size());
+          max_shared = std::max(max_shared, lanes[lane].shared_.size());
         }
-        const CoalesceResult coalesced =
-            coalesce_warp(dev.cc, slot, word_bytes);
-        report.transactions += coalesced.count();
-        report.bytes += coalesced.bytes();
-        report.partition_histogram.add_transactions(partition_model,
-                                                    coalesced.transactions);
-        ++sms[sm].global_slots;
-        ++report.global_slots;
-      }
+        sh.sm.warp_instructions += warp_compute;
 
-      // Shared slots: bank conflicts per half-warp.
-      std::vector<std::uint64_t> half_addrs;
-      for (std::size_t s = 0; s < max_shared; ++s) {
-        ++report.shared_slots;
-        for (std::uint32_t half = 0; half < 2; ++half) {
-          half_addrs.clear();
-          const std::uint32_t lo = half * 16;
-          const std::uint32_t hi = std::min(lanes_in_warp, lo + 16);
-          for (std::uint32_t lane = lo; lane < hi; ++lane)
-            if (s < lanes[lane].shared_.size())
-              half_addrs.push_back(lanes[lane].shared_[s]);
-          if (half_addrs.empty()) continue;
-          const std::uint32_t degree =
-              bank_conflict_degree(half_addrs, dev.shared_banks);
-          report.bank_conflict_steps += degree;
-          sms[sm].bank_conflict_steps += degree;
+        // Global slots: coalesce the s-th access of every lane together.
+        for (std::size_t s = 0; s < max_global; ++s) {
+          scratch.slot.clear();
+          std::uint32_t word_bytes = 0;
+          for (std::uint32_t lane = 0; lane < lanes_in_warp; ++lane) {
+            if (s >= lanes[lane].global_.size()) continue;
+            const auto& access = lanes[lane].global_[s];
+            if (word_bytes == 0) word_bytes = access.word_bytes;
+            LGG_ASSERT(word_bytes == access.word_bytes);
+            scratch.slot.push_back({lane, access.addr});
+          }
+          const CoalesceResult coalesced =
+              coalesce_warp(dev.cc, scratch.slot, word_bytes);
+          sh.transactions += coalesced.count();
+          sh.bytes += coalesced.bytes();
+          sh.hist.add_transactions(partition_model, coalesced.transactions);
+          ++sh.sm.global_slots;
+        }
+
+        // Shared slots: bank conflicts per half-warp.
+        for (std::size_t s = 0; s < max_shared; ++s) {
+          ++sh.shared_slots;
+          for (std::uint32_t half = 0; half < 2; ++half) {
+            scratch.half_addrs.clear();
+            const std::uint32_t lo = half * 16;
+            const std::uint32_t hi = std::min(lanes_in_warp, lo + 16);
+            for (std::uint32_t lane = lo; lane < hi; ++lane)
+              if (s < lanes[lane].shared_.size())
+                scratch.half_addrs.push_back(lanes[lane].shared_[s]);
+            if (scratch.half_addrs.empty()) continue;
+            const std::uint32_t degree =
+                bank_conflict_degree(scratch.half_addrs, dev.shared_banks);
+            sh.sm.bank_conflict_steps += degree;
+          }
         }
       }
     }
+  };
+
+  if (policy.mode == ExecPolicy::Mode::kSerial || dev.sm_count <= 1) {
+    WorkerScratch scratch = make_scratch();
+    for (std::uint32_t sm = 0; sm < dev.sm_count; ++sm)
+      run_shard(sm, scratch);
+  } else {
+    // One parallel_for chunk == one contiguous shard range on one host
+    // thread; shard contents are independent of the chunking, so any
+    // worker count (including 1) produces byte-identical shard states.
+    const auto shard_range = [&](std::size_t lo, std::size_t hi) {
+      WorkerScratch scratch = make_scratch();
+      for (std::size_t sm = lo; sm < hi; ++sm)
+        run_shard(static_cast<std::uint32_t>(sm), scratch);
+    };
+    if (policy.threads > 0) {
+      ThreadPool pool(policy.threads);
+      pool.parallel_for(dev.sm_count, shard_range);
+    } else {
+      ThreadPool::shared().parallel_for(dev.sm_count, shard_range);
+    }
+  }
+
+  // Merge shards in fixed SM order (integer sums are order-free; the FP
+  // compute sums never cross shards, so this order fixes everything else).
+  std::uint64_t sampled_warps = 0;
+  std::vector<SmAccumulator> sms(dev.sm_count);
+  for (std::uint32_t sm = 0; sm < dev.sm_count; ++sm) {
+    const ShardState& sh = shards[sm];
+    sms[sm] = sh.sm;
+    report.transactions += sh.transactions;
+    report.bytes += sh.bytes;
+    report.global_slots += sh.sm.global_slots;
+    report.shared_slots += sh.shared_slots;
+    report.bank_conflict_steps += sh.sm.bank_conflict_steps;
+    report.warp_instructions += sh.sm.warp_instructions;
+    report.partition_histogram.merge(sh.hist);
+    sampled_warps += sh.sampled_warps;
   }
   LGG_ASSERT(sampled_warps > 0);
 
@@ -137,6 +217,7 @@ KernelReport Simulator::run(const KernelFn& kernel, const KernelConfig& config,
         static_cast<double>(report.shared_slots) * scale);
     report.bank_conflict_steps = static_cast<std::uint64_t>(
         static_cast<double>(report.bank_conflict_steps) * scale);
+    report.warp_instructions *= scale;
     for (auto& c : report.partition_histogram.count)
       c = static_cast<std::uint64_t>(static_cast<double>(c) * scale);
     report.partition_histogram.total = static_cast<std::uint64_t>(

@@ -29,8 +29,31 @@
 // the triangle-count style *functional* result of skipped warps is NOT
 // produced, so sampled runs are for timing studies only (the benches pair
 // them with an exact host-side count).
+//
+// Host-side parallel execution (DESIGN.md §8)
+// -------------------------------------------
+// Simulated warps are independent by construction, so run() shards the
+// launch across host threads: shard s owns every block mapped to SM s and
+// replays its warps in increasing warp order into private accumulators.
+// Shards are merged in fixed SM order, so the returned KernelReport is
+// bit-identical regardless of host thread count (including serial and
+// including sample_stride > 1): the shard decomposition — and therefore
+// every floating-point summation order — depends only on the launch
+// configuration, never on the worker count.
+//
+// Thread-safety contract for kernels: run() may invoke the kernel
+// concurrently from multiple host threads, one warp at a time per thread
+// (lanes of one warp always execute sequentially on one thread).  A kernel
+// must therefore only (a) read captured state that stays immutable for the
+// duration of the launch, (b) record through its ThreadRecorder, and
+// (c) write per-warp results into output slots indexed by ctx.global_warp
+// (or per-thread slots indexed by ctx.global_id).  The core/ kernels
+// (triangle_gpu, intersect_gpu, subgraph_gpu, bfs_gpu, hybrid) all follow
+// this contract.  Pass ExecPolicy::serial() as an escape hatch for
+// kernels that cannot.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -46,6 +69,36 @@ struct KernelConfig {
   std::string name = "kernel";
   std::uint32_t blocks = 1;
   std::uint32_t threads_per_block = 32;
+
+  /// Warps per block for the given warp size (last warp may be partial).
+  [[nodiscard]] std::uint32_t warps_per_block(
+      std::uint32_t warp_size) const noexcept {
+    return (threads_per_block + warp_size - 1) / warp_size;
+  }
+  /// Total warps in the launch; kernels size per-warp output-slot arrays
+  /// (indexed by ThreadCtx::global_warp) with this.
+  [[nodiscard]] std::uint64_t total_warps(
+      std::uint32_t warp_size) const noexcept {
+    return static_cast<std::uint64_t>(blocks) * warps_per_block(warp_size);
+  }
+};
+
+/// How run() uses host threads.  The report is bit-identical across all
+/// policies; this only trades wall-clock time on the simulating host.
+struct ExecPolicy {
+  enum class Mode : std::uint8_t { kSerial, kParallel };
+  Mode mode = Mode::kParallel;
+  /// kParallel only: 0 uses the process-wide shared pool (sized to the
+  /// hardware concurrency); > 0 runs on a private pool of exactly that
+  /// many workers (mainly for determinism tests).
+  std::size_t threads = 0;
+
+  [[nodiscard]] static ExecPolicy serial() noexcept {
+    return {Mode::kSerial, 0};
+  }
+  [[nodiscard]] static ExecPolicy parallel(std::size_t threads = 0) noexcept {
+    return {Mode::kParallel, threads};
+  }
 };
 
 /// Identity of one simulated thread.
@@ -55,9 +108,16 @@ struct ThreadCtx {
   std::uint64_t global_id = 0;   // block * threads_per_block + thread
   std::uint32_t lane = 0;        // thread % 32
   std::uint32_t warp = 0;        // thread / 32 (within block)
+  /// block * warps_per_block + warp: unique warp id across the launch.
+  /// Per-warp kernel output slots are indexed by this (all lanes of a
+  /// warp run on one host thread, so such slots need no synchronisation).
+  std::uint64_t global_warp = 0;
 };
 
-/// Tape recorder handed to each simulated thread.
+/// Tape recorder handed to each simulated thread.  Tape storage is owned
+/// per host worker and reused across every warp the worker replays:
+/// clear() drops the contents but keeps the heap capacity, so steady-state
+/// warp replay performs no allocations.
 class ThreadRecorder {
  public:
   /// Record a read of `word_bytes` at byte `offset` inside `buf`.
@@ -91,6 +151,10 @@ class ThreadRecorder {
     shared_.clear();
     compute_ = 0.0;
   }
+  void reserve(std::size_t accesses) {
+    global_.reserve(accesses);
+    shared_.reserve(accesses);
+  }
 };
 
 using KernelFn = std::function<void(const ThreadCtx&, ThreadRecorder&)>;
@@ -103,9 +167,13 @@ class Simulator {
 
   /// Simulate one kernel launch.  sample_stride == 1 runs every warp
   /// (functional + timing); k > 1 runs every k-th warp and scales the
-  /// statistics (timing only).
+  /// statistics (timing only).  The policy selects serial or multi-thread
+  /// host execution; the report is bit-identical either way (see the
+  /// header comment), but the kernel must honour the thread-safety
+  /// contract unless ExecPolicy::serial() is passed.
   KernelReport run(const KernelFn& kernel, const KernelConfig& config,
-                   std::uint32_t sample_stride = 1) const;
+                   std::uint32_t sample_stride = 1,
+                   const ExecPolicy& policy = {}) const;
 
   /// Price a host->device copy of `bytes`.
   [[nodiscard]] TransferReport transfer(std::uint64_t bytes) const;

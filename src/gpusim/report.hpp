@@ -30,7 +30,7 @@ struct KernelReport {
   std::uint64_t bank_conflict_steps = 0;  // serialised issue steps
 
   // -- compute --
-  double warp_instructions = 0.0;
+  double warp_instructions = 0.0;  // summed over SMs in fixed SM order
 
   // -- timing decomposition (cycles) --
   double compute_cycles = 0.0;   // max over SMs of issue time

@@ -1,5 +1,6 @@
 #include "util/thread_pool.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <exception>
 
@@ -26,6 +27,11 @@ ThreadPool::~ThreadPool() {
   for (auto& worker : workers_) worker.join();
 }
 
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
@@ -41,15 +47,21 @@ void ThreadPool::worker_loop() {
 }
 
 void ThreadPool::parallel_for(
-    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn,
+    std::size_t grain) {
   if (n == 0) return;
-  const std::size_t chunks = std::min(n, workers_.size());
+  if (grain == 0) grain = 1;
+  // Chunk count: never more than one per executor (workers + the calling
+  // thread), never so many that a chunk drops below `grain` elements.
+  // chunks <= n / grain <= n guarantees every chunk is non-empty.
+  const std::size_t max_chunks = std::max<std::size_t>(1, n / grain);
+  const std::size_t chunks = std::min(workers_.size() + 1, max_chunks);
   if (chunks <= 1) {
     fn(0, n);
     return;
   }
 
-  std::atomic<std::size_t> remaining{chunks};
+  std::atomic<std::size_t> remaining{chunks - 1};
   std::exception_ptr first_error;
   std::mutex error_mutex;
   std::mutex done_mutex;
@@ -57,8 +69,10 @@ void ThreadPool::parallel_for(
 
   const std::size_t base = n / chunks;
   const std::size_t extra = n % chunks;
-  std::size_t begin = 0;
-  for (std::size_t c = 0; c < chunks; ++c) {
+  // Chunk 0 runs inline on the calling thread below; chunks 1..C-1 go to
+  // the queue first so workers start while the caller computes its share.
+  std::size_t begin = base + (0 < extra ? 1 : 0);
+  for (std::size_t c = 1; c < chunks; ++c) {
     const std::size_t len = base + (c < extra ? 1 : 0);
     const std::size_t end = begin + len;
     auto task = [&, begin, end] {
@@ -80,6 +94,13 @@ void ThreadPool::parallel_for(
     begin = end;
   }
   cv_.notify_all();
+
+  try {
+    fn(0, base + (0 < extra ? 1 : 0));
+  } catch (...) {
+    const std::lock_guard lock(error_mutex);
+    if (!first_error) first_error = std::current_exception();
+  }
 
   std::unique_lock lock(done_mutex);
   done_cv.wait(lock, [&] { return remaining.load() == 0; });

@@ -1,7 +1,8 @@
 // Minimal fixed-size thread pool with a parallel_for helper.
 //
 // Used by the CPU reference implementations when the host has more than one
-// core, and by tests that exercise concurrent access to shared read-only
+// core, by the gpusim executor to shard independent warp work across host
+// cores, and by tests that exercise concurrent access to shared read-only
 // structures.  The pool follows the structured-parallelism idiom from the
 // OpenMP examples guide: work is submitted as a batch and joined before the
 // submitting scope exits; no detached tasks.
@@ -29,11 +30,22 @@ class ThreadPool {
 
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
 
+  /// Process-wide shared pool sized to the hardware concurrency.  Lazily
+  /// constructed on first use; lives until process exit.  Intended for
+  /// callers that need occasional bursts of parallelism (the gpusim
+  /// executor) without paying thread creation per call.
+  static ThreadPool& shared();
+
   /// Runs fn(chunk_begin, chunk_end) over [0, n) split into roughly equal
-  /// contiguous chunks, one per worker, and waits for completion.
-  /// Exceptions thrown by fn propagate to the caller (first one wins).
+  /// contiguous chunks and waits for completion.  At most one chunk per
+  /// worker plus one executed inline on the calling thread; every chunk is
+  /// non-empty, and when n >= grain every chunk holds at least `grain`
+  /// elements (so tiny ranges produce few tasks instead of many empty or
+  /// one-element ones).  Exceptions thrown by fn propagate to the caller
+  /// (first one wins); the full range is still joined before rethrowing.
   void parallel_for(std::size_t n,
-                    const std::function<void(std::size_t, std::size_t)>& fn);
+                    const std::function<void(std::size_t, std::size_t)>& fn,
+                    std::size_t grain = 1);
 
  private:
   void worker_loop();

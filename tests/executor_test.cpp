@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <mutex>
 #include <set>
 #include <vector>
 
@@ -15,17 +16,29 @@ namespace cal = calibration;
 
 TEST(Executor, RunsEveryThreadExactlyOnce) {
   const Simulator sim(tesla_c1060());
-  std::set<std::uint64_t> ids;
+  // The default policy replays warps on multiple host threads, so the
+  // test collects contexts under a mutex and asserts afterwards.
+  std::mutex mu;
+  std::vector<ThreadCtx> seen;
   KernelConfig cfg{"ids", 4, 96};
   sim.run(
       [&](const ThreadCtx& ctx, ThreadRecorder&) {
-        EXPECT_TRUE(ids.insert(ctx.global_id).second);
-        EXPECT_EQ(ctx.global_id,
-                  static_cast<std::uint64_t>(ctx.block) * 96 + ctx.thread);
-        EXPECT_EQ(ctx.lane, ctx.thread % 32);
-        EXPECT_EQ(ctx.warp, ctx.thread / 32);
+        const std::lock_guard lock(mu);
+        seen.push_back(ctx);
       },
       cfg);
+  ASSERT_EQ(seen.size(), 4u * 96);
+  std::set<std::uint64_t> ids;
+  for (const ThreadCtx& ctx : seen) {
+    EXPECT_TRUE(ids.insert(ctx.global_id).second);
+    EXPECT_EQ(ctx.global_id,
+              static_cast<std::uint64_t>(ctx.block) * 96 + ctx.thread);
+    EXPECT_EQ(ctx.lane, ctx.thread % 32);
+    EXPECT_EQ(ctx.warp, ctx.thread / 32);
+    EXPECT_EQ(ctx.global_warp, static_cast<std::uint64_t>(ctx.block) *
+                                       cfg.warps_per_block(32) +
+                                   ctx.warp);
+  }
   EXPECT_EQ(ids.size(), 4u * 96);
 }
 
@@ -183,10 +196,10 @@ TEST(Executor, TransferReportMatchesModel) {
 
 TEST(Executor, PartialWarpHandled) {
   const Simulator sim(tesla_c1060());
-  std::uint32_t calls = 0;
+  std::atomic<std::uint32_t> calls{0};
   sim.run([&](const ThreadCtx&, ThreadRecorder&) { ++calls; },
           {"partial", 1, 40});  // 1 full warp + 8 lanes
-  EXPECT_EQ(calls, 40u);
+  EXPECT_EQ(calls.load(), 40u);
 }
 
 }  // namespace

@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <mutex>
 #include <set>
 #include <sstream>
+#include <utility>
 #include <vector>
 
 #include "util/bits.hpp"
@@ -210,6 +212,78 @@ TEST(ThreadPool, PropagatesException) {
                      if (lo == 0) throw std::runtime_error("boom");
                    }),
                std::runtime_error);
+}
+
+TEST(ThreadPool, PropagatesExceptionFromWorkerChunk) {
+  // Chunk 0 runs inline on the caller; force the throw into a chunk that
+  // is executed by a pool worker (lo != 0) and check it still propagates.
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [](std::size_t lo, std::size_t) {
+                                   if (lo != 0)
+                                     throw std::runtime_error("worker boom");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, SmallRangeSpawnsNoEmptyChunks) {
+  ThreadPool pool(8);
+  std::mutex mu;
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  pool.parallel_for(3, [&](std::size_t lo, std::size_t hi) {
+    const std::lock_guard lock(mu);
+    chunks.emplace_back(lo, hi);
+  });
+  std::size_t covered = 0;
+  for (const auto& [lo, hi] : chunks) {
+    EXPECT_LT(lo, hi) << "empty chunk spawned";
+    covered += hi - lo;
+  }
+  EXPECT_EQ(covered, 3u);
+  EXPECT_LE(chunks.size(), 3u);
+}
+
+TEST(ThreadPool, GrainBoundsChunkSize) {
+  ThreadPool pool(8);
+  std::mutex mu;
+  std::vector<std::size_t> sizes;
+  pool.parallel_for(
+      100,
+      [&](std::size_t lo, std::size_t hi) {
+        const std::lock_guard lock(mu);
+        sizes.push_back(hi - lo);
+      },
+      40);
+  std::size_t covered = 0;
+  for (const std::size_t s : sizes) {
+    EXPECT_GE(s, 40u);  // n >= grain: every chunk holds >= grain elements
+    covered += s;
+  }
+  EXPECT_EQ(covered, 100u);
+  EXPECT_LE(sizes.size(), 2u);  // 100 / 40 = 2 chunks max
+}
+
+TEST(ThreadPool, GrainLargerThanRangeRunsInline) {
+  ThreadPool pool(8);
+  std::mutex mu;
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  pool.parallel_for(
+      5,
+      [&](std::size_t lo, std::size_t hi) {
+        const std::lock_guard lock(mu);
+        chunks.emplace_back(lo, hi);
+      },
+      64);
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks.front(), (std::pair<std::size_t, std::size_t>{0, 5}));
+}
+
+TEST(ThreadPool, SharedPoolIsUsable) {
+  std::atomic<int> total{0};
+  ThreadPool::shared().parallel_for(257, [&](std::size_t lo, std::size_t hi) {
+    total.fetch_add(static_cast<int>(hi - lo));
+  });
+  EXPECT_EQ(total.load(), 257);
 }
 
 TEST(ThreadPool, ReusableAfterException) {
