@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# One-command local CI: configure/build/test the default preset, the
+# address+UB-sanitized preset, the thread-sanitized preset (concurrency
+# label only -- TSan is too slow for the full suite), and finally the
+# clang-tidy lint target (a no-op notice when clang-tidy is absent).
+#
+# Usage: ci/check.sh [extra ctest args, e.g. -j8]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+CTEST_ARGS=("$@")
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+step() { printf '\n=== %s ===\n' "$*"; }
+
+step "default: configure + build"
+cmake --preset default
+cmake --build --preset default -j "$JOBS"
+
+step "default: full test suite"
+ctest --test-dir build --output-on-failure "${CTEST_ARGS[@]+"${CTEST_ARGS[@]}"}"
+
+step "asan: configure + build (LGG_SANITIZE=address, LGG_WERROR=ON)"
+cmake --preset asan
+cmake --build --preset asan -j "$JOBS"
+
+step "asan: full test suite"
+ctest --preset asan-full "${CTEST_ARGS[@]+"${CTEST_ARGS[@]}"}"
+
+step "tsan: configure + build (LGG_SANITIZE=thread, LGG_WERROR=ON)"
+cmake --preset tsan
+cmake --build --preset tsan -j "$JOBS"
+
+step "tsan: concurrency-labelled tests"
+ctest --preset tsan-concurrency "${CTEST_ARGS[@]+"${CTEST_ARGS[@]}"}"
+
+step "lint (clang-tidy, skipped when unavailable)"
+cmake --build build --target lint
+
+step "all checks passed"

@@ -4,6 +4,13 @@
 
 namespace lgg::combi {
 
+namespace {
+// 128-bit intermediates keep the running products exact; the __extension__
+// marker silences -Wpedantic (GNU extension, available on every supported
+// compiler).
+__extension__ typedef unsigned __int128 U128;
+}  // namespace
+
 std::uint64_t binomial(std::uint64_t n, std::uint64_t k) noexcept {
   if (k > n) return 0;
   if (k > n - k) k = n - k;
@@ -11,7 +18,7 @@ std::uint64_t binomial(std::uint64_t n, std::uint64_t k) noexcept {
 
   // result = prod_{i=1..k} (n - k + i) / i, keeping the running value exact:
   // after the i-th step the value is C(n-k+i, i), an integer.
-  unsigned __int128 result = 1;
+  U128 result = 1;
   for (std::uint64_t i = 1; i <= k; ++i) {
     result = result * (n - k + i);
     result /= i;
@@ -33,8 +40,7 @@ std::uint64_t precomputed_storage_bits(std::uint64_t n,
   if (combos == kBinomialOverflow) return kBinomialOverflow;
   const std::uint64_t id_bits =
       n <= 1 ? 1 : static_cast<std::uint64_t>(std::bit_width(n - 1));
-  const unsigned __int128 total =
-      static_cast<unsigned __int128>(combos) * k * id_bits;
+  const U128 total = static_cast<U128>(combos) * k * id_bits;
   if (total >= kBinomialOverflow) return kBinomialOverflow;
   return static_cast<std::uint64_t>(total);
 }

@@ -33,9 +33,9 @@ StratifiedChooser::StratifiedChooser(std::uint32_t a, std::uint32_t b,
       const std::uint64_t in_b = binomial(b_, k_ - t);
       LGG_CHECK(in_a != kBinomialOverflow && in_b != kBinomialOverflow,
                 "stratum size overflows 64 bits");
-      const unsigned __int128 size =
-          static_cast<unsigned __int128>(in_a) * in_b;
-      const unsigned __int128 next = cumulative + size;
+      __extension__ typedef unsigned __int128 U128;  // silences -Wpedantic
+      const U128 size = static_cast<U128>(in_a) * in_b;
+      const U128 next = cumulative + size;
       LGG_CHECK(next < kBinomialOverflow,
                 "total combination count overflows 64 bits");
       cumulative = static_cast<std::uint64_t>(next);

@@ -1,6 +1,8 @@
 #include "core/bfs_gpu.hpp"
 
 #include <algorithm>
+#include <optional>
+#include <utility>
 
 #include "gpusim/calibration.hpp"
 #include "gpusim/executor.hpp"
@@ -44,6 +46,16 @@ GpuBfsResult bfs_gpu(const Graph& g, Vertex source,
   const auto blocks = static_cast<std::uint32_t>((n + tpb - 1) / tpb);
   auto& tree = result.tree;
 
+  // Sancheck wiring: levels, offsets and adjacency are all staged before
+  // the first launch; one analyzer serves every level launch.
+  std::optional<sancheck::TapeAnalyzer> analyzer;
+  if (opts.sancheck != sancheck::SancheckMode::kOff) {
+    sancheck::SancheckConfig sc;
+    sc.mode = opts.sancheck;
+    sc.staged = {levels_buf, offsets_buf, adj_buf};
+    analyzer.emplace(std::move(sc), mem);
+  }
+
   bool advanced = true;
   std::uint32_t current = 0;
   while (advanced) {
@@ -72,10 +84,12 @@ GpuBfsResult bfs_gpu(const Graph& g, Vertex source,
                         4);
         rec.compute(3);
         if (tree.level[nbrs[i]] == graph::kUnreached) {
-          // Functional update applied after the pass below; writes are
-          // charged here.
-          rec.global_write(levels_buf,
-                           static_cast<std::uint64_t>(nbrs[i]) * 4, 4);
+          // Functional update applied after the pass below; traffic is
+          // charged here.  Recorded as an atomic (atomicMin in HN'07-style
+          // codes): several frontier threads may discover one vertex in
+          // the same level, and that race is benign by construction.
+          rec.global_atomic(levels_buf,
+                            static_cast<std::uint64_t>(nbrs[i]) * 4, 4);
         }
       }
     };
@@ -84,10 +98,13 @@ GpuBfsResult bfs_gpu(const Graph& g, Vertex source,
     config.name = "bfs/level" + std::to_string(current);
     config.blocks = std::max<std::uint32_t>(blocks, 1);
     config.threads_per_block = tpb;
-    const gpusim::KernelReport report = sim.run(kernel, config, 1, opts.exec);
+    const gpusim::KernelReport report =
+        sim.run(kernel, config, 1, opts.exec,
+                analyzer ? &*analyzer : nullptr);
     result.kernel_time_s += report.kernel_time_s;
     result.transactions += report.transactions;
     result.bytes += report.bytes;
+    result.hazards.merge(report.hazards);
     ++result.iterations;
 
     // Apply the level-synchronous update on the host side (the kernel

@@ -17,6 +17,7 @@
 #include "gpusim/device.hpp"
 #include "gpusim/executor.hpp"
 #include "gpusim/report.hpp"
+#include "sancheck/sancheck.hpp"
 
 namespace lgg::core {
 
@@ -26,6 +27,8 @@ struct GpuBfsOptions {
   /// Host-side simulator execution policy (parallel by default;
   /// bit-identical to serial).
   gpusim::ExecPolicy exec;
+  /// Hazard analysis of every level launch (sancheck/sancheck.hpp).
+  sancheck::SancheckMode sancheck = sancheck::SancheckMode::kOff;
 };
 
 struct GpuBfsResult {
@@ -35,6 +38,11 @@ struct GpuBfsResult {
   std::uint64_t transactions = 0;
   std::uint64_t bytes = 0;
   double total_time_s = 0.0;      // transfer + init + kernels
+  /// Merged over all level launches (kReport mode; empty when off).
+  /// Frontier updates are recorded as atomics — two threads discovering
+  /// one vertex in the same level is the algorithm's benign race — so a
+  /// clean run stays clean under kStrict too.
+  gpusim::HazardReport hazards;
 };
 
 /// Run BFS from `source` on the simulated device.  The returned tree's

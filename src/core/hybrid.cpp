@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
+#include <utility>
 
 #include "core/als_plan.hpp"
 #include "graph/bfs.hpp"
@@ -197,8 +199,22 @@ HybridResult count_triangles_hybrid(const graph::Graph& g,
     const std::uint64_t chunk_warps = tpb / dev.warp_size;  // one block
     std::vector<std::uint64_t> warp_simulated(chunk_warps, 0);
     std::vector<std::uint64_t> warp_found(chunk_warps, 0);
+    // Shared-resident chunks stage the S-UTM into shared memory first:
+    // every thread writes a strided slice of the packed words, then the
+    // block barriers (the simulated __syncthreads), and only then probes.
+    // The sync annotation is what tells sancheck the write and read
+    // phases are ordered — without it every probe would race the staging.
+    const std::uint64_t utm_words =
+        (local_n * (local_n - 1) / 2 + 31) / 32;
     const gpusim::KernelFn kernel = [&](const gpusim::ThreadCtx& ctx,
                                         gpusim::ThreadRecorder& rec) {
+      if (chunk.fits_shared) {
+        for (std::uint64_t w = ctx.thread; w < utm_words; w += threads) {
+          rec.shared_write(w * 4);
+          rec.compute(1);
+        }
+        rec.sync();
+      }
       for (std::uint64_t i = 0; i < per_thread; ++i) {
         // Cyclic mapping: consecutive lanes take consecutive flat
         // indices, giving z-runs within a warp (coalescing / low bank
@@ -224,9 +240,9 @@ HybridResult count_triangles_hybrid(const graph::Graph& g,
                 a * (2 * local_n - a - 1) / 2 + (b - a - 1);
             return (bit / 32) * 4;
           };
-          rec.shared_access(word(lu, lv));
-          rec.shared_access(word(lv, lw));
-          rec.shared_access(word(lu, lw));
+          rec.shared_read(word(lu, lv));
+          rec.shared_read(word(lv, lw));
+          rec.shared_read(word(lu, lw));
         } else {
           const auto word = [&](std::uint64_t a, std::uint64_t b) {
             return a * row_bytes + (b >> 5) * 4;
@@ -245,7 +261,19 @@ HybridResult count_triangles_hybrid(const graph::Graph& g,
     config.name = chunk.fits_shared ? "chunk/shared" : "chunk/global";
     config.blocks = 1;
     config.threads_per_block = tpb;
-    gpusim::KernelReport report = sim.run(kernel, config, 1, opts.exec);
+
+    // Sancheck wiring: global-resident chunks read a host-staged matrix;
+    // shared chunks only touch shared memory (race-checked via epochs).
+    std::optional<sancheck::TapeAnalyzer> analyzer;
+    if (opts.sancheck != sancheck::SancheckMode::kOff) {
+      sancheck::SancheckConfig sc;
+      sc.mode = opts.sancheck;
+      if (!chunk.fits_shared) sc.staged = {buffer};
+      analyzer.emplace(std::move(sc), mem);
+    }
+    gpusim::KernelReport report =
+        sim.run(kernel, config, 1, opts.exec, analyzer ? &*analyzer : nullptr);
+    result.hazards.merge(report.hazards);
 
     // Deterministic reduction: fold per-warp slots in warp order.
     std::uint64_t simulated = 0, found = 0;

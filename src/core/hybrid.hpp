@@ -21,6 +21,7 @@
 #include "graph/graph.hpp"
 #include "gpusim/device.hpp"
 #include "gpusim/executor.hpp"
+#include "sancheck/sancheck.hpp"
 #include "sched/makespan.hpp"
 
 namespace lgg::core {
@@ -41,6 +42,8 @@ struct HybridOptions {
   /// Host-side simulator execution policy (parallel by default;
   /// bit-identical to serial).
   gpusim::ExecPolicy exec;
+  /// Hazard analysis of every chunk launch (sancheck/sancheck.hpp).
+  sancheck::SancheckMode sancheck = sancheck::SancheckMode::kOff;
 };
 
 /// Per-chunk execution record.
@@ -71,6 +74,9 @@ struct HybridResult {
   /// The paper's Eq. (6) estimate with tau_s/tau_g = mean measured chunk
   /// times: mu * tau_s + psi_g * tau_g, where mu = ceil(psi_s / #SM).
   double eq6_time_s = 0.0;
+
+  /// Merged over all chunk launches (kReport mode; empty when off).
+  gpusim::HazardReport hazards;
 };
 
 /// Run the full hybrid pipeline on the simulated device.

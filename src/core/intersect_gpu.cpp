@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <numeric>
+#include <optional>
+#include <utility>
 
 #include "combi/strategies.hpp"
 #include "gpusim/calibration.hpp"
@@ -177,7 +179,17 @@ GpuIntersectResult count_triangles_gpu_intersect(
   config.name = "triangles/intersect";
   config.blocks = blocks;
   config.threads_per_block = tpb;
-  result.kernel = sim.run(kernel, config, 1, opts.exec);
+
+  // Sancheck wiring: the CSR (offsets + neighbours) is staged by the host.
+  std::optional<sancheck::TapeAnalyzer> analyzer;
+  if (opts.sancheck != sancheck::SancheckMode::kOff) {
+    sancheck::SancheckConfig sc;
+    sc.mode = opts.sancheck;
+    sc.staged = {offsets_buf, adj_buf};
+    analyzer.emplace(std::move(sc), mem);
+  }
+  result.kernel =
+      sim.run(kernel, config, 1, opts.exec, analyzer ? &*analyzer : nullptr);
 
   // Deterministic reduction: fold per-warp slots in warp order.
   std::uint64_t triangles = 0, simulated_edges = 0, simulated_work = 0;

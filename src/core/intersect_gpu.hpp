@@ -20,6 +20,7 @@
 #include "gpusim/device.hpp"
 #include "gpusim/executor.hpp"
 #include "gpusim/report.hpp"
+#include "sancheck/sancheck.hpp"
 
 namespace lgg::core {
 
@@ -32,6 +33,8 @@ struct GpuIntersectOptions {
   /// Host-side simulator execution policy (parallel by default;
   /// bit-identical to serial).
   gpusim::ExecPolicy exec;
+  /// Hazard analysis of the launch (sancheck/sancheck.hpp).
+  sancheck::SancheckMode sancheck = sancheck::SancheckMode::kOff;
 };
 
 struct GpuIntersectResult {

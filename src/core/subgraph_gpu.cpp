@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <bit>
+#include <optional>
 #include <span>
+#include <utility>
 
 #include "combi/binomial.hpp"
 #include "combi/combinadic.hpp"
@@ -247,7 +249,17 @@ GpuKCountResult run_kcount(const Graph& g, std::uint32_t k,
   config.name = "kcount";
   config.blocks = blocks;
   config.threads_per_block = tpb;
-  result.kernel = sim.run(kernel, config, 1, opts.exec);
+
+  // Sancheck wiring: the adjacency matrix is staged by the host.
+  std::optional<sancheck::TapeAnalyzer> analyzer;
+  if (opts.sancheck != sancheck::SancheckMode::kOff) {
+    sancheck::SancheckConfig sc;
+    sc.mode = opts.sancheck;
+    sc.staged = {matrix};
+    analyzer.emplace(std::move(sc), mem);
+  }
+  result.kernel =
+      sim.run(kernel, config, 1, opts.exec, analyzer ? &*analyzer : nullptr);
 
   // Deterministic reduction: fold per-warp slots in warp order.
   std::uint64_t found = 0, simulated = 0;

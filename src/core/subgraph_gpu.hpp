@@ -24,6 +24,7 @@
 #include "gpusim/device.hpp"
 #include "gpusim/executor.hpp"
 #include "gpusim/report.hpp"
+#include "sancheck/sancheck.hpp"
 
 namespace lgg::core {
 
@@ -38,6 +39,8 @@ struct GpuKCountOptions {
   /// Host-side simulator execution policy (parallel by default;
   /// bit-identical to serial).
   gpusim::ExecPolicy exec;
+  /// Hazard analysis of the launch (sancheck/sancheck.hpp).
+  sancheck::SancheckMode sancheck = sancheck::SancheckMode::kOff;
 };
 
 struct GpuKCountResult {

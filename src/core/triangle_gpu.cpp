@@ -1,6 +1,8 @@
 #include "core/triangle_gpu.hpp"
 
 #include <algorithm>
+#include <optional>
+#include <utility>
 
 #include "combi/strategies.hpp"
 #include "gpusim/calibration.hpp"
@@ -262,7 +264,19 @@ GpuTriangleResult count_triangles_gpu(const graph::Graph& g,
   config.name = std::string("triangles/") + gpu_layout_name(opts.layout);
   config.blocks = blocks;
   config.threads_per_block = tpb;
-  result.kernel = sim.run(kernel, config, 1, opts.exec);
+
+  // Sancheck wiring: the host stages the whole adjacency layout before the
+  // launch, so every read from it is initialised by definition.
+  std::optional<sancheck::TapeAnalyzer> analyzer;
+  if (opts.sancheck != sancheck::SancheckMode::kOff) {
+    sancheck::SancheckConfig sc;
+    sc.mode = opts.sancheck;
+    sc.staged = layout.per_job ? layout.blocks
+                               : std::vector<Buffer>{layout.matrix};
+    analyzer.emplace(std::move(sc), mem);
+  }
+  result.kernel =
+      sim.run(kernel, config, 1, opts.exec, analyzer ? &*analyzer : nullptr);
 
   // Deterministic reduction: fold per-warp slots in warp order.
   std::uint64_t triangles = 0;
@@ -309,6 +323,55 @@ GpuTriangleResult count_triangles_gpu(const graph::Graph& g,
                         cal::kDispatchOverheadS + cal::kDeviceInitOverheadS +
                         result.kernel.kernel_time_s;
   return result;
+}
+
+sancheck::FootprintSpec als_footprint_spec(const graph::Graph& g,
+                                           const GpuTriangleOptions& opts) {
+  const gpusim::DeviceSpec& dev =
+      opts.device ? *opts.device : gpusim::tesla_c1060();
+  const std::uint32_t blocks =
+      opts.blocks ? opts.blocks : 2 * dev.sm_count;
+  const std::uint32_t tpb = opts.threads_per_block;
+  LGG_CHECK(tpb >= dev.warp_size && tpb % dev.warp_size == 0,
+            "threads_per_block must be a positive multiple of the warp size");
+
+  const AlsPlan plan = build_als_plan(g);
+  gpusim::DeviceMemory mem(dev);  // scratch: only the addresses matter
+  const Layout layout = build_layout(g, plan, opts.layout, mem);
+
+  sancheck::FootprintSpec spec;
+  spec.total_tests = plan.total_tests;
+  spec.warp_size = dev.warp_size;
+  spec.warp_interleaved = opts.layout != GpuLayout::kNaive;
+  const std::uint64_t threads = static_cast<std::uint64_t>(blocks) * tpb;
+  spec.workers =
+      spec.warp_interleaved ? threads / dev.warp_size : threads;
+
+  if (layout.per_job) {
+    spec.blocks.reserve(layout.blocks.size());
+    for (std::size_t r = 0; r < layout.blocks.size(); ++r)
+      spec.blocks.push_back({layout.blocks[r].base, layout.blocks[r].bytes,
+                             layout.strides[r]});
+  } else {
+    spec.blocks.push_back(
+        {layout.matrix.base, layout.matrix.bytes, layout.row_bytes});
+  }
+
+  spec.jobs.reserve(plan.jobs.size());
+  for (std::size_t r = 0; r < plan.jobs.size(); ++r) {
+    const AlsJob& job = plan.jobs[r];
+    sancheck::FootprintJob fj;
+    fj.test_offset = job.test_offset;
+    fj.tests = job.tests;
+    fj.s = job.s;
+    fj.x_max = job.x_max;
+    // Per-job blocks are addressed by local ids (< s); the shared matrix
+    // by global vertex ids (< n).
+    fj.index_bound = layout.per_job ? job.s : g.num_vertices();
+    fj.block = layout.per_job ? r : 0;
+    spec.jobs.push_back(fj);
+  }
+  return spec;
 }
 
 }  // namespace lgg::core

@@ -40,6 +40,8 @@
 #include "gpusim/device.hpp"
 #include "gpusim/executor.hpp"
 #include "gpusim/report.hpp"
+#include "sancheck/footprint.hpp"
+#include "sancheck/sancheck.hpp"
 
 namespace lgg::core {
 
@@ -64,6 +66,10 @@ struct GpuTriangleOptions {
   /// Host-side execution policy for the simulator (default: parallel
   /// across host cores; results are bit-identical to serial).
   gpusim::ExecPolicy exec;
+  /// Hazard analysis of the launch (sancheck/sancheck.hpp): kReport
+  /// attaches a HazardReport to `kernel.hazards`, kStrict throws
+  /// lgg::Error on the first hazard.
+  sancheck::SancheckMode sancheck = sancheck::SancheckMode::kOff;
 };
 
 struct GpuTriangleResult {
@@ -83,5 +89,12 @@ struct GpuTriangleResult {
 
 GpuTriangleResult count_triangles_gpu(const graph::Graph& g,
                                       const GpuTriangleOptions& opts = {});
+
+/// Build the symbolic footprint of the launch count_triangles_gpu(g, opts)
+/// would perform — same plan, same layout math, same work division — for
+/// the static sancheck lint (sancheck::lint_footprint), which proves chunk
+/// containment and slot disjointness without simulating a single test.
+sancheck::FootprintSpec als_footprint_spec(const graph::Graph& g,
+                                           const GpuTriangleOptions& opts = {});
 
 }  // namespace lgg::core

@@ -31,6 +31,9 @@ struct ShardState {
   std::uint64_t bytes = 0;
   std::uint64_t shared_slots = 0;
   std::uint64_t sampled_warps = 0;
+  /// Retained lane tapes (inspector runs only); later merged and sorted
+  /// into (block, thread) order, so the collection order here is free.
+  std::vector<ThreadTrace> traces;
 };
 
 /// Per-host-worker scratch reused across every warp the worker replays:
@@ -54,7 +57,8 @@ struct WorkerScratch {
 
 KernelReport Simulator::run(const KernelFn& kernel, const KernelConfig& config,
                             std::uint32_t sample_stride,
-                            const ExecPolicy& policy) const {
+                            const ExecPolicy& policy,
+                            const LaunchInspector* inspector) const {
   LGG_CHECK(config.blocks > 0 && config.threads_per_block > 0,
             "Simulator::run: empty launch configuration");
   LGG_CHECK(config.threads_per_block <= 1024,
@@ -123,6 +127,10 @@ KernelReport Simulator::run(const KernelFn& kernel, const KernelConfig& config,
           warp_compute = std::max(warp_compute, lanes[lane].compute_);
           max_global = std::max(max_global, lanes[lane].global_.size());
           max_shared = std::max(max_shared, lanes[lane].shared_.size());
+          if (inspector != nullptr)
+            sh.traces.push_back(
+                {ctx, lanes[lane].global_, lanes[lane].shared_,
+                 lanes[lane].syncs_});
         }
         sh.sm.warp_instructions += warp_compute;
 
@@ -154,7 +162,7 @@ KernelReport Simulator::run(const KernelFn& kernel, const KernelConfig& config,
             const std::uint32_t hi = std::min(lanes_in_warp, lo + 16);
             for (std::uint32_t lane = lo; lane < hi; ++lane)
               if (s < lanes[lane].shared_.size())
-                scratch.half_addrs.push_back(lanes[lane].shared_[s]);
+                scratch.half_addrs.push_back(lanes[lane].shared_[s].addr);
             if (scratch.half_addrs.empty()) continue;
             const std::uint32_t degree =
                 bank_conflict_degree(scratch.half_addrs, dev.shared_banks);
@@ -233,6 +241,26 @@ KernelReport Simulator::run(const KernelFn& kernel, const KernelConfig& config,
     }
   }
   report.camping_factor = report.partition_histogram.camping_factor();
+
+  // Sancheck hook: merge the retained tapes into (block, thread) order —
+  // deterministic for every ExecPolicy — and hand them to the inspector.
+  // Runs before the timing derivation so a strict-mode throw leaves no
+  // half-priced report behind.
+  if (inspector != nullptr) {
+    std::vector<ThreadTrace> traces;
+    std::size_t count = 0;
+    for (const ShardState& sh : shards) count += sh.traces.size();
+    traces.reserve(count);
+    for (ShardState& sh : shards)
+      for (ThreadTrace& t : sh.traces) traces.push_back(std::move(t));
+    std::sort(traces.begin(), traces.end(),
+              [](const ThreadTrace& a, const ThreadTrace& b) {
+                return a.ctx.block != b.ctx.block
+                           ? a.ctx.block < b.ctx.block
+                           : a.ctx.thread < b.ctx.thread;
+              });
+    inspector->inspect(config, dev, traces, report);
+  }
 
   // --- timing (see header comment) ---
   namespace cal = calibration;

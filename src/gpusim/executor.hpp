@@ -114,6 +114,29 @@ struct ThreadCtx {
   std::uint64_t global_warp = 0;
 };
 
+/// What a recorded access does to its location.  Reads, writes and
+/// atomics all cost the same transaction machinery on this hardware; the
+/// distinction exists for the sancheck hazard analysis (atomics are exempt
+/// from the write-write conflict check, like atomicMin in a real frontier
+/// update).
+enum class AccessKind : std::uint8_t { kRead, kWrite, kAtomic };
+
+/// One global-memory tape entry (addresses drive coalescing/partitions;
+/// kind and sync epoch drive the hazard analysis).
+struct GlobalAccess {
+  std::uint64_t addr;
+  std::uint32_t word_bytes;
+  std::uint32_t epoch;  // __syncthreads() count when issued
+  AccessKind kind;
+};
+
+/// One shared-memory tape entry (address drives the bank model).
+struct SharedAccess {
+  std::uint64_t addr;
+  std::uint32_t epoch;
+  AccessKind kind;
+};
+
 /// Tape recorder handed to each simulated thread.  Tape storage is owned
 /// per host worker and reused across every warp the worker replays:
 /// clear() drops the contents but keeps the heap capacity, so steady-state
@@ -124,32 +147,58 @@ class ThreadRecorder {
   /// All lanes of a warp must use the same word size per slot.
   void global_read(const Buffer& buf, std::uint64_t offset,
                    std::uint32_t word_bytes) {
-    global_.push_back({buf.addr(offset), word_bytes});
+    global_.push_back({buf.addr(offset), word_bytes, epoch_, AccessKind::kRead});
   }
   /// Writes share the transaction machinery with reads on this hardware.
   void global_write(const Buffer& buf, std::uint64_t offset,
                     std::uint32_t word_bytes) {
-    global_read(buf, offset, word_bytes);
+    global_.push_back(
+        {buf.addr(offset), word_bytes, epoch_, AccessKind::kWrite});
   }
-  /// Record a shared-memory access at byte address `addr` (bank model).
-  void shared_access(std::uint64_t addr) { shared_.push_back(addr); }
+  /// An atomic read-modify-write (atomicOr/atomicMin-style): priced like
+  /// any other transaction, but exempt from sancheck's cross-warp
+  /// write-write conflict check — concurrent atomics to one word are
+  /// well-defined on the device.
+  void global_atomic(const Buffer& buf, std::uint64_t offset,
+                     std::uint32_t word_bytes) {
+    global_.push_back(
+        {buf.addr(offset), word_bytes, epoch_, AccessKind::kAtomic});
+  }
+  /// Record a shared-memory read at byte address `addr` (bank model).
+  void shared_read(std::uint64_t addr) {
+    shared_.push_back({addr, epoch_, AccessKind::kRead});
+  }
+  /// Back-compat alias: an unannotated shared access is a read.
+  void shared_access(std::uint64_t addr) { shared_read(addr); }
+  /// Record a shared-memory write at byte address `addr`.
+  void shared_write(std::uint64_t addr) {
+    shared_.push_back({addr, epoch_, AccessKind::kWrite});
+  }
+  /// A __syncthreads() barrier: accesses before and after a sync are in
+  /// different epochs, which is what licenses shared-memory reuse across
+  /// block phases in the sancheck race analysis.  Free in the timing model
+  /// (barrier latency hides under the warp round-robin).
+  void sync() {
+    ++epoch_;
+    ++syncs_;
+  }
   /// Charge `n` warp instructions of pure compute.
   void compute(double n = 1.0) { compute_ += n; }
 
  private:
   friend class Simulator;
-  struct GlobalAccess {
-    std::uint64_t addr;
-    std::uint32_t word_bytes;
-  };
   std::vector<GlobalAccess> global_;
-  std::vector<std::uint64_t> shared_;
+  std::vector<SharedAccess> shared_;
   double compute_ = 0.0;
+  std::uint32_t epoch_ = 0;
+  std::uint32_t syncs_ = 0;
 
   void clear() {
     global_.clear();
     shared_.clear();
     compute_ = 0.0;
+    epoch_ = 0;
+    syncs_ = 0;
   }
   void reserve(std::size_t accesses) {
     global_.reserve(accesses);
@@ -158,6 +207,29 @@ class ThreadRecorder {
 };
 
 using KernelFn = std::function<void(const ThreadCtx&, ThreadRecorder&)>;
+
+/// The full recorded tape of one simulated thread, kept only when a
+/// LaunchInspector is attached to the launch.
+struct ThreadTrace {
+  ThreadCtx ctx;
+  std::vector<GlobalAccess> global;
+  std::vector<SharedAccess> shared;
+  std::uint32_t syncs = 0;
+};
+
+/// Post-launch analysis hook (implemented by lgg::sancheck).  When one is
+/// passed to Simulator::run, every simulated thread's tape is retained and
+/// the hook runs once after the replay and merge, with the traces sorted
+/// by (block, thread) — an order independent of the host thread count, so
+/// anything the inspector derives is bit-identical across ExecPolicies.
+/// The inspector may throw (strict sancheck) or annotate the report.
+class LaunchInspector {
+ public:
+  virtual ~LaunchInspector() = default;
+  virtual void inspect(const KernelConfig& config, const DeviceSpec& dev,
+                       const std::vector<ThreadTrace>& traces,
+                       KernelReport& report) const = 0;
+};
 
 class Simulator {
  public:
@@ -170,10 +242,14 @@ class Simulator {
   /// statistics (timing only).  The policy selects serial or multi-thread
   /// host execution; the report is bit-identical either way (see the
   /// header comment), but the kernel must honour the thread-safety
-  /// contract unless ExecPolicy::serial() is passed.
+  /// contract unless ExecPolicy::serial() is passed.  A non-null
+  /// `inspector` makes the run retain every simulated thread's tape and
+  /// invokes the hook after the merge (sancheck wiring; see
+  /// LaunchInspector).
   KernelReport run(const KernelFn& kernel, const KernelConfig& config,
                    std::uint32_t sample_stride = 1,
-                   const ExecPolicy& policy = {}) const;
+                   const ExecPolicy& policy = {},
+                   const LaunchInspector* inspector = nullptr) const;
 
   /// Price a host->device copy of `bytes`.
   [[nodiscard]] TransferReport transfer(std::uint64_t bytes) const;

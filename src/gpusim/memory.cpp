@@ -24,6 +24,7 @@ Buffer DeviceMemory::alloc(std::uint64_t bytes, std::uint64_t align) {
                                           << ", capacity " << capacity_
                                           << " B (" << spec_->name << ")");
   cursor_ = base + bytes;
+  allocations_.push_back({base, bytes, true});
   return {base, bytes};
 }
 
@@ -42,6 +43,7 @@ Buffer DeviceMemory::alloc_in_partition(std::uint64_t bytes,
             "device out of memory: need " << bytes << " B at partition-"
                                           << partition << " base " << base);
   cursor_ = base + bytes;
+  allocations_.push_back({base, bytes, true});
   return {base, bytes};
 }
 

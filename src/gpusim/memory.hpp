@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "gpusim/device.hpp"
 
@@ -21,6 +22,16 @@ struct Buffer {
 
   /// Simulated byte address of `offset` within the buffer (bounds-checked).
   [[nodiscard]] std::uint64_t addr(std::uint64_t offset) const;
+};
+
+/// One allocation event, kept for the lifetime of the DeviceMemory so the
+/// sancheck tape analyzer can classify stray addresses: a `live` record is
+/// a valid target, a dead one (retired by reset()) identifies
+/// use-after-reset, and an address covered by neither was never allocated.
+struct Allocation {
+  std::uint64_t base = 0;
+  std::uint64_t bytes = 0;
+  bool live = true;
 };
 
 class DeviceMemory {
@@ -42,12 +53,25 @@ class DeviceMemory {
   [[nodiscard]] std::uint64_t capacity() const noexcept { return capacity_; }
   [[nodiscard]] const DeviceSpec& spec() const noexcept { return *spec_; }
 
-  void reset() noexcept { cursor_ = 0; }
+  /// Every allocation ever made, in allocation order; entries retired by
+  /// reset() stay with live == false (consumed by lgg::sancheck).
+  [[nodiscard]] const std::vector<Allocation>& allocations() const noexcept {
+    return allocations_;
+  }
+
+  /// Retire every live allocation and rewind the bump cursor.  Buffers
+  /// handed out before the reset become stale; the sancheck tape analyzer
+  /// flags accesses through them as use-after-reset.
+  void reset() noexcept {
+    cursor_ = 0;
+    for (Allocation& a : allocations_) a.live = false;
+  }
 
  private:
   const DeviceSpec* spec_;
   std::uint64_t capacity_;
   std::uint64_t cursor_ = 0;
+  std::vector<Allocation> allocations_;
 };
 
 /// Host->device (or back) copy-time model: PCIe latency + bytes/bandwidth.

@@ -7,6 +7,46 @@
 
 namespace lgg::gpusim {
 
+const char* hazard_class_name(HazardClass cls) noexcept {
+  switch (cls) {
+    case HazardClass::kOutOfBounds:
+      return "out-of-bounds";
+    case HazardClass::kUseAfterReset:
+      return "use-after-reset";
+    case HazardClass::kUseBeforeAlloc:
+      return "use-before-alloc";
+    case HazardClass::kUninitRead:
+      return "uninitialized-read";
+    case HazardClass::kSharedRace:
+      return "shared-memory-race";
+    case HazardClass::kGlobalWriteConflict:
+      return "global-write-conflict";
+    case HazardClass::kFootprintEscape:
+      return "footprint-escape";
+    case HazardClass::kSlotOverlap:
+      return "output-slot-overlap";
+  }
+  return "?";
+}
+
+void HazardReport::merge(const HazardReport& other) {
+  hazards.insert(hazards.end(), other.hazards.begin(), other.hazards.end());
+  total += other.total;
+  for (std::size_t c = 0; c < kNumHazardClasses; ++c)
+    by_class[c] += other.by_class[c];
+}
+
+std::ostream& operator<<(std::ostream& os, const HazardReport& r) {
+  if (r.clean()) return os << "sancheck: no hazards";
+  os << "sancheck: " << r.total << " hazard(s)";
+  for (std::size_t c = 0; c < kNumHazardClasses; ++c)
+    if (r.by_class[c] != 0)
+      os << "\n  " << hazard_class_name(static_cast<HazardClass>(c)) << ": "
+         << r.by_class[c];
+  for (const Hazard& h : r.hazards) os << "\n  " << h.message;
+  return os;
+}
+
 std::ostream& operator<<(std::ostream& os, const KernelReport& r) {
   os << "kernel '" << r.name << "': " << r.blocks << "x"
      << r.threads_per_block << " (" << r.warps << " warps)"

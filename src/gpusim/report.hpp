@@ -1,13 +1,67 @@
 // Result records produced by the simulator: what a kernel cost and why.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "gpusim/partition.hpp"
 
 namespace lgg::gpusim {
+
+/// Memory-hazard taxonomy shared by the two lgg::sancheck passes: the
+/// first six classes come from the dynamic tape analyzer (the
+/// compute-sanitizer analogue over recorded access tapes), the last two
+/// from the static access-pattern lint over the combinadic work division.
+enum class HazardClass : std::uint8_t {
+  kOutOfBounds = 0,      // address outside every allocation / off the end
+  kUseAfterReset = 1,    // access through a buffer retired by reset()
+  kUseBeforeAlloc = 2,   // address inside capacity but never allocated
+  kUninitRead = 3,       // device read with no staging and no prior write
+  kSharedRace = 4,       // same-block shared access conflict, no sync between
+  kGlobalWriteConflict = 5,  // cross-warp overlapping non-atomic writes
+  kFootprintEscape = 6,  // static lint: warp footprint leaves its chunk
+  kSlotOverlap = 7,      // static lint: per-warp output slots collide
+};
+inline constexpr std::size_t kNumHazardClasses = 8;
+
+[[nodiscard]] const char* hazard_class_name(HazardClass cls) noexcept;
+
+/// One detected hazard.  `first_thread` / `second_thread` are simulated
+/// global thread ids (second == first for single-party hazards; both are
+/// npos for static-lint findings, which concern warps, not threads).
+struct Hazard {
+  static constexpr std::uint64_t kNoThread = ~std::uint64_t{0};
+  HazardClass cls = HazardClass::kOutOfBounds;
+  std::uint64_t addr = 0;
+  std::uint32_t bytes = 0;
+  std::uint64_t first_thread = kNoThread;
+  std::uint64_t second_thread = kNoThread;
+  std::string message;
+
+  friend bool operator==(const Hazard&, const Hazard&) = default;
+};
+
+/// Everything sancheck found for one launch (or one static lint pass).
+/// Deterministic: hazards appear in tape-scan order — (block, thread,
+/// access index) — which is independent of the host thread count; the
+/// recorded list is capped but the per-class totals are always exact.
+struct HazardReport {
+  std::vector<Hazard> hazards;  // first `hazards.size()` in scan order
+  std::uint64_t total = 0;      // all hazards found, recorded or not
+  std::array<std::uint64_t, kNumHazardClasses> by_class{};
+
+  [[nodiscard]] bool clean() const noexcept { return total == 0; }
+  [[nodiscard]] std::uint64_t count(HazardClass cls) const noexcept {
+    return by_class[static_cast<std::size_t>(cls)];
+  }
+  /// Append `other` (multi-launch aggregation, e.g. bfs_gpu's levels).
+  void merge(const HazardReport& other);
+};
+
+std::ostream& operator<<(std::ostream& os, const HazardReport& r);
 
 /// Everything the timing model derived for one kernel launch.
 /// Cycle quantities are in core-clock cycles; *_s values are seconds on
@@ -40,6 +94,11 @@ struct KernelReport {
 
   /// 1/sample_stride when the run was sampled; 1.0 for exact simulation.
   double sample_fraction = 1.0;
+
+  // -- sancheck --
+  /// Filled by the LaunchInspector hook when the launch ran under
+  /// SancheckMode::kReport; empty (clean) otherwise.
+  HazardReport hazards;
 
   /// Average transactions per warp-level global access slot (1.0 is
   /// perfectly coalesced for <=64-byte-per-halfwarp patterns).

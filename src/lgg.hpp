@@ -10,6 +10,8 @@
 //   gpusim/  — the simulated CUDA substrate: devices (Table I),
 //              coalescing (Table III), partition camping, bank conflicts,
 //              warp executor and timing model
+//   sancheck/— compute-sanitizer-style hazard analysis of simulated
+//              launches (tape analyzer + static footprint lint)
 //   core/    — Algorithm 2 triangle counting (CPU + simulated GPU with the
 //              Figs. 8-9 layouts), k-subgraph counters, social analyses
 #pragma once
@@ -48,6 +50,8 @@
 #include "gpusim/occupancy.hpp"      // IWYU pragma: export
 #include "gpusim/partition.hpp"      // IWYU pragma: export
 #include "gpusim/report.hpp"         // IWYU pragma: export
+#include "sancheck/footprint.hpp"    // IWYU pragma: export
+#include "sancheck/sancheck.hpp"     // IWYU pragma: export
 #include "sched/makespan.hpp"        // IWYU pragma: export
 #include "stream/edge_stream.hpp"    // IWYU pragma: export
 #include "stream/streaming_triangles.hpp"  // IWYU pragma: export

@@ -1,0 +1,82 @@
+// The static half of lgg-sancheck: an access-pattern lint that reasons
+// about a kernel's memory footprint WITHOUT running the kernel.
+//
+// The triangle kernels address adjacency storage with the closed-form
+//     word(i, j) = i * stride + (j >> 5) * 4
+// over local (or global) vertex ids bounded by `index_bound`, and take
+// their work from combi::divide_work over the flat combinadic test space
+// (Section VIII-D).  That regularity makes containment PROVABLE by
+// interval arithmetic: the largest byte any thread of any warp can touch
+// in a block is
+//     (index_bound - 1) * stride + ((index_bound - 1) >> 5) * 4 + 4
+// so `max_addr <= bytes` proves every access of every schedule in bounds
+// — no enumeration of the (possibly ~1e14-test) space needed.  The lint
+// also re-derives the plan's combinadic accounting (hockey-stick totals,
+// offset prefix sums, divide_work partition) and proves per-warp output
+// slots disjoint, refuting each property with a Hazard finding
+// (kFootprintEscape / kSlotOverlap) when it does not hold.
+//
+// The spec is layout-neutral on purpose: core/ builds one from an AlsPlan
+// (core::als_footprint_spec) without sancheck ever depending on core.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "gpusim/report.hpp"
+
+namespace lgg::sancheck {
+
+/// One device allocation the kernel addresses with word(i, j).
+struct FootprintBlock {
+  std::uint64_t base = 0;    // device address (reporting only)
+  std::uint64_t bytes = 0;   // allocation size
+  std::uint64_t stride = 0;  // row stride in bytes
+};
+
+/// The symbolic shape of one ALS job's test space.
+struct FootprintJob {
+  std::uint64_t test_offset = 0;  // prefix sum over the plan
+  std::uint64_t tests = 0;        // C(s,3) - C(s-x_max,3)
+  std::uint32_t s = 0;            // local vertex count
+  std::uint32_t x_max = 0;        // first-element bound
+  /// Exclusive bound on the ids used to address the block: s for per-job
+  /// blocks (local ids), the graph's vertex count for a shared matrix
+  /// (global ids).  Must be >= s.
+  std::uint64_t index_bound = 0;
+  std::size_t block = 0;  // index into FootprintSpec::blocks
+};
+
+struct FootprintSpec {
+  std::uint64_t total_tests = 0;
+  /// Number of ranges divide_work hands out: warps for the interleaved
+  /// layouts, threads for the naive one.
+  std::uint64_t workers = 0;
+  std::uint32_t warp_size = 32;
+  bool warp_interleaved = true;
+  std::vector<FootprintBlock> blocks;
+  std::vector<FootprintJob> jobs;
+  /// Output slot written by each worker's warp; empty means the identity
+  /// map (warp w writes slot w), which is trivially disjoint.
+  std::vector<std::uint64_t> warp_slot;
+};
+
+struct FootprintReport {
+  bool plan_consistent = true;  // offsets/totals match the combinadics
+  bool contained = true;        // every reachable address stays in-block
+  bool slots_disjoint = true;   // no two warps share an output slot
+  std::vector<gpusim::Hazard> findings;
+
+  [[nodiscard]] bool clean() const noexcept {
+    return plan_consistent && contained && slots_disjoint;
+  }
+};
+
+/// Run the lint.  Pure function of the spec; never touches device memory.
+[[nodiscard]] FootprintReport lint_footprint(const FootprintSpec& spec);
+
+std::ostream& operator<<(std::ostream& os, const FootprintReport& r);
+
+}  // namespace lgg::sancheck

@@ -1,0 +1,324 @@
+#include "sancheck/sancheck.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/error.hpp"
+
+namespace lgg::sancheck {
+
+using gpusim::AccessKind;
+using gpusim::Allocation;
+using gpusim::Buffer;
+using gpusim::GlobalAccess;
+using gpusim::Hazard;
+using gpusim::HazardClass;
+using gpusim::HazardReport;
+using gpusim::SharedAccess;
+using gpusim::ThreadTrace;
+
+const char* sancheck_mode_name(SancheckMode mode) noexcept {
+  switch (mode) {
+    case SancheckMode::kOff:
+      return "off";
+    case SancheckMode::kReport:
+      return "report";
+    case SancheckMode::kStrict:
+      return "strict";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr std::uint64_t kCellBytes = 4;  // shadow granularity (one word)
+constexpr std::uint64_t kNoThread = Hazard::kNoThread;
+
+/// Accumulates hazards with per-site dedup: one (class, site) pair counts
+/// once per launch regardless of how many accesses repeat it, so totals
+/// are stable under test sampling.  Insertion order is the caller's scan
+/// order, which is deterministic (traces arrive sorted).
+class Collector {
+ public:
+  explicit Collector(std::size_t max_recorded) : max_(max_recorded) {}
+
+  void add(HazardClass cls, std::uint64_t site, Hazard hazard) {
+    const std::uint64_t key = (static_cast<std::uint64_t>(cls) << 58) |
+                              (site & ((std::uint64_t{1} << 58) - 1));
+    if (!sites_.insert(key).second) return;
+    ++report_.total;
+    ++report_.by_class[static_cast<std::size_t>(cls)];
+    if (report_.hazards.size() < max_) report_.hazards.push_back(std::move(hazard));
+  }
+
+  HazardReport take() { return std::move(report_); }
+
+ private:
+  std::size_t max_;
+  std::unordered_set<std::uint64_t> sites_;
+  HazardReport report_;
+};
+
+Hazard make_hazard(HazardClass cls, std::uint64_t addr, std::uint32_t bytes,
+                   std::uint64_t first_thread, std::uint64_t second_thread,
+                   const std::string& message) {
+  Hazard h;
+  h.cls = cls;
+  h.addr = addr;
+  h.bytes = bytes;
+  h.first_thread = first_thread;
+  h.second_thread = second_thread;
+  h.message = message;
+  return h;
+}
+
+std::string describe(HazardClass cls, std::uint64_t thread,
+                     const char* verb, std::uint32_t bytes,
+                     std::uint64_t addr, const char* detail) {
+  std::ostringstream os;
+  os << gpusim::hazard_class_name(cls) << ": thread " << thread << ' '
+     << verb << ' ' << bytes << " B at " << addr;
+  if (detail != nullptr && *detail != '\0') os << " (" << detail << ')';
+  return os.str();
+}
+
+/// First / last shadow cell covered by a byte-range access.
+std::uint64_t cell_lo(std::uint64_t addr) { return addr / kCellBytes; }
+std::uint64_t cell_hi(std::uint64_t addr, std::uint32_t bytes) {
+  return (addr + std::max<std::uint64_t>(bytes, 1) - 1) / kCellBytes;
+}
+
+}  // namespace
+
+TapeAnalyzer::TapeAnalyzer(SancheckConfig config,
+                           const gpusim::DeviceMemory& memory)
+    : config_(std::move(config)), memory_(&memory) {
+  std::sort(config_.staged.begin(), config_.staged.end(),
+            [](const Buffer& a, const Buffer& b) { return a.base < b.base; });
+}
+
+HazardReport TapeAnalyzer::analyze(
+    const std::vector<ThreadTrace>& traces) const {
+  Collector collect(config_.max_recorded_hazards);
+
+  // Allocation tables.  Live allocations come from a monotone bump cursor,
+  // so they are disjoint and (after the sort) binary-searchable; dead ones
+  // (pre-reset generations) may overlap newer allocations and are scanned
+  // linearly — they only exist after an explicit reset().
+  std::vector<Allocation> live, dead;
+  for (const Allocation& a : memory_->allocations())
+    (a.live ? live : dead).push_back(a);
+  std::sort(live.begin(), live.end(),
+            [](const Allocation& a, const Allocation& b) {
+              return a.base < b.base;
+            });
+
+  const auto find_live = [&](std::uint64_t addr) -> const Allocation* {
+    auto it = std::upper_bound(
+        live.begin(), live.end(), addr,
+        [](std::uint64_t a, const Allocation& al) { return a < al.base; });
+    if (it == live.begin()) return nullptr;
+    --it;
+    return addr - it->base < it->bytes ? &*it : nullptr;
+  };
+  const auto in_dead = [&](std::uint64_t addr) {
+    return std::any_of(dead.begin(), dead.end(), [addr](const Allocation& d) {
+      return addr >= d.base && addr - d.base < d.bytes;
+    });
+  };
+  const auto staged_contains = [&](std::uint64_t addr, std::uint32_t bytes) {
+    auto it = std::upper_bound(
+        config_.staged.begin(), config_.staged.end(), addr,
+        [](std::uint64_t a, const Buffer& b) { return a < b.base; });
+    if (it == config_.staged.begin()) return false;
+    --it;
+    return addr - it->base < it->bytes && bytes <= it->bytes - (addr - it->base);
+  };
+
+  // ---- sweep 1: global writes — build the shadow write set and flag
+  // cross-warp conflicts.  Concurrent atomics to one word are fine; a
+  // plain write conflicting with anything from another warp is not.
+  struct CellWriters {
+    std::uint64_t plain = kNoThread, plain_warp = 0;
+    std::uint64_t atomic = kNoThread, atomic_warp = 0;
+  };
+  std::unordered_map<std::uint64_t, CellWriters> writers;
+  for (const ThreadTrace& t : traces) {
+    for (const GlobalAccess& a : t.global) {
+      if (a.kind == AccessKind::kRead) continue;
+      for (std::uint64_t c = cell_lo(a.addr); c <= cell_hi(a.addr, a.word_bytes);
+           ++c) {
+        CellWriters& w = writers[c];
+        std::uint64_t other = kNoThread;
+        if (w.plain != kNoThread && w.plain_warp != t.ctx.global_warp)
+          other = w.plain;
+        else if (a.kind == AccessKind::kWrite && w.atomic != kNoThread &&
+                 w.atomic_warp != t.ctx.global_warp)
+          other = w.atomic;
+        if (other != kNoThread) {
+          std::ostringstream os;
+          os << gpusim::hazard_class_name(HazardClass::kGlobalWriteConflict)
+             << ": threads " << other << " and " << t.ctx.global_id
+             << " of different warps write " << a.word_bytes << " B at "
+             << c * kCellBytes << " without atomics";
+          collect.add(HazardClass::kGlobalWriteConflict, c,
+                      make_hazard(HazardClass::kGlobalWriteConflict,
+                                  c * kCellBytes, a.word_bytes, other,
+                                  t.ctx.global_id, os.str()));
+        }
+        if (a.kind == AccessKind::kAtomic) {
+          if (w.atomic == kNoThread) {
+            w.atomic = t.ctx.global_id;
+            w.atomic_warp = t.ctx.global_warp;
+          }
+        } else if (w.plain == kNoThread) {
+          w.plain = t.ctx.global_id;
+          w.plain_warp = t.ctx.global_warp;
+        }
+      }
+    }
+  }
+
+  // ---- sweep 2: per-access bounds classification + uninitialized reads.
+  for (const ThreadTrace& t : traces) {
+    for (const GlobalAccess& a : t.global) {
+      const char* verb = a.kind == AccessKind::kRead ? "reads" : "writes";
+      const Allocation* al = find_live(a.addr);
+      if (al != nullptr) {
+        if (a.word_bytes > al->bytes - (a.addr - al->base)) {
+          collect.add(
+              HazardClass::kOutOfBounds, cell_lo(a.addr),
+              make_hazard(HazardClass::kOutOfBounds, a.addr, a.word_bytes,
+                          t.ctx.global_id, t.ctx.global_id,
+                          describe(HazardClass::kOutOfBounds, t.ctx.global_id,
+                                   verb, a.word_bytes, a.addr,
+                                   "straddles the end of its buffer")));
+          continue;
+        }
+        if (a.kind == AccessKind::kRead && !staged_contains(a.addr, a.word_bytes)) {
+          for (std::uint64_t c = cell_lo(a.addr);
+               c <= cell_hi(a.addr, a.word_bytes); ++c) {
+            if (writers.count(c) != 0 ||
+                staged_contains(c * kCellBytes, kCellBytes))
+              continue;
+            collect.add(
+                HazardClass::kUninitRead, c,
+                make_hazard(HazardClass::kUninitRead, a.addr, a.word_bytes,
+                            t.ctx.global_id, t.ctx.global_id,
+                            describe(HazardClass::kUninitRead,
+                                     t.ctx.global_id, verb, a.word_bytes,
+                                     a.addr,
+                                     "no staging and no write in the launch")));
+            break;
+          }
+        }
+        continue;
+      }
+      if (in_dead(a.addr)) {
+        collect.add(HazardClass::kUseAfterReset, cell_lo(a.addr),
+                    make_hazard(HazardClass::kUseAfterReset, a.addr,
+                                a.word_bytes, t.ctx.global_id,
+                                t.ctx.global_id,
+                                describe(HazardClass::kUseAfterReset,
+                                         t.ctx.global_id, verb, a.word_bytes,
+                                         a.addr,
+                                         "buffer retired by reset()")));
+      } else if (a.addr + a.word_bytes <= memory_->capacity()) {
+        collect.add(HazardClass::kUseBeforeAlloc, cell_lo(a.addr),
+                    make_hazard(HazardClass::kUseBeforeAlloc, a.addr,
+                                a.word_bytes, t.ctx.global_id,
+                                t.ctx.global_id,
+                                describe(HazardClass::kUseBeforeAlloc,
+                                         t.ctx.global_id, verb, a.word_bytes,
+                                         a.addr, "address never allocated")));
+      } else {
+        collect.add(HazardClass::kOutOfBounds, cell_lo(a.addr),
+                    make_hazard(HazardClass::kOutOfBounds, a.addr,
+                                a.word_bytes, t.ctx.global_id,
+                                t.ctx.global_id,
+                                describe(HazardClass::kOutOfBounds,
+                                         t.ctx.global_id, verb, a.word_bytes,
+                                         a.addr,
+                                         "outside every allocation")));
+      }
+    }
+  }
+
+  // ---- sweep 3: intra-block shared-memory races.  Two threads of one
+  // block touching the same shared word in the same sync epoch, at least
+  // one writing, race; sync() (the simulated __syncthreads) advances the
+  // epoch and orders the phases.  Traces are block-sorted, so per-block
+  // state can be recycled.
+  struct SharedParties {
+    std::uint64_t reader = kNoThread, writer = kNoThread;
+  };
+  std::unordered_map<std::uint64_t, SharedParties> shared_state;
+  std::uint64_t current_block = kNoThread;
+  for (const ThreadTrace& t : traces) {
+    if (t.ctx.block != current_block) {
+      shared_state.clear();
+      current_block = t.ctx.block;
+    }
+    for (const SharedAccess& a : t.shared) {
+      const std::uint64_t cell = a.addr / kCellBytes;
+      // Shared address spaces are KiB-scale; 44 bits of cell + 20 of epoch
+      // index them without collision.
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(a.epoch) << 44) | cell;
+      SharedParties& p = shared_state[key];
+      const std::uint64_t self = t.ctx.global_id;
+      std::uint64_t other = kNoThread;
+      const char* flavour = "";
+      if (a.kind == AccessKind::kRead) {
+        if (p.writer != kNoThread && p.writer != self) {
+          other = p.writer;
+          flavour = "read-write";
+        }
+        if (p.reader == kNoThread) p.reader = self;
+      } else {
+        if (p.writer != kNoThread && p.writer != self) {
+          other = p.writer;
+          flavour = "write-write";
+        } else if (p.reader != kNoThread && p.reader != self) {
+          other = p.reader;
+          flavour = "read-write";
+        }
+        if (p.writer == kNoThread) p.writer = self;
+      }
+      if (other == kNoThread) continue;
+      const std::uint64_t site =
+          (static_cast<std::uint64_t>(t.ctx.block) << 24) | (cell & 0xFFFFFF);
+      std::ostringstream os;
+      os << gpusim::hazard_class_name(HazardClass::kSharedRace) << ": "
+         << flavour << " between threads " << other << " and " << self
+         << " of block " << t.ctx.block << " on shared word " << a.addr
+         << " in sync epoch " << a.epoch;
+      collect.add(HazardClass::kSharedRace, site,
+                  make_hazard(HazardClass::kSharedRace, a.addr, 4, other,
+                              self, os.str()));
+    }
+  }
+
+  return collect.take();
+}
+
+void TapeAnalyzer::inspect(const gpusim::KernelConfig& config,
+                           const gpusim::DeviceSpec& dev,
+                           const std::vector<ThreadTrace>& traces,
+                           gpusim::KernelReport& report) const {
+  (void)dev;
+  HazardReport hazards = analyze(traces);
+  if (config_.mode == SancheckMode::kStrict && !hazards.clean()) {
+    std::ostringstream os;
+    os << "lgg-sancheck [" << config.name << "]: "
+       << (hazards.hazards.empty() ? "hazard detected"
+                                   : hazards.hazards.front().message);
+    if (hazards.total > 1) os << " (+" << hazards.total - 1 << " more)";
+    throw lgg::Error(os.str());
+  }
+  report.hazards = std::move(hazards);
+}
+
+}  // namespace lgg::sancheck

@@ -1,0 +1,93 @@
+// lgg::sancheck — a compute-sanitizer analogue for the simulated device.
+//
+// The executor already records a per-thread tape of every global/shared
+// access (gpusim/executor.hpp).  TapeAnalyzer consumes those tapes plus
+// DeviceMemory's allocation log and flags the hazards the paper's
+// correctness story silently assumes away (Algorithm 2 + the Section
+// IX/X layouts): threads escaping their ALS chunk, reads of adjacency
+// words the host never staged, and races on output slots.  Classes:
+//
+//   out-of-bounds          address outside every allocation, or an access
+//                          straddling the end of its buffer
+//   use-after-reset        access through a buffer retired by
+//                          DeviceMemory::reset()
+//   use-before-alloc       address inside device capacity but never
+//                          handed out by the bump allocator
+//   uninitialized-read     read of a location that is neither inside a
+//                          host-staged buffer nor written by ANY thread
+//                          of the launch (shadow-memory model: a location
+//                          no launch-order could have initialised)
+//   shared-memory-race     two threads of one block touch the same shared
+//                          word in the same sync epoch, at least one a
+//                          write (epochs advance at ThreadRecorder::sync,
+//                          the simulated __syncthreads())
+//   global-write-conflict  non-atomic writes from two different warps
+//                          overlap in global memory within one launch
+//                          (per-warp output slots must be disjoint);
+//                          ThreadRecorder::global_atomic is exempt
+//
+// Each hazard SITE — (class, 4-byte cell) — is counted once per launch no
+// matter how many accesses repeat it, so totals are stable under test
+// sampling and the report stays readable.  Analysis runs over traces
+// sorted by (block, thread), making the HazardReport bit-identical across
+// host thread counts (see LaunchInspector).
+//
+// The second sancheck pass — the static access-pattern lint that proves
+// chunk containment and slot disjointness from the combinadic
+// work-division formulas without running the kernel — lives in
+// sancheck/footprint.hpp.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gpusim/executor.hpp"
+#include "gpusim/memory.hpp"
+#include "gpusim/report.hpp"
+
+namespace lgg::sancheck {
+
+/// How a kernel launch runs under sancheck.
+///   kOff     no tapes retained, no analysis (zero overhead).
+///   kReport  analyze and attach a HazardReport to the KernelReport.
+///   kStrict  analyze and throw lgg::Error on the first hazard found.
+enum class SancheckMode : std::uint8_t { kOff = 0, kReport = 1, kStrict = 2 };
+
+[[nodiscard]] const char* sancheck_mode_name(SancheckMode mode) noexcept;
+
+struct SancheckConfig {
+  SancheckMode mode = SancheckMode::kOff;
+  /// Buffers whose contents the host staged (copied in) before the
+  /// launch: reads from them are never uninitialized.
+  std::vector<gpusim::Buffer> staged;
+  /// Cap on hazards kept verbatim in HazardReport::hazards (totals and
+  /// per-class counts are always exact).
+  std::size_t max_recorded_hazards = 64;
+};
+
+/// The dynamic pass: plugs into Simulator::run as a LaunchInspector.
+/// The DeviceMemory must outlive the analyzer; its allocation log is read
+/// at inspect time, so allocations made after construction are seen.
+class TapeAnalyzer final : public gpusim::LaunchInspector {
+ public:
+  TapeAnalyzer(SancheckConfig config, const gpusim::DeviceMemory& memory);
+
+  /// Run the hazard analysis over one launch's tapes.  kReport attaches
+  /// the findings to `report.hazards`; kStrict throws lgg::Error naming
+  /// the first hazard (deterministic: tapes arrive in (block, thread)
+  /// order).  Never called with kOff — callers pass no inspector instead.
+  void inspect(const gpusim::KernelConfig& config,
+               const gpusim::DeviceSpec& dev,
+               const std::vector<gpusim::ThreadTrace>& traces,
+               gpusim::KernelReport& report) const override;
+
+  /// The analysis itself, usable without a Simulator (tests, tooling).
+  [[nodiscard]] gpusim::HazardReport analyze(
+      const std::vector<gpusim::ThreadTrace>& traces) const;
+
+ private:
+  SancheckConfig config_;
+  const gpusim::DeviceMemory* memory_;
+};
+
+}  // namespace lgg::sancheck

@@ -31,16 +31,15 @@ std::uint64_t Xoshiro256::next() noexcept {
 std::uint64_t Xoshiro256::uniform(std::uint64_t bound) noexcept {
   if (bound == 0) return 0;
   // Lemire rejection sampling: unbiased and usually a single multiply.
+  __extension__ typedef unsigned __int128 U128;  // GNU extension under -Wpedantic
   std::uint64_t x = next();
-  unsigned __int128 m =
-      static_cast<unsigned __int128>(x) * static_cast<unsigned __int128>(bound);
+  U128 m = static_cast<U128>(x) * static_cast<U128>(bound);
   auto low = static_cast<std::uint64_t>(m);
   if (low < bound) {
     const std::uint64_t threshold = (0 - bound) % bound;
     while (low < threshold) {
       x = next();
-      m = static_cast<unsigned __int128>(x) *
-          static_cast<unsigned __int128>(bound);
+      m = static_cast<U128>(x) * static_cast<U128>(bound);
       low = static_cast<std::uint64_t>(m);
     }
   }
