@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# One-command local CI: configure/build/test the default preset, the
-# address+UB-sanitized preset, the thread-sanitized preset (concurrency
-# label only -- TSan is too slow for the full suite), and finally the
-# clang-tidy lint target (a no-op notice when clang-tidy is absent).
+# One-command local CI: configure/build/test the default preset, a
+# time-boxed deterministic fuzz smoke campaign, the address+UB-sanitized
+# preset, the thread-sanitized preset (concurrency label only -- TSan is
+# too slow for the full suite), and finally the clang-tidy lint target
+# (a no-op notice when clang-tidy is absent).
 #
 # Usage: ci/check.sh [extra ctest args, e.g. -j8]
 set -euo pipefail
@@ -19,6 +20,12 @@ cmake --build --preset default -j "$JOBS"
 
 step "default: full test suite"
 ctest --test-dir build --output-on-failure "${CTEST_ARGS[@]+"${CTEST_ARGS[@]}"}"
+
+step "fuzz: 30s deterministic differential smoke campaign"
+# Fixed master seed: any finding here is reproducible from the emitted
+# repro file (see DESIGN.md section 10 for the triage workflow).  The
+# iteration cap is a backstop so the stage is time-boxed either way.
+build/tools/lgg_fuzz campaign --seconds 30 --iterations 100000 --seed 20130520
 
 step "asan: configure + build (LGG_SANITIZE=address, LGG_WERROR=ON)"
 cmake --preset asan

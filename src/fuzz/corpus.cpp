@@ -1,0 +1,95 @@
+#include "fuzz/corpus.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "graph/io.hpp"
+#include "util/error.hpp"
+
+namespace lgg::fuzz {
+
+namespace {
+
+// Metadata values live on single comment lines; newlines would silently
+// truncate the field on read-back.
+std::string one_line(std::string s) {
+  std::replace(s.begin(), s.end(), '\n', ' ');
+  std::replace(s.begin(), s.end(), '\r', ' ');
+  return s;
+}
+
+// "key: value" comment lookup (first match wins).
+bool lookup(const std::vector<std::string>& comments, const std::string& key,
+            std::string& value) {
+  const std::string prefix = key + ": ";
+  for (const auto& c : comments) {
+    if (c.rfind(prefix, 0) == 0) {
+      value = c.substr(prefix.size());
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void write_repro(std::ostream& out, const Repro& repro) {
+  out << "# " << kReproMagic << '\n';
+  if (!repro.name.empty()) out << "# name: " << one_line(repro.name) << '\n';
+  if (!repro.spec.empty()) out << "# spec: " << one_line(repro.spec) << '\n';
+  if (!repro.note.empty()) out << "# note: " << one_line(repro.note) << '\n';
+  out << "# oracle: " << repro.oracle << '\n';
+  graph::write_snap_edge_list(out, repro.graph);
+}
+
+void write_repro_file(const std::string& path, const Repro& repro) {
+  std::ofstream out(path);
+  LGG_CHECK(out.good(), "cannot open repro file for writing: " << path);
+  write_repro(out, repro);
+  LGG_CHECK(out.good(), "error while writing repro file: " << path);
+}
+
+Repro read_repro(std::istream& in) {
+  graph::SnapReadOptions opts;
+  opts.pad_to_declared_nodes = true;
+  auto loaded = graph::read_snap_edge_list(in, opts);
+  LGG_CHECK(std::find(loaded.comments.begin(), loaded.comments.end(),
+                      kReproMagic) != loaded.comments.end(),
+            "not an lgg-fuzz repro (missing '" << kReproMagic
+                                               << "' header comment)");
+  Repro repro;
+  repro.graph = std::move(loaded.graph);
+  lookup(loaded.comments, "name", repro.name);
+  lookup(loaded.comments, "spec", repro.spec);
+  lookup(loaded.comments, "note", repro.note);
+  if (std::string oracle; lookup(loaded.comments, "oracle", oracle)) {
+    std::istringstream os(oracle);
+    LGG_CHECK(static_cast<bool>(os >> repro.oracle),
+              "repro 'oracle:' field is not a number: '" << oracle << "'");
+  }
+  return repro;
+}
+
+Repro read_repro_file(const std::string& path) {
+  std::ifstream in(path);
+  LGG_CHECK(in.good(), "cannot open repro file: " << path);
+  auto repro = read_repro(in);
+  if (repro.name.empty())
+    repro.name = std::filesystem::path(path).stem().string();
+  return repro;
+}
+
+std::vector<std::string> list_repro_files(const std::string& dir) {
+  LGG_CHECK(std::filesystem::is_directory(dir),
+            "corpus path is not a directory: " << dir);
+  std::vector<std::string> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir))
+    if (entry.is_regular_file() && entry.path().extension() == ".txt")
+      files.push_back(entry.path().string());
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+}  // namespace lgg::fuzz

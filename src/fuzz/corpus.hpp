@@ -1,0 +1,57 @@
+// Self-contained fuzz repro files and the regression corpus.
+//
+// A repro is a plain SNAP edge list (readable by every lgg tool and by
+// graph::read_snap_edge_list) whose comment header carries the fuzz
+// metadata as "key: value" lines:
+//
+//   # lgg-fuzz-repro v1
+//   # name: gnp-naive-mismatch
+//   # spec: gnp 60 0.05 seed=7701          <- provenance, informational
+//   # note: mismatch path=gpu/... oracle=5 got=6
+//   # oracle: 5                            <- triangle count at capture
+//   # SNAP-format undirected edge list
+//   # Nodes: 9 Edges: 14
+//   0  1
+//   ...
+//
+// The edge list is authoritative: replay rebuilds the graph from it (with
+// isolated vertices restored from the Nodes header), never from the spec,
+// so corpus files stay valid across generator changes.  Checked-in repros
+// under tests/corpus/ are replayed through every counting path by
+// tests/fuzz_corpus_test.cpp — the permanent regression net.  See
+// DESIGN.md §10 for the triage workflow.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace lgg::fuzz {
+
+inline constexpr const char* kReproMagic = "lgg-fuzz-repro v1";
+
+struct Repro {
+  std::string name;   // short slug, becomes the file stem
+  std::string spec;   // GraphSpec::to_string() provenance (may be empty)
+  std::string note;   // human description of the original finding
+  std::uint64_t oracle = 0;  // forward-oracle triangle count at capture
+  graph::Graph graph{0};
+};
+
+void write_repro(std::ostream& out, const Repro& repro);
+void write_repro_file(const std::string& path, const Repro& repro);
+
+/// Parse a repro.  Throws lgg::Error if the magic header is missing or
+/// the edge list is malformed.
+Repro read_repro(std::istream& in);
+Repro read_repro_file(const std::string& path);
+
+/// All "*.txt" repro files directly under `dir`, lexicographically sorted
+/// (deterministic replay order).  Throws lgg::Error if dir is not a
+/// directory.
+std::vector<std::string> list_repro_files(const std::string& dir);
+
+}  // namespace lgg::fuzz

@@ -1,0 +1,304 @@
+#include "fuzz/engine.hpp"
+
+#include <cmath>
+#include <filesystem>
+#include <optional>
+#include <sstream>
+
+#include "fuzz/corpus.hpp"
+#include "util/error.hpp"
+#include "util/prng.hpp"
+#include "util/stopwatch.hpp"
+
+namespace lgg::fuzz {
+
+namespace {
+
+struct ResolvedPolicy {
+  gpusim::ExecPolicy exec;
+  /// Label used in finding/path names.  Deliberately omits the thread
+  /// count: the log must be bit-identical across host thread counts.
+  std::string label;
+};
+
+std::vector<ResolvedPolicy> resolve_policies(const EngineOptions& opts) {
+  std::vector<ResolvedPolicy> policies;
+  if (opts.policies.empty()) {
+    policies.push_back({gpusim::ExecPolicy::serial(), "serial"});
+    policies.push_back({gpusim::ExecPolicy::parallel(), "parallel"});
+  } else {
+    for (const auto& p : opts.policies)
+      policies.push_back(
+          {p, p.mode == gpusim::ExecPolicy::Mode::kSerial ? "serial"
+                                                          : "parallel"});
+  }
+  return policies;
+}
+
+/// Seed for iteration i of a campaign — a SplitMix64 stream indexed by
+/// iteration, so iterations are replayable in isolation.
+std::uint64_t iteration_seed(std::uint64_t master, std::uint64_t iteration) {
+  return SplitMix64(master + iteration * 0x9E3779B97F4A7C15ull).next();
+}
+
+bool outcome_fails(PathKind kind, const PathOutcome& out,
+                   std::uint64_t oracle) {
+  switch (kind) {
+    case PathKind::kExact:
+      return out.value != static_cast<double>(oracle);
+    case PathKind::kEstimate:
+      return std::abs(out.value - static_cast<double>(oracle)) >
+             out.tolerance;
+    case PathKind::kInvariant:
+      return out.value != 0.0;
+  }
+  return false;
+}
+
+std::optional<Finding> run_path_once(const CountingPath& path,
+                                     const ResolvedPolicy& policy,
+                                     const EngineOptions& opts,
+                                     const graph::Graph& g,
+                                     std::uint64_t oracle,
+                                     std::uint64_t iteration,
+                                     const std::string& spec,
+                                     std::uint64_t seed) {
+  Finding finding;
+  finding.iteration = iteration;
+  finding.path = path.policy_sensitive ? path.name + "[" + policy.label + "]"
+                                       : path.name;
+  finding.spec = spec;
+  finding.oracle = oracle;
+
+  const PathContext ctx{policy.exec, opts.sancheck, seed};
+  try {
+    const PathOutcome out = path.run(g, ctx);
+    if (!outcome_fails(path.kind, out, oracle)) return std::nullopt;
+    finding.kind = path.kind == PathKind::kInvariant ? FindingKind::kInvariant
+                                                     : FindingKind::kMismatch;
+    finding.got = out.value;
+    finding.tolerance = out.tolerance;
+    finding.detail = out.detail;
+  } catch (const std::exception& e) {
+    finding.kind = FindingKind::kException;
+    finding.detail = e.what();
+  }
+  finding.graph = g;
+  finding.shrunk = g;
+  return finding;
+}
+
+FailurePredicate make_predicate(const CountingPath& path,
+                                const ResolvedPolicy& policy,
+                                const EngineOptions& opts,
+                                FindingKind original_kind,
+                                std::uint64_t seed) {
+  return [&path, policy, sancheck = opts.sancheck, original_kind,
+          seed](const graph::Graph& candidate) -> bool {
+    if (path.applicable && !path.applicable(candidate)) return false;
+    std::uint64_t oracle = 0;
+    try {
+      oracle = oracle_triangles(candidate);
+    } catch (...) {
+      return false;  // the oracle must stay runnable on a valid repro
+    }
+    const PathContext ctx{policy.exec, sancheck, seed};
+    try {
+      const PathOutcome out = path.run(candidate, ctx);
+      return original_kind != FindingKind::kException &&
+             outcome_fails(path.kind, out, oracle);
+    } catch (...) {
+      return original_kind == FindingKind::kException;
+    }
+  };
+}
+
+std::string path_slug(std::string name) {
+  for (auto& c : name)
+    if (c == '/' || c == '[' || c == ']' || c == ':' || c == ' ') c = '-';
+  while (!name.empty() && name.back() == '-') name.pop_back();
+  return name;
+}
+
+}  // namespace
+
+const char* finding_kind_name(FindingKind kind) noexcept {
+  switch (kind) {
+    case FindingKind::kMismatch:
+      return "mismatch";
+    case FindingKind::kException:
+      return "exception";
+    case FindingKind::kInvariant:
+      return "invariant";
+  }
+  return "?";
+}
+
+std::string describe(const Finding& f) {
+  std::ostringstream os;
+  os << "FINDING " << finding_kind_name(f.kind) << " iter=" << f.iteration
+     << " path=" << f.path << " spec=\"" << f.spec << "\""
+     << " oracle=" << f.oracle;
+  if (f.kind != FindingKind::kException) {
+    os << " got=" << f.got;
+    if (f.tolerance > 0) os << " tolerance=" << f.tolerance;
+  }
+  if (!f.detail.empty()) os << " detail=\"" << f.detail << "\"";
+  os << " graph=" << f.graph.num_vertices() << "v/" << f.graph.num_edges()
+     << "e";
+  if (f.shrunk.num_vertices() != f.graph.num_vertices() ||
+      f.shrunk.num_edges() != f.graph.num_edges())
+    os << " shrunk=" << f.shrunk.num_vertices() << "v/"
+       << f.shrunk.num_edges() << "e"
+       << (f.shrunk_minimal ? " (1-minimal)" : " (budget)");
+  return os.str();
+}
+
+std::vector<Finding> check_graph(const graph::Graph& g,
+                                 const std::string& spec,
+                                 const EngineOptions& opts,
+                                 std::uint64_t iteration) {
+  const std::vector<CountingPath> owned =
+      opts.paths.empty() ? default_paths() : std::vector<CountingPath>{};
+  const std::vector<CountingPath>& paths =
+      opts.paths.empty() ? owned : opts.paths;
+  const auto policies = resolve_policies(opts);
+  const std::uint64_t seed = iteration_seed(opts.master_seed, iteration);
+
+  std::uint64_t oracle = 0;
+  std::vector<Finding> findings;
+  try {
+    oracle = oracle_triangles(g);
+  } catch (const std::exception& e) {
+    Finding f;
+    f.kind = FindingKind::kException;
+    f.iteration = iteration;
+    f.path = "oracle/forward";
+    f.spec = spec;
+    f.detail = e.what();
+    f.graph = g;
+    f.shrunk = g;
+    findings.push_back(std::move(f));
+    return findings;
+  }
+
+  for (const auto& path : paths) {
+    if (path.applicable && !path.applicable(g)) continue;
+    const std::size_t policy_count = path.policy_sensitive ? policies.size()
+                                                           : std::size_t{1};
+    for (std::size_t p = 0; p < policy_count; ++p) {
+      if (auto f = run_path_once(path, policies[p], opts, g, oracle,
+                                 iteration, spec, seed))
+        findings.push_back(std::move(*f));
+    }
+  }
+  return findings;
+}
+
+CampaignResult run_campaign(const EngineOptions& opts) {
+  const std::vector<CountingPath> owned =
+      opts.paths.empty() ? default_paths() : std::vector<CountingPath>{};
+  const std::vector<CountingPath>& paths =
+      opts.paths.empty() ? owned : opts.paths;
+  const auto policies = resolve_policies(opts);
+
+  CampaignResult result;
+  std::ostringstream log;
+  Stopwatch wall;
+
+  for (std::uint64_t iter = 0; iter < opts.max_iterations; ++iter) {
+    if (opts.time_budget_s > 0 && wall.elapsed_s() >= opts.time_budget_s)
+      break;
+    if (result.findings.size() >= opts.max_findings) break;
+    ++result.iterations;
+
+    const std::uint64_t seed = iteration_seed(opts.master_seed, iter);
+    Xoshiro256 rng(seed);
+    const GraphSpec spec = sample_spec(rng, opts.limits);
+    graph::Graph g(0);
+    try {
+      g = spec.build();
+    } catch (const std::exception& e) {
+      Finding f;
+      f.kind = FindingKind::kException;
+      f.iteration = iter;
+      f.path = "sampler/build";
+      f.spec = spec.to_string();
+      f.detail = e.what();
+      result.findings.push_back(std::move(f));
+      log << describe(result.findings.back()) << '\n';
+      continue;
+    }
+
+    const std::string spec_str = spec.to_string();
+    std::uint64_t oracle = 0;
+    try {
+      oracle = oracle_triangles(g);
+    } catch (const std::exception& e) {
+      Finding f;
+      f.kind = FindingKind::kException;
+      f.iteration = iter;
+      f.path = "oracle/forward";
+      f.spec = spec_str;
+      f.detail = e.what();
+      f.graph = g;
+      f.shrunk = g;
+      result.findings.push_back(std::move(f));
+      log << describe(result.findings.back()) << '\n';
+      continue;
+    }
+
+    for (const auto& path : paths) {
+      if (path.applicable && !path.applicable(g)) continue;
+      const std::size_t policy_count =
+          path.policy_sensitive ? policies.size() : std::size_t{1};
+      for (std::size_t p = 0; p < policy_count; ++p) {
+        auto found = run_path_once(path, policies[p], opts, g, oracle, iter,
+                                   spec_str, seed);
+        if (!found) continue;
+        Finding& f = *found;
+
+        if (opts.shrink) {
+          const auto pred =
+              make_predicate(path, policies[p], opts, f.kind, seed);
+          const ShrinkResult shrunk =
+              shrink_graph(f.graph, pred, opts.shrink_options);
+          f.shrunk = shrunk.graph;
+          f.shrunk_minimal = shrunk.minimal;
+        }
+
+        if (!opts.corpus_dir.empty()) {
+          std::filesystem::create_directories(opts.corpus_dir);
+          std::ostringstream name;
+          name << "repro-s" << opts.master_seed << "-i" << iter << "-"
+               << path_slug(f.path);
+          Repro repro;
+          repro.name = name.str();
+          repro.spec = f.spec;
+          repro.note = std::string(finding_kind_name(f.kind)) +
+                       " path=" + f.path +
+                       (f.detail.empty() ? "" : " detail=" + f.detail);
+          repro.oracle = oracle_triangles(f.shrunk);
+          repro.graph = f.shrunk;
+          f.repro_path = (std::filesystem::path(opts.corpus_dir) /
+                          (name.str() + ".txt"))
+                             .string();
+          write_repro_file(f.repro_path, repro);
+        }
+
+        result.findings.push_back(std::move(f));
+        log << describe(result.findings.back()) << '\n';
+        if (result.findings.size() >= opts.max_findings) break;
+      }
+      if (result.findings.size() >= opts.max_findings) break;
+    }
+  }
+
+  log << "campaign seed=" << opts.master_seed
+      << " iterations=" << result.iterations
+      << " findings=" << result.findings.size() << '\n';
+  result.log = log.str();
+  return result;
+}
+
+}  // namespace lgg::fuzz

@@ -1,0 +1,103 @@
+// The differential fuzzing engine.
+//
+// A campaign is a deterministic loop driven by one master seed: each
+// iteration derives its own seed, samples a GraphSpec (fuzz/spec.hpp),
+// materialises the graph, and runs the full counting-path cross-product
+// (fuzz/paths.hpp) under every configured ExecPolicy with sancheck armed.
+// Any exact-path disagreement with the forward oracle, estimator outside
+// its statistical tolerance, broken invariant, sancheck hazard (strict
+// mode throws) or other exception is classified as a Finding.
+//
+// Findings are delta-debugged (fuzz/shrink.hpp) against a predicate that
+// re-runs exactly the failing path/policy/seed on each candidate, then
+// written as self-contained repro files (fuzz/corpus.hpp) into the
+// campaign's corpus directory.
+//
+// Determinism contract: with a fixed master seed, iteration count and
+// path set, the findings log is bit-identical regardless of the host
+// thread counts inside the ExecPolicies (the simulator's DESIGN.md §8
+// guarantee) — the property tools/lgg_fuzz's smoke test pins.  Timing
+// never enters the log; the time budget only truncates the iteration
+// loop.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/paths.hpp"
+#include "fuzz/shrink.hpp"
+#include "fuzz/spec.hpp"
+#include "gpusim/executor.hpp"
+#include "graph/graph.hpp"
+#include "sancheck/sancheck.hpp"
+
+namespace lgg::fuzz {
+
+enum class FindingKind : int {
+  kMismatch = 0,   // exact path != oracle, or estimator out of tolerance
+  kException = 1,  // path threw (includes strict-sancheck hazards)
+  kInvariant = 2,  // invariant path reported nonzero
+};
+
+[[nodiscard]] const char* finding_kind_name(FindingKind kind) noexcept;
+
+struct Finding {
+  FindingKind kind = FindingKind::kMismatch;
+  std::uint64_t iteration = 0;
+  std::string path;   // "gpu/triangle-naive[parallel]"
+  std::string spec;   // provenance of the offending graph
+  std::uint64_t oracle = 0;
+  double got = 0.0;
+  double tolerance = 0.0;
+  std::string detail;         // exception text / invariant description
+  graph::Graph graph{0};      // the offending graph as sampled
+  graph::Graph shrunk{0};     // minimized repro (== graph when not shrunk)
+  bool shrunk_minimal = false;
+  std::string repro_path;     // corpus file written, if any
+};
+
+/// One deterministic log line per finding (no timing, no addresses).
+[[nodiscard]] std::string describe(const Finding& finding);
+
+struct EngineOptions {
+  std::uint64_t master_seed = 1;
+  std::uint64_t max_iterations = 100;
+  /// > 0: stop sampling after this much wall time (log stays per-iteration
+  /// deterministic; only the number of iterations becomes time-dependent).
+  double time_budget_s = 0.0;
+  /// Stop the campaign after this many findings.
+  std::size_t max_findings = 16;
+  SamplerLimits limits;
+  /// Paths under test; empty selects default_paths().
+  std::vector<CountingPath> paths;
+  /// Policies for policy-sensitive paths; empty selects serial + parallel.
+  std::vector<gpusim::ExecPolicy> policies;
+  sancheck::SancheckMode sancheck = sancheck::SancheckMode::kStrict;
+  bool shrink = true;
+  ShrinkOptions shrink_options;
+  /// Directory for repro files ("" = do not write; created if missing).
+  std::string corpus_dir;
+};
+
+struct CampaignResult {
+  std::uint64_t iterations = 0;
+  std::vector<Finding> findings;
+  /// The deterministic findings log: one describe() line per finding plus
+  /// a trailing summary line.
+  std::string log;
+};
+
+/// Run a fuzzing campaign.
+CampaignResult run_campaign(const EngineOptions& opts);
+
+/// Differentially check ONE graph through the configured path
+/// cross-product (no sampling, no shrinking, no corpus writes).  This is
+/// what corpus replay and the consistency test suite are built on;
+/// `spec` is carried into the findings for reporting.
+std::vector<Finding> check_graph(const graph::Graph& g,
+                                 const std::string& spec,
+                                 const EngineOptions& opts,
+                                 std::uint64_t iteration = 0);
+
+}  // namespace lgg::fuzz

@@ -1,0 +1,107 @@
+#include "fuzz/shrink.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace lgg::fuzz {
+
+namespace {
+
+struct Budget {
+  const FailurePredicate& fails;
+  std::size_t probes = 0;
+  std::size_t max_probes;
+
+  bool exhausted() const { return probes >= max_probes; }
+  bool check(const graph::Graph& g) {
+    if (exhausted()) return false;
+    ++probes;
+    return fails(g);
+  }
+};
+
+// One ddmin sweep over the vertex set: try dropping chunks of `current`'s
+// vertices, halving the chunk size; whenever a drop keeps the failure,
+// adopt the smaller graph and retry at the same granularity.  Returns
+// true if anything was removed.
+bool vertex_pass(graph::Graph& current, Budget& budget) {
+  bool shrunk_any = false;
+  std::size_t chunk = (current.num_vertices() + 1) / 2;
+  while (chunk >= 1 && !budget.exhausted()) {
+    bool removed = false;
+    const std::size_t n = current.num_vertices();
+    for (std::size_t start = 0; start < n && !budget.exhausted();
+         start += chunk) {
+      const std::size_t stop = std::min(n, start + chunk);
+      std::vector<graph::Vertex> keep;
+      keep.reserve(n - (stop - start));
+      for (std::size_t v = 0; v < n; ++v)
+        if (v < start || v >= stop) keep.push_back(static_cast<graph::Vertex>(v));
+      graph::Graph candidate = current.induced_subgraph(keep).graph;
+      if (budget.check(candidate)) {
+        current = std::move(candidate);
+        shrunk_any = removed = true;
+        break;  // indices shifted; rescan at this granularity
+      }
+    }
+    if (!removed) chunk = (chunk == 1) ? 0 : chunk / 2;
+  }
+  return shrunk_any;
+}
+
+// The same sweep over the edge list; vertex count is preserved so the
+// predicate sees the same vertex ids, and a later vertex pass removes any
+// vertices the edge removals isolated.
+bool edge_pass(graph::Graph& current, Budget& budget) {
+  bool shrunk_any = false;
+  std::size_t chunk = (current.num_edges() + 1) / 2;
+  while (chunk >= 1 && !budget.exhausted()) {
+    bool removed = false;
+    const auto edges = current.edges();
+    for (std::size_t start = 0; start < edges.size() && !budget.exhausted();
+         start += chunk) {
+      const std::size_t stop = std::min(edges.size(), start + chunk);
+      std::vector<graph::Edge> keep;
+      keep.reserve(edges.size() - (stop - start));
+      for (std::size_t i = 0; i < edges.size(); ++i)
+        if (i < start || i >= stop) keep.push_back(edges[i]);
+      graph::Graph candidate =
+          graph::Graph::from_edges(current.num_vertices(), keep);
+      if (budget.check(candidate)) {
+        current = std::move(candidate);
+        shrunk_any = removed = true;
+        break;
+      }
+    }
+    if (!removed) chunk = (chunk == 1) ? 0 : chunk / 2;
+  }
+  return shrunk_any;
+}
+
+}  // namespace
+
+ShrinkResult shrink_graph(const graph::Graph& g,
+                          const FailurePredicate& still_fails,
+                          const ShrinkOptions& opts) {
+  ShrinkResult result;
+  result.graph = g;
+  Budget budget{still_fails, 0, opts.max_probes};
+  if (!budget.check(g)) {
+    // Not failing (or no budget): nothing we can safely shrink.
+    result.probes = budget.probes;
+    return result;
+  }
+  for (std::size_t round = 0; round < opts.max_rounds; ++round) {
+    result.rounds = round + 1;
+    const bool v = vertex_pass(result.graph, budget);
+    const bool e = edge_pass(result.graph, budget);
+    if (!v && !e) {
+      result.minimal = !budget.exhausted();
+      break;
+    }
+  }
+  result.probes = budget.probes;
+  return result;
+}
+
+}  // namespace lgg::fuzz

@@ -1,0 +1,50 @@
+// Delta-debugging shrinker for graphs (Zeller & Hildebrandt's ddmin,
+// adapted to two nested structures): given a graph on which a failure
+// predicate holds, alternate
+//
+//   vertex passes  remove chunks of vertices (induced subgraph on the
+//                  complement), halving the chunk size down to single
+//                  vertices, restarting whenever a removal keeps failing;
+//   edge passes    the same over the edge list (vertex count preserved,
+//                  so a follow-up vertex pass sweeps stranded isolates);
+//
+// until a fixpoint: no single vertex and no single edge can be removed
+// without the failure disappearing (1-minimality), or the probe budget
+// runs out.  The predicate is typically "this counting path still
+// disagrees with the oracle on the candidate", rebuilt per candidate by
+// the engine — so a shrunk repro is self-contained evidence.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "graph/graph.hpp"
+
+namespace lgg::fuzz {
+
+/// Must return true iff the candidate graph still exhibits the failure.
+/// Called many times; should be deterministic and exception-free (the
+/// engine folds path exceptions into the predicate result).
+using FailurePredicate = std::function<bool(const graph::Graph&)>;
+
+struct ShrinkOptions {
+  /// Full vertex+edge sweep pairs before giving up on a fixpoint.
+  std::size_t max_rounds = 24;
+  /// Cap on predicate evaluations (the expensive part).
+  std::size_t max_probes = 50000;
+};
+
+struct ShrinkResult {
+  graph::Graph graph{0};     // the minimized failing graph
+  std::size_t probes = 0;    // predicate evaluations spent
+  std::size_t rounds = 0;    // sweep pairs performed
+  bool minimal = false;      // true when 1-minimality was reached in budget
+};
+
+/// Shrink `g` while `still_fails` holds.  Precondition: still_fails(g) is
+/// true (otherwise g is returned unchanged with minimal == false).
+ShrinkResult shrink_graph(const graph::Graph& g,
+                          const FailurePredicate& still_fails,
+                          const ShrinkOptions& opts = {});
+
+}  // namespace lgg::fuzz

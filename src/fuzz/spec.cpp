@@ -1,0 +1,126 @@
+#include "fuzz/spec.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "graph/generators.hpp"
+#include "util/error.hpp"
+
+namespace lgg::fuzz {
+
+namespace {
+
+std::uint64_t ip(const GraphSpec& s, std::size_t i) {
+  LGG_CHECK(i < s.iparams.size(), "spec '" << s.family
+                                           << "': missing integer param " << i);
+  return s.iparams[i];
+}
+
+double fp(const GraphSpec& s, std::size_t i) {
+  LGG_CHECK(i < s.fparams.size(),
+            "spec '" << s.family << "': missing real param " << i);
+  return s.fparams[i];
+}
+
+}  // namespace
+
+graph::Graph GraphSpec::build() const {
+  const GraphSpec& s = *this;
+  if (family == "empty") return graph::Graph(ip(s, 0));
+  if (family == "gnp") return graph::erdos_renyi(ip(s, 0), fp(s, 0), seed);
+  if (family == "gnm") return graph::gnm(ip(s, 0), ip(s, 1), seed);
+  if (family == "ba")
+    return graph::barabasi_albert(ip(s, 0), ip(s, 1), seed);
+  if (family == "rmat")
+    return graph::rmat(static_cast<unsigned>(ip(s, 0)), ip(s, 1), seed);
+  if (family == "layered")
+    return graph::layered_random(ip(s, 0), ip(s, 1), fp(s, 0), fp(s, 1),
+                                 seed);
+  if (family == "complete") return graph::complete(ip(s, 0));
+  if (family == "cycle") return graph::cycle(ip(s, 0));
+  if (family == "star") return graph::star(ip(s, 0));
+  if (family == "path") return graph::path(ip(s, 0));
+  if (family == "grid") return graph::grid2d(ip(s, 0), ip(s, 1));
+  if (family == "bipartite")
+    return graph::complete_bipartite(ip(s, 0), ip(s, 1));
+  if (family == "union")
+    return graph::disjoint_union(graph::erdos_renyi(ip(s, 0), fp(s, 0), seed),
+                                 graph::complete(ip(s, 1)));
+  LGG_THROW("unknown graph spec family: '" << family << "'");
+}
+
+std::string GraphSpec::to_string() const {
+  std::ostringstream os;
+  os << family;
+  for (const auto v : iparams) os << ' ' << v;
+  for (const auto f : fparams) os << ' ' << f;
+  os << " seed=" << seed;
+  return os.str();
+}
+
+const std::vector<std::string>& spec_families() {
+  static const std::vector<std::string> kFamilies = {
+      "empty", "gnp",  "gnm",  "ba",   "rmat",      "layered", "complete",
+      "cycle", "star", "path", "grid", "bipartite", "union"};
+  return kFamilies;
+}
+
+GraphSpec sample_spec(Xoshiro256& rng, const SamplerLimits& limits) {
+  const auto& families = spec_families();
+  const std::size_t max_n = std::max<std::size_t>(limits.max_vertices, 2);
+
+  GraphSpec s;
+  s.family = families[rng.uniform(families.size())];
+  s.seed = rng.next();
+  // Bias toward small graphs (shrinking lands there anyway) while still
+  // reaching the ceiling: half the draws re-roll under a tighter cap.
+  auto draw_n = [&](std::size_t cap) -> std::uint64_t {
+    std::uint64_t n = rng.uniform(cap + 1);
+    if (rng.uniform(2) == 0) n = rng.uniform(std::min<std::uint64_t>(n, 16) + 1);
+    return n;
+  };
+
+  if (s.family == "empty" || s.family == "star" || s.family == "path") {
+    s.iparams = {draw_n(max_n)};
+  } else if (s.family == "gnp") {
+    s.iparams = {draw_n(max_n)};
+    s.fparams = {rng.uniform01() * limits.max_density};
+  } else if (s.family == "gnm") {
+    const std::uint64_t n = draw_n(max_n);
+    const std::uint64_t pairs = n * (n - (n > 0 ? 1 : 0)) / 2;
+    s.iparams = {n, rng.uniform(std::min<std::uint64_t>(pairs, 4 * n) + 1)};
+  } else if (s.family == "ba") {
+    const std::uint64_t n = std::max<std::uint64_t>(draw_n(max_n), 2);
+    s.iparams = {n, 1 + rng.uniform(std::min<std::uint64_t>(4, n - 1))};
+  } else if (s.family == "rmat") {
+    std::uint64_t scale_max = 2;
+    while ((std::size_t{1} << (scale_max + 1)) <= max_n && scale_max < 6)
+      ++scale_max;
+    s.iparams = {2 + rng.uniform(scale_max - 1), 1 + rng.uniform(6)};
+  } else if (s.family == "layered") {
+    const std::uint64_t n = std::max<std::uint64_t>(draw_n(max_n), 1);
+    s.iparams = {n, 1 + rng.uniform(std::max<std::uint64_t>(n / 4, 1))};
+    s.fparams = {rng.uniform01() * limits.max_density,
+                 rng.uniform01() * limits.max_density * 0.5};
+  } else if (s.family == "complete") {
+    s.iparams = {rng.uniform(std::min<std::uint64_t>(max_n, 20) + 1)};
+  } else if (s.family == "cycle") {
+    const std::uint64_t n = draw_n(max_n);
+    s.iparams = {n < 3 ? 0 : n};
+  } else if (s.family == "grid") {
+    const std::uint64_t rows = 1 + rng.uniform(8);
+    s.iparams = {rows, 1 + rng.uniform(max_n / rows)};
+  } else if (s.family == "bipartite") {
+    const std::uint64_t a = 1 + rng.uniform(12);
+    s.iparams = {a, 1 + rng.uniform(std::max<std::uint64_t>(max_n - a, 1))};
+  } else if (s.family == "union") {
+    s.iparams = {draw_n(max_n / 2),
+                 rng.uniform(std::min<std::uint64_t>(max_n / 2, 12) + 1)};
+    s.fparams = {rng.uniform01() * limits.max_density};
+  } else {
+    LGG_THROW("sample_spec: family '" << s.family << "' has no sampler");
+  }
+  return s;
+}
+
+}  // namespace lgg::fuzz

@@ -1,0 +1,58 @@
+// Randomized graph specifications for the differential fuzzer.
+//
+// A GraphSpec is a fully deterministic recipe — generator family,
+// parameters, seed — that materialises to a graph via the generators in
+// graph/generators.hpp.  The engine samples specs across EVERY family so
+// a campaign exercises sparse/dense G(n,p), power-law (BA, R-MAT),
+// banded-community (layered), the degenerate closed forms (complete,
+// cycle, star, path, grid, bipartite, empty) and disjoint unions, with
+// sizes biased toward small graphs (bugs shrink there anyway) but
+// reaching the configured ceiling.
+//
+// Specs print as a single human-readable token line which repro files
+// keep as provenance; the repro itself always carries the explicit edge
+// list, so replay never depends on generator stability.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/prng.hpp"
+
+namespace lgg::fuzz {
+
+struct SamplerLimits {
+  /// Inclusive vertex-count ceiling for sampled graphs.  The default is
+  /// sized so the full path cross-product (including the four Section
+  /// VIII enumeration strategies at C(n,3) combinations each) stays
+  /// in the tens-of-milliseconds range per iteration.
+  std::size_t max_vertices = 72;
+  /// Probability ceiling for the G(n,p)-style density parameters.
+  double max_density = 0.5;
+};
+
+struct GraphSpec {
+  std::string family;                  // e.g. "gnp", "rmat", "union"
+  std::vector<std::uint64_t> iparams;  // family-specific integer params
+  std::vector<double> fparams;         // family-specific real params
+  std::uint64_t seed = 0;
+
+  /// Materialise the graph.  Throws lgg::Error on an unknown family or
+  /// parameter-count mismatch.
+  [[nodiscard]] graph::Graph build() const;
+
+  /// One-line form, e.g. "gnp n=60 p=0.05 seed=7701".
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// All family names the sampler draws from.
+[[nodiscard]] const std::vector<std::string>& spec_families();
+
+/// Draw a random spec.  Consumes a deterministic number of rng values per
+/// call for a given draw sequence, so campaigns are replayable from the
+/// master seed alone.
+GraphSpec sample_spec(Xoshiro256& rng, const SamplerLimits& limits = {});
+
+}  // namespace lgg::fuzz

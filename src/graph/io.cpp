@@ -1,5 +1,6 @@
 #include "graph/io.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 #include <unordered_map>
@@ -8,15 +9,16 @@
 
 namespace lgg::graph {
 
-LoadedGraph read_snap_edge_list(std::istream& in) {
+LoadedGraph read_snap_edge_list(std::istream& in,
+                                const SnapReadOptions& opts) {
   std::unordered_map<std::uint64_t, Vertex> compact;
-  std::vector<std::uint64_t> original_ids;
+  LoadedGraph loaded;
   std::vector<Edge> edges;
 
   auto dense_id = [&](std::uint64_t raw) {
-    auto [it, inserted] =
-        compact.try_emplace(raw, static_cast<Vertex>(original_ids.size()));
-    if (inserted) original_ids.push_back(raw);
+    auto [it, inserted] = compact.try_emplace(
+        raw, static_cast<Vertex>(loaded.original_ids.size()));
+    if (inserted) loaded.original_ids.push_back(raw);
     return it->second;
   };
 
@@ -24,9 +26,21 @@ LoadedGraph read_snap_edge_list(std::istream& in) {
   std::size_t lineno = 0;
   while (std::getline(in, line)) {
     ++lineno;
-    // Skip comments and blank lines.
+    // Skip blank lines; collect comments.
     const auto first = line.find_first_not_of(" \t\r");
-    if (first == std::string::npos || line[first] == '#') continue;
+    if (first == std::string::npos) continue;
+    if (line[first] == '#') {
+      auto text = line.substr(first + 1);
+      if (!text.empty() && text.front() == ' ') text.erase(0, 1);
+      while (!text.empty() && (text.back() == '\r' || text.back() == ' '))
+        text.pop_back();
+      std::uint64_t nodes = 0;
+      if (std::istringstream hs(text);
+          (hs >> line) && line == "Nodes:" && (hs >> nodes))
+        loaded.declared_nodes = nodes;
+      loaded.comments.push_back(std::move(text));
+      continue;
+    }
 
     std::istringstream ls(line);
     std::uint64_t u = 0, v = 0;
@@ -39,8 +53,11 @@ LoadedGraph read_snap_edge_list(std::istream& in) {
     const Vertex dv = dense_id(v);
     edges.emplace_back(du, dv);
   }
-  return {Graph::from_edges(original_ids.size(), edges),
-          std::move(original_ids)};
+  std::size_t n = loaded.original_ids.size();
+  if (opts.pad_to_declared_nodes && loaded.declared_nodes)
+    n = std::max(n, *loaded.declared_nodes);
+  loaded.graph = Graph::from_edges(n, edges);
+  return loaded;
 }
 
 LoadedGraph read_snap_edge_list_file(const std::string& path) {

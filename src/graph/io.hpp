@@ -8,6 +8,7 @@
 #pragma once
 
 #include <iosfwd>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -19,10 +20,24 @@ struct LoadedGraph {
   Graph graph;
   /// dense id -> original id from the file.
   std::vector<std::uint64_t> original_ids;
+  /// '#' comment lines in file order, leading "# " stripped.
+  std::vector<std::string> comments;
+  /// n from a "# Nodes: n Edges: m" header comment, when present.
+  std::optional<std::size_t> declared_nodes;
+};
+
+struct SnapReadOptions {
+  /// Pad the graph with isolated vertices up to `declared_nodes` when the
+  /// header declares more vertices than the edge lines mention.  This is
+  /// what lets files round-trip graphs with isolated vertices (up to the
+  /// first-seen-order relabelling, which every lgg analysis is invariant
+  /// to); the fuzz regression corpus relies on it.
+  bool pad_to_declared_nodes = false;
 };
 
 /// Parse a SNAP edge-list stream.  Throws lgg::Error on malformed lines.
-LoadedGraph read_snap_edge_list(std::istream& in);
+LoadedGraph read_snap_edge_list(std::istream& in,
+                                const SnapReadOptions& opts = {});
 
 /// Parse a SNAP edge-list file.  Throws lgg::Error if the file cannot be
 /// opened or is malformed.

@@ -14,6 +14,8 @@
 //              launches (tape analyzer + static footprint lint)
 //   core/    — Algorithm 2 triangle counting (CPU + simulated GPU with the
 //              Figs. 8-9 layouts), k-subgraph counters, social analyses
+//   fuzz/    — differential fuzzing engine over every counting path, with
+//              a delta-debugging shrinker and the regression corpus format
 #pragma once
 
 #include "combi/binomial.hpp"        // IWYU pragma: export
@@ -33,6 +35,11 @@
 #include "core/truss.hpp"            // IWYU pragma: export
 #include "core/triangle_cpu.hpp"     // IWYU pragma: export
 #include "core/triangle_gpu.hpp"     // IWYU pragma: export
+#include "fuzz/corpus.hpp"           // IWYU pragma: export
+#include "fuzz/engine.hpp"           // IWYU pragma: export
+#include "fuzz/paths.hpp"            // IWYU pragma: export
+#include "fuzz/shrink.hpp"           // IWYU pragma: export
+#include "fuzz/spec.hpp"             // IWYU pragma: export
 #include "graph/bfs.hpp"             // IWYU pragma: export
 #include "graph/bit_matrix.hpp"      // IWYU pragma: export
 #include "graph/chunking.hpp"        // IWYU pragma: export

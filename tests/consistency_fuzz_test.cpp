@@ -1,8 +1,10 @@
-// Randomised cross-algorithm consistency sweep: for a spread of random
-// generators, sizes and densities, every triangle-counting path in the
-// library must agree, and the structural invariants that the paper's
-// algorithms rest on must hold.  This is the belt-and-braces layer above
-// the per-module tests.
+// Randomised cross-algorithm consistency sweep, driven by the differential
+// fuzzing engine in src/fuzz/: for a spread of random generators, sizes and
+// densities, every counting path the engine knows about must agree with the
+// forward oracle — under strict sancheck and both execution policies — and
+// the structural invariants the paper's algorithms rest on must hold.  The
+// path list lives in fuzz::default_paths(), not here, so new algorithms get
+// swept automatically.
 #include <gtest/gtest.h>
 
 #include <sstream>
@@ -12,7 +14,6 @@
 namespace lgg {
 namespace {
 
-using core::GpuLayout;
 using graph::Graph;
 
 struct FuzzCase {
@@ -37,46 +38,16 @@ std::vector<FuzzCase> fuzz_cases(std::uint64_t seed) {
 
 class ConsistencyFuzz : public ::testing::TestWithParam<std::uint64_t> {};
 
-TEST_P(ConsistencyFuzz, AllTriangleCountersAgree) {
+TEST_P(ConsistencyFuzz, AllCountingPathsAgree) {
+  // Default EngineOptions: the full differential path set (CPU oracles, GPU
+  // layouts, combi strategies, hybrid, BFS invariant, estimators), serial
+  // AND parallel ExecPolicy, SancheckMode::strict armed.
+  fuzz::EngineOptions opts;
+  opts.master_seed = GetParam();
   for (const auto& fc : fuzz_cases(GetParam() * 100)) {
-    const std::uint64_t want = core::count_triangles_edge_iterator(fc.graph);
-    EXPECT_EQ(core::count_triangles_forward(fc.graph), want) << fc.family;
-    EXPECT_EQ(core::count_triangles_bitmatrix(
-                  graph::BitMatrix::from_graph(fc.graph)),
-              want)
-        << fc.family;
-    EXPECT_EQ(core::count_triangles_cpu_als(fc.graph).triangles, want)
-        << fc.family;
-    EXPECT_EQ(core::count_kcliques(fc.graph, 3), want) << fc.family;
-
-    core::GpuTriangleOptions gopts;
-    gopts.blocks = 4;
-    gopts.threads_per_block = 64;
-    for (const GpuLayout layout :
-         {GpuLayout::kNaive, GpuLayout::kCoalescedAntiCamping}) {
-      gopts.layout = layout;
-      EXPECT_EQ(core::count_triangles_gpu(fc.graph, gopts).triangles, want)
-          << fc.family << "/" << core::gpu_layout_name(layout);
+    for (const auto& f : fuzz::check_graph(fc.graph, fc.family, opts)) {
+      ADD_FAILURE() << fc.family << ": " << fuzz::describe(f);
     }
-
-    core::GpuIntersectOptions iopts;
-    iopts.blocks = 4;
-    iopts.threads_per_block = 64;
-    EXPECT_EQ(core::count_triangles_gpu_intersect(fc.graph, iopts).triangles,
-              want)
-        << fc.family;
-
-    core::HybridOptions hopts;
-    hopts.threads_per_block = 64;
-    EXPECT_EQ(core::count_triangles_hybrid(fc.graph, hopts).triangles, want)
-        << fc.family;
-
-    // Listing agrees with counting; per-vertex counts sum to 3x.
-    EXPECT_EQ(core::list_triangles(fc.graph).size(), want) << fc.family;
-    const auto per_vertex = core::triangles_per_vertex(fc.graph);
-    std::uint64_t sum = 0;
-    for (const auto t : per_vertex) sum += t;
-    EXPECT_EQ(sum, 3 * want) << fc.family;
   }
 }
 

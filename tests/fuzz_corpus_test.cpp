@@ -1,0 +1,48 @@
+// Regression-corpus replay: every checked-in repro under tests/corpus/
+// must load, carry a correct oracle, and pass every counting path under
+// strict sancheck and both execution policies.  LGG_CORPUS_DIR is injected
+// by CMake.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <filesystem>
+
+#include "lgg.hpp"
+
+namespace lgg::fuzz {
+namespace {
+
+std::vector<std::string> corpus_files() { return list_repro_files(LGG_CORPUS_DIR); }
+
+TEST(FuzzCorpus, CorpusIsNonEmpty) {
+  EXPECT_GE(corpus_files().size(), 5u)
+      << "expected the seed corpus under " << LGG_CORPUS_DIR;
+}
+
+class CorpusReplay : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CorpusReplay, OracleMatchesAndAllPathsAgree) {
+  const Repro repro = read_repro_file(GetParam());
+  EXPECT_EQ(repro.oracle, oracle_triangles(repro.graph))
+      << "stale oracle in " << GetParam();
+
+  EngineOptions opts;  // full path set, serial+parallel, strict sancheck
+  for (const auto& f : check_graph(repro.graph, repro.spec, opts)) {
+    ADD_FAILURE() << GetParam() << ": " << describe(f);
+  }
+}
+
+std::string repro_test_name(const ::testing::TestParamInfo<std::string>& info) {
+  std::string stem = std::filesystem::path(info.param).stem().string();
+  for (char& c : stem) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return stem;
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedCorpus, CorpusReplay,
+                         ::testing::ValuesIn(corpus_files()),
+                         repro_test_name);
+
+}  // namespace
+}  // namespace lgg::fuzz

@@ -1,0 +1,188 @@
+// lgg_fuzz — differential fuzzing campaigns over every counting path.
+//
+//   lgg_fuzz campaign [options]      time- or iteration-boxed campaign
+//   lgg_fuzz replay <repro.txt...>   replay repro files (regression check)
+//   lgg_fuzz corpus <dir>            replay every repro in a directory
+//   lgg_fuzz shrink <repro.txt>      re-shrink a repro in place
+//
+// A campaign with a fixed --seed and --iterations produces a
+// bit-identical findings log regardless of --threads (the simulator's
+// deterministic-reduction guarantee); CI diffs two runs to pin that.
+// Exit status: 0 when clean, 1 when any finding (or replay disagreement)
+// occurred, 2 on usage errors.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lgg.hpp"
+
+namespace {
+
+using namespace lgg;
+
+[[noreturn]] void usage(const char* message = nullptr) {
+  if (message) std::cerr << "error: " << message << "\n\n";
+  std::cerr <<
+      "usage:\n"
+      "  lgg_fuzz campaign [--iterations N] [--seconds S] [--seed S]\n"
+      "                    [--corpus DIR] [--max-vertices N] [--threads T]\n"
+      "                    [--max-findings N] [--no-shrink] [--serial-only]\n"
+      "  lgg_fuzz replay <repro.txt> [...]\n"
+      "  lgg_fuzz corpus <dir>\n"
+      "  lgg_fuzz shrink <repro.txt>\n";
+  std::exit(2);
+}
+
+/// Pop "--flag value" / "--flag" style options from args; returns true
+/// and erases when found.
+bool take_flag(std::vector<std::string>& args, const std::string& flag) {
+  for (auto it = args.begin(); it != args.end(); ++it) {
+    if (*it == flag) {
+      args.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool take_value(std::vector<std::string>& args, const std::string& flag,
+                std::string& value) {
+  for (auto it = args.begin(); it != args.end(); ++it) {
+    if (*it == flag) {
+      if (it + 1 == args.end()) usage(("missing value for " + flag).c_str());
+      value = *(it + 1);
+      args.erase(it, it + 2);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::uint64_t take_u64(std::vector<std::string>& args, const std::string& flag,
+                       std::uint64_t fallback) {
+  std::string v;
+  return take_value(args, flag, v) ? std::strtoull(v.c_str(), nullptr, 10)
+                                   : fallback;
+}
+
+/// Replay one repro through the full cross-product; prints findings.
+/// Returns the number of findings.
+std::size_t replay_file(const std::string& path) {
+  const fuzz::Repro repro = fuzz::read_repro_file(path);
+  fuzz::EngineOptions opts;
+  std::size_t findings = 0;
+
+  const std::uint64_t oracle = fuzz::oracle_triangles(repro.graph);
+  if (oracle != repro.oracle) {
+    std::cout << path << ": stored oracle " << repro.oracle
+              << " != recomputed " << oracle << "\n";
+    ++findings;
+  }
+  const auto found =
+      fuzz::check_graph(repro.graph, repro.spec.empty() ? repro.name
+                                                        : repro.spec,
+                        opts);
+  for (const auto& f : found) std::cout << path << ": " << describe(f) << "\n";
+  findings += found.size();
+
+  std::cout << path << ": " << repro.graph.num_vertices() << "v/"
+            << repro.graph.num_edges() << "e oracle=" << oracle << " "
+            << (findings ? "FINDINGS" : "ok") << "\n";
+  return findings;
+}
+
+int cmd_campaign(std::vector<std::string> args) {
+  fuzz::EngineOptions opts;
+  opts.master_seed = take_u64(args, "--seed", 1);
+  opts.max_iterations = take_u64(args, "--iterations", 500);
+  opts.max_findings = take_u64(args, "--max-findings", 16);
+  opts.limits.max_vertices = take_u64(args, "--max-vertices", 72);
+  std::string seconds;
+  if (take_value(args, "--seconds", seconds))
+    opts.time_budget_s = std::strtod(seconds.c_str(), nullptr);
+  std::string corpus;
+  if (take_value(args, "--corpus", corpus)) opts.corpus_dir = corpus;
+  if (take_flag(args, "--no-shrink")) opts.shrink = false;
+  std::string threads;
+  if (take_flag(args, "--serial-only")) {
+    opts.policies = {gpusim::ExecPolicy::serial()};
+  } else if (take_value(args, "--threads", threads)) {
+    opts.policies = {gpusim::ExecPolicy::serial(),
+                     gpusim::ExecPolicy::parallel(
+                         std::strtoull(threads.c_str(), nullptr, 10))};
+  }
+  if (!args.empty()) usage(("unknown campaign option: " + args[0]).c_str());
+
+  const auto result = fuzz::run_campaign(opts);
+  std::cout << result.log;
+  for (const auto& f : result.findings)
+    if (!f.repro_path.empty())
+      std::cout << "repro written: " << f.repro_path << "\n";
+  return result.findings.empty() ? 0 : 1;
+}
+
+int cmd_replay(const std::vector<std::string>& args) {
+  if (args.empty()) usage("replay needs at least one repro file");
+  std::size_t findings = 0;
+  for (const auto& path : args) findings += replay_file(path);
+  return findings == 0 ? 0 : 1;
+}
+
+int cmd_corpus(const std::vector<std::string>& args) {
+  if (args.size() != 1) usage("corpus needs exactly one directory");
+  const auto files = fuzz::list_repro_files(args[0]);
+  if (files.empty()) {
+    std::cerr << "warning: no repro files in " << args[0] << "\n";
+    return 0;
+  }
+  std::size_t findings = 0;
+  for (const auto& path : files) findings += replay_file(path);
+  std::cout << files.size() << " repros, "
+            << (findings ? "FINDINGS" : "all ok") << "\n";
+  return findings == 0 ? 0 : 1;
+}
+
+int cmd_shrink(const std::vector<std::string>& args) {
+  if (args.size() != 1) usage("shrink needs exactly one repro file");
+  fuzz::Repro repro = fuzz::read_repro_file(args[0]);
+  fuzz::EngineOptions opts;
+  const auto findings = fuzz::check_graph(repro.graph, repro.spec, opts);
+  if (findings.empty()) {
+    std::cout << args[0] << ": no finding reproduces; nothing to shrink\n";
+    return 0;
+  }
+  // Shrink against "any path still disagrees" so the repro stays a repro
+  // for whichever path the original capture named.
+  const auto still_fails = [&opts](const graph::Graph& g) {
+    return !fuzz::check_graph(g, "", opts).empty();
+  };
+  const auto shrunk = fuzz::shrink_graph(repro.graph, still_fails);
+  std::cout << args[0] << ": " << repro.graph.num_vertices() << "v/"
+            << repro.graph.num_edges() << "e -> "
+            << shrunk.graph.num_vertices() << "v/"
+            << shrunk.graph.num_edges() << "e (" << shrunk.probes
+            << " probes" << (shrunk.minimal ? ", 1-minimal" : "") << ")\n";
+  repro.graph = shrunk.graph;
+  repro.oracle = fuzz::oracle_triangles(shrunk.graph);
+  fuzz::write_repro_file(args[0], repro);
+  return 1;  // a reproducing finding is still a failure signal
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string command = argv[1];
+  const std::vector<std::string> args(argv + 2, argv + argc);
+  try {
+    if (command == "campaign") return cmd_campaign(args);
+    if (command == "replay") return cmd_replay(args);
+    if (command == "corpus") return cmd_corpus(args);
+    if (command == "shrink") return cmd_shrink(args);
+    usage("unknown command");
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
