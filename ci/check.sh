@@ -27,6 +27,17 @@ step "fuzz: 30s deterministic differential smoke campaign"
 # iteration cap is a backstop so the stage is time-boxed either way.
 build/tools/lgg_fuzz campaign --seconds 30 --iterations 100000 --seed 20130520
 
+step "resilience: fault-injection + recovery suites"
+# The resilience-labelled tests (ctest -L resilience) pin the DESIGN.md
+# section 11 contract: exact counts under injected faults, FaultPlan /
+# RunReport accounting, and thread-count-independent fault campaigns.
+ctest --test-dir build -L resilience --output-on-failure \
+      "${CTEST_ARGS[@]+"${CTEST_ARGS[@]}"}"
+
+step "resilience: 15s fault-campaign smoke (10% fault rate)"
+build/tools/lgg_fuzz campaign --seconds 15 --iterations 100000 \
+      --seed 20130520 --faults=0.1,7
+
 step "asan: configure + build (LGG_SANITIZE=address, LGG_WERROR=ON)"
 cmake --preset asan
 cmake --build --preset asan -j "$JOBS"

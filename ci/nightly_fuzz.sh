@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Nightly extended fuzz + fault campaign.
+#
+# Runs a long differential campaign (10 minutes by default) with the
+# fault-injection path armed at a 10% per-site rate.  The master seed is
+# derived from the date, so each night explores a fresh deterministic
+# slice of the input space while any finding stays reproducible from the
+# printed seed alone.  Repro files land in tests/corpus/incoming/ for
+# triage — promote them into tests/corpus/ (the regression set replayed
+# by fuzz_corpus_replay) once the underlying bug is understood.
+#
+# Usage: ci/nightly_fuzz.sh [seconds] [fault-rate]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+SECONDS_BUDGET="${1:-600}"
+FAULT_RATE="${2:-0.1}"
+SEED="$(date +%Y%m%d)"
+INCOMING="tests/corpus/incoming"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+step() { printf '\n=== %s ===\n' "$*"; }
+
+step "build (default preset)"
+cmake --preset default
+cmake --build --preset default -j "$JOBS"
+
+mkdir -p "$INCOMING"
+
+step "nightly campaign: seed=$SEED budget=${SECONDS_BUDGET}s faults=$FAULT_RATE"
+# Findings stream to stdout and repros to $INCOMING as they occur, so a
+# killed run loses nothing.  The iteration cap is a backstop only.
+if build/tools/lgg_fuzz campaign \
+      --seconds "$SECONDS_BUDGET" --iterations 100000000 \
+      --seed "$SEED" --max-findings 64 \
+      --faults="$FAULT_RATE,$SEED" \
+      --corpus "$INCOMING"; then
+  step "campaign clean (seed=$SEED)"
+else
+  step "FINDINGS recorded under $INCOMING (replay: build/tools/lgg_fuzz corpus $INCOMING)"
+  exit 1
+fi

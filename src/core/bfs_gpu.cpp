@@ -25,13 +25,13 @@ GpuBfsResult bfs_gpu(const Graph& g, Vertex source,
             "threads_per_block must be a positive multiple of the warp size");
 
   const std::uint64_t n = g.num_vertices();
-  gpusim::DeviceMemory mem(dev);
+  gpusim::DeviceMemory mem(dev, opts.faults);
   const gpusim::Buffer levels_buf = mem.alloc(std::max<std::uint64_t>(n, 1) * 4);
   const gpusim::Buffer offsets_buf =
       mem.alloc(std::max<std::uint64_t>((n + 1) * 8, 8));
   const gpusim::Buffer adj_buf = mem.alloc(
       std::max<std::uint64_t>(g.raw_adjacency().size() * 4, 4));
-  const gpusim::Simulator sim(dev);
+  const gpusim::Simulator sim(dev, opts.faults);
 
   GpuBfsResult result;
   result.tree.source = source;

@@ -29,6 +29,10 @@ struct GpuBfsOptions {
   gpusim::ExecPolicy exec;
   /// Hazard analysis of every level launch (sancheck/sancheck.hpp).
   sancheck::SancheckMode sancheck = sancheck::SancheckMode::kOff;
+  /// Optional fault hook (non-owning) installed on the driver's
+  /// DeviceMemory and Simulator; fired faults surface as
+  /// gpusim::DeviceFault (DESIGN.md §11).
+  gpusim::FaultHook* faults = nullptr;
 };
 
 struct GpuBfsResult {

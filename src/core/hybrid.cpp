@@ -28,15 +28,6 @@ const char* scheduler_name(SchedulerKind kind) noexcept {
   return "?";
 }
 
-namespace {
-
-/// The ALS work owned by one chunk (see header: ownership partitions the
-/// component's ALS sequence across its chunks).
-struct ChunkWork {
-  std::vector<AlsJob> jobs;   // test_offset is chunk-relative
-  std::uint64_t tests = 0;
-};
-
 ChunkWork build_chunk_work(const graph::Chunk& chunk,
                            const graph::LevelDecomposition& levels) {
   ChunkWork work;
@@ -78,6 +69,32 @@ ChunkWork build_chunk_work(const graph::Chunk& chunk,
   return work;
 }
 
+std::uint64_t chunk_device_bytes(const graph::Chunk& chunk) {
+  const std::uint64_t local_n = chunk.vertices.size();
+  const std::uint64_t row_bytes = ((local_n + 31) / 32) * 4;
+  return std::max<std::uint64_t>(local_n * row_bytes, 4);
+}
+
+std::uint64_t count_chunk_cpu(const graph::Graph& g, const ChunkWork& work) {
+  std::uint64_t found = 0;
+  for (const AlsJob& job : work.jobs) {
+    for (std::uint32_t x = 0; x < job.x_max; ++x) {
+      const graph::Vertex u = job.local_to_global[x];
+      for (std::uint32_t y = x + 1; y < job.s; ++y) {
+        const graph::Vertex v = job.local_to_global[y];
+        if (!g.has_edge(u, v)) continue;  // no (u,v) edge: no triangle uvz
+        for (std::uint32_t z = y + 1; z < job.s; ++z) {
+          const graph::Vertex w = job.local_to_global[z];
+          if (g.has_edge(v, w) && g.has_edge(u, w)) ++found;
+        }
+      }
+    }
+  }
+  return found;
+}
+
+namespace {
+
 /// Locate the ALS job covering chunk-relative flat index `flat`.
 const AlsJob& job_for(const ChunkWork& work, std::uint64_t flat) {
   auto it = std::upper_bound(
@@ -118,6 +135,138 @@ void rescale(gpusim::KernelReport& k, double factor,
 
 }  // namespace
 
+ChunkLaunch run_chunk_kernel(const graph::Graph& g, const graph::Chunk& chunk,
+                             const ChunkWork& work,
+                             const gpusim::Simulator& sim,
+                             gpusim::DeviceMemory& mem,
+                             const HybridOptions& opts) {
+  const gpusim::DeviceSpec& dev = sim.spec();
+  const std::uint32_t tpb = opts.threads_per_block;
+  LGG_CHECK(tpb >= dev.warp_size && tpb % dev.warp_size == 0,
+            "threads_per_block must be a positive multiple of the warp size");
+  LGG_CHECK(work.tests > 0, "run_chunk_kernel: chunk owns no tests");
+
+  // Global-resident chunks keep their local adjacency matrix in device
+  // global memory (packed rows); shared chunks only pay the staging copy.
+  const std::uint64_t local_n = chunk.vertices.size();
+  const std::uint64_t row_bytes = ((local_n + 31) / 32) * 4;
+  gpusim::Buffer buffer{};
+  if (!chunk.fits_shared) buffer = mem.alloc(chunk_device_bytes(chunk));
+
+  // Map a chunk-local vertex id: AlsJob locals index into
+  // job.local_to_global (component ids); the chunk matrix is indexed by
+  // position within chunk.vertices (sorted), found by binary search.
+  const auto& chunk_vs = chunk.vertices;
+  auto chunk_local = [&](graph::Vertex v) {
+    const auto it = std::lower_bound(chunk_vs.begin(), chunk_vs.end(), v);
+    LGG_ASSERT(it != chunk_vs.end() && *it == v);
+    return static_cast<std::uint64_t>(it - chunk_vs.begin());
+  };
+
+  // Per-thread budget (test sampling).
+  const std::uint64_t threads = tpb;  // one block == one SM job
+  std::uint64_t per_thread = (work.tests + threads - 1) / threads;
+  if (opts.max_simulated_tests_per_chunk > 0) {
+    per_thread = std::min(
+        per_thread,
+        std::max<std::uint64_t>(1,
+                                opts.max_simulated_tests_per_chunk / threads));
+  }
+
+  // Per-warp functional output slots (simulator thread-safety contract:
+  // warps replay concurrently; everything else captured is read-only).
+  const std::uint64_t chunk_warps = tpb / dev.warp_size;  // one block
+  std::vector<std::uint64_t> warp_simulated(chunk_warps, 0);
+  std::vector<std::uint64_t> warp_found(chunk_warps, 0);
+  // Shared-resident chunks stage the S-UTM into shared memory first:
+  // every thread writes a strided slice of the packed words, then the
+  // block barriers (the simulated __syncthreads), and only then probes.
+  // The sync annotation is what tells sancheck the write and read
+  // phases are ordered — without it every probe would race the staging.
+  const std::uint64_t utm_words = (local_n * (local_n - 1) / 2 + 31) / 32;
+  const gpusim::KernelFn kernel = [&](const gpusim::ThreadCtx& ctx,
+                                      gpusim::ThreadRecorder& rec) {
+    if (chunk.fits_shared) {
+      for (std::uint64_t w = ctx.thread; w < utm_words; w += threads) {
+        rec.shared_write(w * 4);
+        rec.compute(1);
+      }
+      rec.sync();
+    }
+    for (std::uint64_t i = 0; i < per_thread; ++i) {
+      // Cyclic mapping: consecutive lanes take consecutive flat
+      // indices, giving z-runs within a warp (coalescing / low bank
+      // conflict), exactly like the improved global kernel.
+      const std::uint64_t flat = ctx.global_id + i * threads;
+      if (flat >= work.tests) break;
+      const AlsJob& job = job_for(work, flat);
+      const TestTriple t = als_decode_test(job, flat - job.test_offset);
+      const graph::Vertex u = job.local_to_global[t.x];
+      const graph::Vertex v = job.local_to_global[t.y];
+      const graph::Vertex w = job.local_to_global[t.z];
+
+      rec.compute(cal::kGpuInstructionsPerTest);
+      const std::uint64_t lu = chunk_local(u), lv = chunk_local(v),
+                          lw = chunk_local(w);
+      if (chunk.fits_shared) {
+        // S-UTM layout in shared memory: word of pair (i < j), bit
+        // index i*(2n - i - 1)/2 + (j - i - 1).
+        const auto word = [&](std::uint64_t a, std::uint64_t b) {
+          if (a > b) std::swap(a, b);
+          const std::uint64_t bit =
+              a * (2 * local_n - a - 1) / 2 + (b - a - 1);
+          return (bit / 32) * 4;
+        };
+        rec.shared_read(word(lu, lv));
+        rec.shared_read(word(lv, lw));
+        rec.shared_read(word(lu, lw));
+      } else {
+        const auto word = [&](std::uint64_t a, std::uint64_t b) {
+          return a * row_bytes + (b >> 5) * 4;
+        };
+        rec.global_read(buffer, word(lu, lv), 4);
+        rec.global_read(buffer, word(lv, lw), 4);
+        rec.global_read(buffer, word(lu, lw), 4);
+      }
+      if (g.has_edge(u, v) && g.has_edge(v, w) && g.has_edge(u, w))
+        ++warp_found[ctx.global_warp];
+      ++warp_simulated[ctx.global_warp];
+    }
+  };
+
+  gpusim::KernelConfig config;
+  config.name = chunk.fits_shared ? "chunk/shared" : "chunk/global";
+  config.blocks = 1;
+  config.threads_per_block = tpb;
+
+  // Sancheck wiring: global-resident chunks read a host-staged matrix;
+  // shared chunks only touch shared memory (race-checked via epochs).
+  std::optional<sancheck::TapeAnalyzer> analyzer;
+  if (opts.sancheck != sancheck::SancheckMode::kOff) {
+    sancheck::SancheckConfig sc;
+    sc.mode = opts.sancheck;
+    if (!chunk.fits_shared) sc.staged = {buffer};
+    analyzer.emplace(std::move(sc), mem);
+  }
+
+  ChunkLaunch out;
+  out.report =
+      sim.run(kernel, config, 1, opts.exec, analyzer ? &*analyzer : nullptr);
+
+  // Deterministic reduction: fold per-warp slots in warp order.
+  for (std::uint64_t wid = 0; wid < chunk_warps; ++wid) {
+    out.simulated += warp_simulated[wid];
+    out.triangles += warp_found[wid];
+  }
+  if (out.simulated < work.tests) {
+    rescale(out.report,
+            static_cast<double>(work.tests) /
+                static_cast<double>(std::max<std::uint64_t>(out.simulated, 1)),
+            dev);
+  }
+  return out;
+}
+
 HybridResult count_triangles_hybrid(const graph::Graph& g,
                                     const HybridOptions& opts) {
   const gpusim::DeviceSpec& dev =
@@ -138,8 +287,8 @@ HybridResult count_triangles_hybrid(const graph::Graph& g,
   for (const auto& tree : chunking.trees) levels.emplace_back(tree);
 
   HybridResult result;
-  const gpusim::Simulator sim(dev);
-  gpusim::DeviceMemory mem(dev);
+  const gpusim::Simulator sim(dev, opts.faults);
+  gpusim::DeviceMemory mem(dev, opts.faults);
 
   std::uint64_t device_bytes = 0;
   std::vector<std::uint64_t> job_times_ns;
@@ -162,138 +311,20 @@ HybridResult count_triangles_hybrid(const graph::Graph& g,
       continue;
     }
 
-    // Global-resident chunks keep their local adjacency matrix in device
-    // global memory (packed rows); shared chunks only pay the staging
-    // copy, accounted below via device_bytes too (data always crosses
-    // PCIe once).
-    const std::uint64_t local_n = chunk.vertices.size();
-    const std::uint64_t row_bytes = ((local_n + 31) / 32) * 4;
-    const std::uint64_t chunk_bytes =
-        std::max<std::uint64_t>(local_n * row_bytes, 4);
-    device_bytes += chunk_bytes;
-    gpusim::Buffer buffer{};
-    if (!chunk.fits_shared) buffer = mem.alloc(chunk_bytes);
+    // Data always crosses PCIe once, for shared and global chunks alike.
+    device_bytes += chunk_device_bytes(chunk);
 
-    // Map a chunk-local vertex id: AlsJob locals index into
-    // job.local_to_global (component ids); the chunk matrix is indexed by
-    // position within chunk.vertices (sorted), found by binary search.
-    const auto& chunk_vs = chunk.vertices;
-    auto chunk_local = [&](graph::Vertex v) {
-      const auto it = std::lower_bound(chunk_vs.begin(), chunk_vs.end(), v);
-      LGG_ASSERT(it != chunk_vs.end() && *it == v);
-      return static_cast<std::uint64_t>(it - chunk_vs.begin());
-    };
+    const ChunkLaunch launch = run_chunk_kernel(g, chunk, work, sim, mem, opts);
+    result.hazards.merge(launch.report.hazards);
 
-    // Per-thread budget (test sampling).
-    const std::uint64_t threads = tpb;  // one block == one SM job
-    std::uint64_t per_thread = (work.tests + threads - 1) / threads;
-    if (opts.max_simulated_tests_per_chunk > 0) {
-      per_thread = std::min(
-          per_thread,
-          std::max<std::uint64_t>(
-              1, opts.max_simulated_tests_per_chunk / threads));
-    }
-
-    // Per-warp functional output slots (simulator thread-safety contract:
-    // warps replay concurrently; everything else captured is read-only).
-    const std::uint64_t chunk_warps = tpb / dev.warp_size;  // one block
-    std::vector<std::uint64_t> warp_simulated(chunk_warps, 0);
-    std::vector<std::uint64_t> warp_found(chunk_warps, 0);
-    // Shared-resident chunks stage the S-UTM into shared memory first:
-    // every thread writes a strided slice of the packed words, then the
-    // block barriers (the simulated __syncthreads), and only then probes.
-    // The sync annotation is what tells sancheck the write and read
-    // phases are ordered — without it every probe would race the staging.
-    const std::uint64_t utm_words =
-        (local_n * (local_n - 1) / 2 + 31) / 32;
-    const gpusim::KernelFn kernel = [&](const gpusim::ThreadCtx& ctx,
-                                        gpusim::ThreadRecorder& rec) {
-      if (chunk.fits_shared) {
-        for (std::uint64_t w = ctx.thread; w < utm_words; w += threads) {
-          rec.shared_write(w * 4);
-          rec.compute(1);
-        }
-        rec.sync();
-      }
-      for (std::uint64_t i = 0; i < per_thread; ++i) {
-        // Cyclic mapping: consecutive lanes take consecutive flat
-        // indices, giving z-runs within a warp (coalescing / low bank
-        // conflict), exactly like the improved global kernel.
-        const std::uint64_t flat = ctx.global_id + i * threads;
-        if (flat >= work.tests) break;
-        const AlsJob& job = job_for(work, flat);
-        const TestTriple t =
-            als_decode_test(job, flat - job.test_offset);
-        const graph::Vertex u = job.local_to_global[t.x];
-        const graph::Vertex v = job.local_to_global[t.y];
-        const graph::Vertex w = job.local_to_global[t.z];
-
-        rec.compute(cal::kGpuInstructionsPerTest);
-        const std::uint64_t lu = chunk_local(u), lv = chunk_local(v),
-                            lw = chunk_local(w);
-        if (chunk.fits_shared) {
-          // S-UTM layout in shared memory: word of pair (i < j), bit
-          // index i*(2n - i - 1)/2 + (j - i - 1).
-          const auto word = [&](std::uint64_t a, std::uint64_t b) {
-            if (a > b) std::swap(a, b);
-            const std::uint64_t bit =
-                a * (2 * local_n - a - 1) / 2 + (b - a - 1);
-            return (bit / 32) * 4;
-          };
-          rec.shared_read(word(lu, lv));
-          rec.shared_read(word(lv, lw));
-          rec.shared_read(word(lu, lw));
-        } else {
-          const auto word = [&](std::uint64_t a, std::uint64_t b) {
-            return a * row_bytes + (b >> 5) * 4;
-          };
-          rec.global_read(buffer, word(lu, lv), 4);
-          rec.global_read(buffer, word(lv, lw), 4);
-          rec.global_read(buffer, word(lu, lw), 4);
-        }
-        if (g.has_edge(u, v) && g.has_edge(v, w) && g.has_edge(u, w))
-          ++warp_found[ctx.global_warp];
-        ++warp_simulated[ctx.global_warp];
-      }
-    };
-
-    gpusim::KernelConfig config;
-    config.name = chunk.fits_shared ? "chunk/shared" : "chunk/global";
-    config.blocks = 1;
-    config.threads_per_block = tpb;
-
-    // Sancheck wiring: global-resident chunks read a host-staged matrix;
-    // shared chunks only touch shared memory (race-checked via epochs).
-    std::optional<sancheck::TapeAnalyzer> analyzer;
-    if (opts.sancheck != sancheck::SancheckMode::kOff) {
-      sancheck::SancheckConfig sc;
-      sc.mode = opts.sancheck;
-      if (!chunk.fits_shared) sc.staged = {buffer};
-      analyzer.emplace(std::move(sc), mem);
-    }
-    gpusim::KernelReport report =
-        sim.run(kernel, config, 1, opts.exec, analyzer ? &*analyzer : nullptr);
-    result.hazards.merge(report.hazards);
-
-    // Deterministic reduction: fold per-warp slots in warp order.
-    std::uint64_t simulated = 0, found = 0;
-    for (std::uint64_t wid = 0; wid < chunk_warps; ++wid) {
-      simulated += warp_simulated[wid];
-      found += warp_found[wid];
-    }
-
-    if (simulated < work.tests) {
+    if (launch.simulated < work.tests) {
       result.exact = false;
-      rescale(report,
-              static_cast<double>(work.tests) /
-                  static_cast<double>(std::max<std::uint64_t>(simulated, 1)),
-              dev);
     } else {
-      exec.triangles = found;
+      exec.triangles = launch.triangles;
     }
-    result.triangles += found;
+    result.triangles += launch.triangles;
 
-    exec.time_s = report.kernel_time_s;
+    exec.time_s = launch.report.kernel_time_s;
     (chunk.fits_shared ? tau_s_sum : tau_g_sum) += exec.time_s;
     (chunk.fits_shared ? result.shared_chunks : result.global_chunks)++;
     job_times_ns.push_back(

@@ -17,6 +17,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/als_plan.hpp"
+#include "graph/bfs.hpp"
 #include "graph/chunking.hpp"
 #include "graph/graph.hpp"
 #include "gpusim/device.hpp"
@@ -44,6 +46,12 @@ struct HybridOptions {
   gpusim::ExecPolicy exec;
   /// Hazard analysis of every chunk launch (sancheck/sancheck.hpp).
   sancheck::SancheckMode sancheck = sancheck::SancheckMode::kOff;
+  /// Optional fault hook (non-owning) installed on the DeviceMemory and
+  /// Simulator the pipeline constructs: chunk allocations and launches can
+  /// then throw gpusim::DeviceFault (DESIGN.md §11).  The plain hybrid
+  /// pipeline does NOT recover — use resilience::run_resilient for
+  /// retry/failover semantics.
+  gpusim::FaultHook* faults = nullptr;
 };
 
 /// Per-chunk execution record.
@@ -82,5 +90,49 @@ struct HybridResult {
 /// Run the full hybrid pipeline on the simulated device.
 HybridResult count_triangles_hybrid(const graph::Graph& g,
                                     const HybridOptions& opts = {});
+
+// ---- chunk-level building blocks -------------------------------------
+// The pieces count_triangles_hybrid is made of, exposed so a recovery
+// layer (resilience::run_resilient) can execute chunks as independently
+// retryable units: rebuild a chunk's work, launch it on a fresh
+// simulator/memory, and recount its test space on the CPU to certify the
+// device result.
+
+/// The ALS work owned by one chunk (ownership partitions the component's
+/// ALS sequence across its chunks; see the header comment above).
+struct ChunkWork {
+  std::vector<AlsJob> jobs;  // test_offset is chunk-relative
+  std::uint64_t tests = 0;
+};
+
+/// Build the chunk's ALS jobs from its component's level decomposition.
+ChunkWork build_chunk_work(const graph::Chunk& chunk,
+                           const graph::LevelDecomposition& levels);
+
+/// Simulated-device footprint of one chunk's packed local adjacency
+/// matrix (what a global-resident chunk allocates; what either kind ships
+/// across PCIe).
+std::uint64_t chunk_device_bytes(const graph::Chunk& chunk);
+
+/// Result of one chunk's kernel launch.
+struct ChunkLaunch {
+  std::uint64_t simulated = 0;  // tests actually run (== tests when exact)
+  std::uint64_t triangles = 0;  // found among the simulated tests
+  gpusim::KernelReport report;  // rescaled to the full chunk if truncated
+};
+
+/// Launch one chunk's 1-block kernel on `sim`, allocating any
+/// global-resident matrix from `mem`.  Requires work.tests > 0.  Faults
+/// installed on sim/mem surface as gpusim::DeviceFault from here (and the
+/// outputs of a faulted launch are garbage — retry with a fresh attempt).
+ChunkLaunch run_chunk_kernel(const graph::Graph& g, const graph::Chunk& chunk,
+                             const ChunkWork& work,
+                             const gpusim::Simulator& sim,
+                             gpusim::DeviceMemory& mem,
+                             const HybridOptions& opts);
+
+/// Exact CPU recount of the chunk's test space (the oracle the resilient
+/// runner verifies device results against, and its CPU failover path).
+std::uint64_t count_chunk_cpu(const graph::Graph& g, const ChunkWork& work);
 
 }  // namespace lgg::core

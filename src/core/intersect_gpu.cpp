@@ -95,13 +95,13 @@ GpuIntersectResult count_triangles_gpu_intersect(
   GpuIntersectResult result;
   result.total_edges = oriented.edges.size();
 
-  gpusim::DeviceMemory mem(dev);
+  gpusim::DeviceMemory mem(dev, opts.faults);
   const gpusim::Buffer offsets_buf =
       mem.alloc(std::max<std::uint64_t>((n + 1) * 8, 8));
   const gpusim::Buffer adj_buf =
       mem.alloc(std::max<std::uint64_t>(oriented.out.size() * 4, 4));
   result.device_bytes = offsets_buf.bytes + adj_buf.bytes;
-  const gpusim::Simulator sim(dev);
+  const gpusim::Simulator sim(dev, opts.faults);
   result.transfer = sim.transfer(result.device_bytes);
 
   if (oriented.edges.empty()) {

@@ -181,12 +181,12 @@ GpuKCountResult run_kcount(const Graph& g, std::uint32_t k,
   result.total_tests = total;
 
   // Single whole-graph matrix in device memory (global vertex ids).
-  gpusim::DeviceMemory mem(dev);
+  gpusim::DeviceMemory mem(dev, opts.faults);
   const std::uint64_t n = g.num_vertices();
   const std::uint64_t row_bytes = ((n + 31) / 32) * 4;
   const gpusim::Buffer matrix =
       mem.alloc(std::max<std::uint64_t>(n * row_bytes, 4));
-  const gpusim::Simulator sim(dev);
+  const gpusim::Simulator sim(dev, opts.faults);
   result.transfer = sim.transfer(matrix.bytes);
 
   if (total == 0) {

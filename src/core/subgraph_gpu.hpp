@@ -41,6 +41,10 @@ struct GpuKCountOptions {
   gpusim::ExecPolicy exec;
   /// Hazard analysis of the launch (sancheck/sancheck.hpp).
   sancheck::SancheckMode sancheck = sancheck::SancheckMode::kOff;
+  /// Optional fault hook (non-owning) installed on the driver's
+  /// DeviceMemory and Simulator; fired faults surface as
+  /// gpusim::DeviceFault (DESIGN.md §11).
+  gpusim::FaultHook* faults = nullptr;
 };
 
 struct GpuKCountResult {

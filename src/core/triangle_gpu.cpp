@@ -156,11 +156,11 @@ GpuTriangleResult count_triangles_gpu(const graph::Graph& g,
       static_cast<double>(plan.bfs_edges_visited) * cal::kCpuCyclesPerBfsEdge /
       (cal::kCpuClockGhz * 1e9);
 
-  gpusim::DeviceMemory mem(dev);
+  gpusim::DeviceMemory mem(dev, opts.faults);
   const Layout layout = build_layout(g, plan, opts.layout, mem);
   result.device_bytes = layout.total_bytes;
 
-  const gpusim::Simulator sim(dev);
+  const gpusim::Simulator sim(dev, opts.faults);
   result.transfer = sim.transfer(layout.total_bytes);
 
   if (plan.total_tests == 0) {

@@ -70,6 +70,10 @@ struct GpuTriangleOptions {
   /// attaches a HazardReport to `kernel.hazards`, kStrict throws
   /// lgg::Error on the first hazard.
   sancheck::SancheckMode sancheck = sancheck::SancheckMode::kOff;
+  /// Optional fault hook (non-owning) installed on the driver's
+  /// DeviceMemory and Simulator; fired faults surface as
+  /// gpusim::DeviceFault (DESIGN.md §11).
+  gpusim::FaultHook* faults = nullptr;
 };
 
 struct GpuTriangleResult {

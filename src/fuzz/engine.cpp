@@ -113,6 +113,18 @@ FailurePredicate make_predicate(const CountingPath& path,
   };
 }
 
+/// The path set actually under test: the caller's (or the defaults), plus
+/// the resilient/chunked fault path when fault-campaign mode is armed.
+std::vector<CountingPath> effective_paths(const EngineOptions& opts) {
+  std::vector<CountingPath> paths =
+      opts.paths.empty() ? default_paths() : opts.paths;
+  if (opts.fault_rate > 0)
+    paths.push_back(resilient_fault_path(opts.fault_rate, opts.fault_seed,
+                                         opts.fault_max_retries,
+                                         opts.fault_failover));
+  return paths;
+}
+
 std::string path_slug(std::string name) {
   for (auto& c : name)
     if (c == '/' || c == '[' || c == ']' || c == ':' || c == ' ') c = '-';
@@ -158,10 +170,7 @@ std::vector<Finding> check_graph(const graph::Graph& g,
                                  const std::string& spec,
                                  const EngineOptions& opts,
                                  std::uint64_t iteration) {
-  const std::vector<CountingPath> owned =
-      opts.paths.empty() ? default_paths() : std::vector<CountingPath>{};
-  const std::vector<CountingPath>& paths =
-      opts.paths.empty() ? owned : opts.paths;
+  const std::vector<CountingPath> paths = effective_paths(opts);
   const auto policies = resolve_policies(opts);
   const std::uint64_t seed = iteration_seed(opts.master_seed, iteration);
 
@@ -196,20 +205,31 @@ std::vector<Finding> check_graph(const graph::Graph& g,
 }
 
 CampaignResult run_campaign(const EngineOptions& opts) {
-  const std::vector<CountingPath> owned =
-      opts.paths.empty() ? default_paths() : std::vector<CountingPath>{};
-  const std::vector<CountingPath>& paths =
-      opts.paths.empty() ? owned : opts.paths;
+  const std::vector<CountingPath> paths = effective_paths(opts);
   const auto policies = resolve_policies(opts);
 
   CampaignResult result;
   std::ostringstream log;
   Stopwatch wall;
 
+  // Streaming emission: every log line and finding leaves the engine the
+  // moment it exists (repros already stream via write_repro_file), so a
+  // long campaign never has to buffer its history in memory.
+  auto emit_line = [&](const std::string& line) {
+    if (opts.buffer_log) log << line << '\n';
+    if (opts.on_log_line) opts.on_log_line(line);
+  };
+  auto emit_finding = [&](Finding&& f) {
+    emit_line(describe(f));
+    if (opts.on_finding) opts.on_finding(f);
+    ++result.findings_count;
+    if (opts.keep_findings) result.findings.push_back(std::move(f));
+  };
+
   for (std::uint64_t iter = 0; iter < opts.max_iterations; ++iter) {
     if (opts.time_budget_s > 0 && wall.elapsed_s() >= opts.time_budget_s)
       break;
-    if (result.findings.size() >= opts.max_findings) break;
+    if (result.findings_count >= opts.max_findings) break;
     ++result.iterations;
 
     const std::uint64_t seed = iteration_seed(opts.master_seed, iter);
@@ -225,8 +245,7 @@ CampaignResult run_campaign(const EngineOptions& opts) {
       f.path = "sampler/build";
       f.spec = spec.to_string();
       f.detail = e.what();
-      result.findings.push_back(std::move(f));
-      log << describe(result.findings.back()) << '\n';
+      emit_finding(std::move(f));
       continue;
     }
 
@@ -243,8 +262,7 @@ CampaignResult run_campaign(const EngineOptions& opts) {
       f.detail = e.what();
       f.graph = g;
       f.shrunk = g;
-      result.findings.push_back(std::move(f));
-      log << describe(result.findings.back()) << '\n';
+      emit_finding(std::move(f));
       continue;
     }
 
@@ -286,17 +304,18 @@ CampaignResult run_campaign(const EngineOptions& opts) {
           write_repro_file(f.repro_path, repro);
         }
 
-        result.findings.push_back(std::move(f));
-        log << describe(result.findings.back()) << '\n';
-        if (result.findings.size() >= opts.max_findings) break;
+        emit_finding(std::move(f));
+        if (result.findings_count >= opts.max_findings) break;
       }
-      if (result.findings.size() >= opts.max_findings) break;
+      if (result.findings_count >= opts.max_findings) break;
     }
   }
 
-  log << "campaign seed=" << opts.master_seed
-      << " iterations=" << result.iterations
-      << " findings=" << result.findings.size() << '\n';
+  std::ostringstream summary;
+  summary << "campaign seed=" << opts.master_seed
+          << " iterations=" << result.iterations
+          << " findings=" << result.findings_count;
+  emit_line(summary.str());
   result.log = log.str();
   return result;
 }

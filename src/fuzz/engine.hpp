@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -30,6 +31,7 @@
 #include "fuzz/spec.hpp"
 #include "gpusim/executor.hpp"
 #include "graph/graph.hpp"
+#include "resilience/runner.hpp"
 #include "sancheck/sancheck.hpp"
 
 namespace lgg::fuzz {
@@ -78,13 +80,40 @@ struct EngineOptions {
   ShrinkOptions shrink_options;
   /// Directory for repro files ("" = do not write; created if missing).
   std::string corpus_dir;
+
+  // -- fault-campaign mode (DESIGN.md §11) --
+  /// > 0 adds the resilient/chunked path with this per-site fault rate:
+  /// every iteration then also asserts that the fault-recovering runner
+  /// still produces the exact count.  Fault decisions derive from
+  /// (iteration seed, fault_seed), so the campaign — including its fault
+  /// pattern — stays byte-identical across host thread counts.
+  double fault_rate = 0.0;
+  std::uint64_t fault_seed = 0;
+  std::uint32_t fault_max_retries = 3;
+  resilience::Failover fault_failover = resilience::Failover::kCpu;
+
+  // -- streaming emission (repros already stream to corpus_dir as they
+  //    occur; these hooks let callers stream the log too instead of
+  //    buffering the whole campaign in memory) --
+  /// Called with each deterministic log line (no trailing newline) the
+  /// moment it is produced, including the trailing summary line.
+  std::function<void(const std::string&)> on_log_line;
+  /// Called with each finding after shrinking and any repro write.
+  std::function<void(const Finding&)> on_finding;
+  /// false: CampaignResult.findings stays empty (use on_finding +
+  /// findings_count); graphs of findings then never accumulate in memory.
+  bool keep_findings = true;
+  /// false: CampaignResult.log stays empty (use on_log_line).
+  bool buffer_log = true;
 };
 
 struct CampaignResult {
   std::uint64_t iterations = 0;
-  std::vector<Finding> findings;
+  /// Total findings, whether or not `findings` retained them.
+  std::uint64_t findings_count = 0;
+  std::vector<Finding> findings;  // empty when keep_findings == false
   /// The deterministic findings log: one describe() line per finding plus
-  /// a trailing summary line.
+  /// a trailing summary line.  Empty when buffer_log == false.
   std::string log;
 };
 

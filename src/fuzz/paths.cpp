@@ -20,6 +20,8 @@
 #include "graph/bfs.hpp"
 #include "graph/bit_matrix.hpp"
 #include "graph/io.hpp"
+#include "resilience/fault.hpp"
+#include "resilience/runner.hpp"
 #include "stream/edge_stream.hpp"
 #include "stream/streaming_triangles.hpp"
 #include "util/error.hpp"
@@ -285,6 +287,44 @@ std::vector<CountingPath> default_paths() {
        [](const graph::Graph& g) { return g.max_degree() >= 2; }, wedge_path});
 
   return paths;
+}
+
+CountingPath resilient_fault_path(double rate, std::uint64_t salt,
+                                  std::uint32_t max_retries,
+                                  resilience::Failover failover) {
+  CountingPath path;
+  path.name = "resilient/chunked";
+  path.kind = PathKind::kExact;
+  path.policy_sensitive = true;
+  path.run = [rate, salt, max_retries, failover](
+                 const graph::Graph& g, const PathContext& ctx) {
+    // The injector is rebuilt per run from (iteration seed, salt): the
+    // fault pattern is a pure function of the campaign seed, and since
+    // all hook consultations are host-serial it is also identical under
+    // every ExecPolicy — which is what keeps fault-campaign logs
+    // byte-identical across host thread counts.
+    resilience::FaultInjector injector(
+        SplitMix64(ctx.seed ^ salt).next(),
+        resilience::FaultRates::uniform(rate));
+    resilience::RunnerOptions opts;
+    opts.threads_per_block = kThreadsPerBlock;
+    opts.exec = ctx.exec;
+    opts.sancheck = ctx.sancheck;
+    opts.faults = &injector;
+    opts.retry.max_retries = max_retries;
+    opts.failover = failover;
+    const resilience::RunnerReport report = resilience::run_resilient(g, opts);
+    PathOutcome out;
+    out.value = static_cast<double>(report.triangles);
+    if (!report.certified) {
+      std::ostringstream detail;
+      detail << "uncertified: faults=" << report.recovery.faults
+             << " failed=" << report.recovery.failed_chunks;
+      out.detail = detail.str();
+    }
+    return out;
+  };
+  return path;
 }
 
 }  // namespace lgg::fuzz

@@ -28,6 +28,7 @@
 
 #include "gpusim/executor.hpp"
 #include "graph/graph.hpp"
+#include "resilience/runner.hpp"
 #include "sancheck/sancheck.hpp"
 
 namespace lgg::fuzz {
@@ -71,5 +72,15 @@ struct CountingPath {
 
 /// The full default cross-product (~20 paths; see the file comment).
 [[nodiscard]] std::vector<CountingPath> default_paths();
+
+/// The fault-campaign path (DESIGN.md §11): runs resilience::run_resilient
+/// with a FaultInjector at per-site rate `rate`, seeded from
+/// (ctx.seed, salt) so the fault pattern is deterministic per iteration
+/// and identical across ExecPolicies.  kExact — recovery must reproduce
+/// the oracle count despite the injected faults; an uncertified run
+/// surfaces in the finding detail.
+[[nodiscard]] CountingPath resilient_fault_path(
+    double rate, std::uint64_t salt, std::uint32_t max_retries,
+    resilience::Failover failover);
 
 }  // namespace lgg::fuzz

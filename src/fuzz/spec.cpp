@@ -93,10 +93,14 @@ GraphSpec sample_spec(Xoshiro256& rng, const SamplerLimits& limits) {
     const std::uint64_t n = std::max<std::uint64_t>(draw_n(max_n), 2);
     s.iparams = {n, 1 + rng.uniform(std::min<std::uint64_t>(4, n - 1))};
   } else if (s.family == "rmat") {
-    std::uint64_t scale_max = 2;
+    // 2^scale vertices: keep scale under both the 2^6 sampler cap and
+    // max_n (scale_min drops to fit when max_n < 4).
+    std::uint64_t scale_max = 1;
     while ((std::size_t{1} << (scale_max + 1)) <= max_n && scale_max < 6)
       ++scale_max;
-    s.iparams = {2 + rng.uniform(scale_max - 1), 1 + rng.uniform(6)};
+    const std::uint64_t scale_min = std::min<std::uint64_t>(2, scale_max);
+    s.iparams = {scale_min + rng.uniform(scale_max - scale_min + 1),
+                 1 + rng.uniform(6)};
   } else if (s.family == "layered") {
     const std::uint64_t n = std::max<std::uint64_t>(draw_n(max_n), 1);
     s.iparams = {n, 1 + rng.uniform(std::max<std::uint64_t>(n / 4, 1))};
@@ -108,11 +112,17 @@ GraphSpec sample_spec(Xoshiro256& rng, const SamplerLimits& limits) {
     const std::uint64_t n = draw_n(max_n);
     s.iparams = {n < 3 ? 0 : n};
   } else if (s.family == "grid") {
-    const std::uint64_t rows = 1 + rng.uniform(8);
-    s.iparams = {rows, 1 + rng.uniform(max_n / rows)};
+    // rows <= max_n and cols <= max_n / rows, so rows * cols <= max_n is
+    // a hard invariant (the old 1 + uniform(8) overshot small limits).
+    const std::uint64_t rows =
+        1 + rng.uniform(std::min<std::uint64_t>(8, max_n));
+    s.iparams = {rows,
+                 1 + rng.uniform(std::max<std::uint64_t>(max_n / rows, 1))};
   } else if (s.family == "bipartite") {
-    const std::uint64_t a = 1 + rng.uniform(12);
-    s.iparams = {a, 1 + rng.uniform(std::max<std::uint64_t>(max_n - a, 1))};
+    // a <= max_n - 1 leaves room for b >= 1 with a + b <= max_n.
+    const std::uint64_t a =
+        1 + rng.uniform(std::min<std::uint64_t>(12, max_n - 1));
+    s.iparams = {a, 1 + rng.uniform(max_n - a)};
   } else if (s.family == "union") {
     s.iparams = {draw_n(max_n / 2),
                  rng.uniform(std::min<std::uint64_t>(max_n / 2, 12) + 1)};

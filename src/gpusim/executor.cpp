@@ -66,6 +66,12 @@ KernelReport Simulator::run(const KernelFn& kernel, const KernelConfig& config,
                                                  << " exceeds 1024");
   LGG_CHECK(sample_stride >= 1, "Simulator::run: sample_stride must be >= 1");
 
+  if (faults_ != nullptr && faults_->on_launch(config)) {
+    throw DeviceFault(FaultSite::kLaunch, "injected fault: launch of '" +
+                                              config.name +
+                                              "' failed (transient error)");
+  }
+
   const DeviceSpec& dev = *spec_;
   const std::uint32_t warp_size = dev.warp_size;
   const std::uint32_t warps_per_block = config.warps_per_block(warp_size);
@@ -82,6 +88,25 @@ KernelReport Simulator::run(const KernelFn& kernel, const KernelConfig& config,
   const PartitionModel partition_model(dev);
   std::vector<ShardState> shards(dev.sm_count);
 
+  // SM-abort fault sweep: decided host-serially for every OCCUPIED SM
+  // (sm < min(blocks, sm_count)) before any shard runs, so the hook's
+  // consultation sequence never depends on the host thread count.  An
+  // aborted SM replays only the first half of its warps (watchdog-style
+  // mid-kernel death); the launch throws after all shards finish — by
+  // then partial per-warp outputs may exist, so callers must treat the
+  // outputs of a faulted launch as garbage.
+  std::vector<std::uint8_t> aborted(dev.sm_count, 0);
+  bool any_abort = false;
+  if (faults_ != nullptr) {
+    const std::uint32_t occupied = std::min(config.blocks, dev.sm_count);
+    for (std::uint32_t sm = 0; sm < occupied; ++sm) {
+      if (faults_->on_sm_abort(config, sm)) {
+        aborted[sm] = 1;
+        any_abort = true;
+      }
+    }
+  }
+
   const auto make_scratch = [warp_size]() {
     WorkerScratch scratch(warp_size);
     for (auto& lane : scratch.lanes) lane.reserve(64);
@@ -95,9 +120,25 @@ KernelReport Simulator::run(const KernelFn& kernel, const KernelConfig& config,
     ShardState& sh = shards[sm];
     sh.hist.count.assign(dev.partitions, 0);
     auto& lanes = scratch.lanes;
+    // An aborted SM dies after visiting half its warps (in program order,
+    // counted before the sampling decision so serial and sampled runs die
+    // at the same point in the warp stream).
+    std::uint64_t warp_budget = ~std::uint64_t{0};
+    if (aborted[sm] != 0) {
+      const std::uint64_t blocks_in_shard =
+          config.blocks > sm
+              ? (static_cast<std::uint64_t>(config.blocks) - 1 - sm) /
+                        dev.sm_count +
+                    1
+              : 0;
+      warp_budget = blocks_in_shard * warps_per_block / 2;
+    }
+    std::uint64_t warps_visited = 0;
     for (std::uint32_t block = sm; block < config.blocks;
          block += dev.sm_count) {
       for (std::uint32_t w = 0; w < warps_per_block; ++w) {
+        if (warps_visited == warp_budget) return;
+        ++warps_visited;
         // Global warp index in serial iteration order: the sampling
         // decision is identical to a single-threaded sweep.
         const std::uint64_t warp_index =
@@ -192,6 +233,22 @@ KernelReport Simulator::run(const KernelFn& kernel, const KernelConfig& config,
     } else {
       ThreadPool::shared().parallel_for(dev.sm_count, shard_range);
     }
+  }
+
+  // A decided SM abort surfaces only after every shard has finished its
+  // (possibly truncated) replay: the throw point is deterministic, and no
+  // host worker is ever interrupted mid-warp.
+  if (any_abort) {
+    std::string which;
+    for (std::uint32_t sm = 0; sm < dev.sm_count; ++sm) {
+      if (aborted[sm] != 0) {
+        if (!which.empty()) which += ",";
+        which += std::to_string(sm);
+      }
+    }
+    throw DeviceFault(FaultSite::kSmAbort, "injected fault: SM(s) " + which +
+                                               " aborted mid-kernel in '" +
+                                               config.name + "'");
   }
 
   // Merge shards in fixed SM order (integer sums are order-free; the FP
@@ -295,7 +352,9 @@ KernelReport Simulator::run(const KernelFn& kernel, const KernelConfig& config,
 }
 
 TransferReport Simulator::transfer(std::uint64_t bytes) const {
-  return {bytes, transfer_time_s(*spec_, bytes)};
+  TransferReport t{bytes, transfer_time_s(*spec_, bytes), false};
+  t.corrupted = faults_ != nullptr && faults_->on_transfer(bytes);
+  return t;
 }
 
 }  // namespace lgg::gpusim

@@ -60,6 +60,7 @@
 #include <vector>
 
 #include "gpusim/device.hpp"
+#include "gpusim/fault.hpp"
 #include "gpusim/memory.hpp"
 #include "gpusim/report.hpp"
 
@@ -233,7 +234,13 @@ class LaunchInspector {
 
 class Simulator {
  public:
-  explicit Simulator(const DeviceSpec& spec) : spec_(&spec) {}
+  /// `faults` (optional, non-owning) is consulted at the launch, per-SM
+  /// abort and transfer fault sites — always from host-serial code, so
+  /// the consultation sequence is independent of the ExecPolicy (see
+  /// gpusim/fault.hpp).  A firing launch/SM-abort hook makes run() throw
+  /// DeviceFault; a firing transfer hook sets TransferReport::corrupted.
+  explicit Simulator(const DeviceSpec& spec, FaultHook* faults = nullptr)
+      : spec_(&spec), faults_(faults) {}
 
   [[nodiscard]] const DeviceSpec& spec() const noexcept { return *spec_; }
 
@@ -256,6 +263,7 @@ class Simulator {
 
  private:
   const DeviceSpec* spec_;
+  FaultHook* faults_ = nullptr;
 };
 
 }  // namespace lgg::gpusim

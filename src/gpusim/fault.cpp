@@ -1,0 +1,19 @@
+#include "gpusim/fault.hpp"
+
+namespace lgg::gpusim {
+
+const char* fault_site_name(FaultSite site) noexcept {
+  switch (site) {
+    case FaultSite::kAlloc:
+      return "alloc";
+    case FaultSite::kLaunch:
+      return "launch";
+    case FaultSite::kSmAbort:
+      return "sm-abort";
+    case FaultSite::kTransfer:
+      return "transfer";
+  }
+  return "?";
+}
+
+}  // namespace lgg::gpusim

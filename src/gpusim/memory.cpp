@@ -12,12 +12,17 @@ std::uint64_t Buffer::addr(std::uint64_t offset) const {
   return base + offset;
 }
 
-DeviceMemory::DeviceMemory(const DeviceSpec& spec)
-    : spec_(&spec), capacity_(spec.global_mem_bytes) {}
+DeviceMemory::DeviceMemory(const DeviceSpec& spec, FaultHook* faults)
+    : spec_(&spec), capacity_(spec.global_mem_bytes), faults_(faults) {}
 
 Buffer DeviceMemory::alloc(std::uint64_t bytes, std::uint64_t align) {
   LGG_CHECK(align != 0 && (align & (align - 1)) == 0,
             "alloc: alignment " << align << " not a power of two");
+  if (faults_ != nullptr && faults_->on_alloc(bytes)) {
+    throw DeviceFault(FaultSite::kAlloc,
+                      "injected fault: device allocation of " +
+                          std::to_string(bytes) + " B failed (simulated OOM)");
+  }
   const std::uint64_t base = round_up_pow2(cursor_, align);
   LGG_CHECK(base + bytes <= capacity_,
             "device out of memory: need " << bytes << " B at " << base
@@ -35,6 +40,12 @@ Buffer DeviceMemory::alloc_in_partition(std::uint64_t bytes,
   const std::uint64_t width = spec_->partition_width_bytes;
   const std::uint64_t period = width * spec_->partitions;
   const std::uint64_t want_offset = static_cast<std::uint64_t>(partition) * width;
+
+  if (faults_ != nullptr && faults_->on_alloc(bytes)) {
+    throw DeviceFault(FaultSite::kAlloc,
+                      "injected fault: partitioned allocation of " +
+                          std::to_string(bytes) + " B failed (simulated OOM)");
+  }
 
   // First address >= cursor_ with addr % period == want_offset.
   std::uint64_t base = (cursor_ / period) * period + want_offset;

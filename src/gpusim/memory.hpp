@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "gpusim/device.hpp"
+#include "gpusim/fault.hpp"
 
 namespace lgg::gpusim {
 
@@ -36,7 +37,10 @@ struct Allocation {
 
 class DeviceMemory {
  public:
-  explicit DeviceMemory(const DeviceSpec& spec);
+  /// `faults` (optional, non-owning) is consulted on every allocation;
+  /// a firing hook makes the allocation throw DeviceFault (simulated
+  /// transient OOM) without moving the bump cursor.
+  explicit DeviceMemory(const DeviceSpec& spec, FaultHook* faults = nullptr);
 
   /// Allocate `bytes` aligned to `align` (power of two; default one
   /// partition stripe so layouts can place data in chosen partitions).
@@ -67,11 +71,15 @@ class DeviceMemory {
     for (Allocation& a : allocations_) a.live = false;
   }
 
+  /// Install / remove the fault hook after construction.
+  void set_fault_hook(FaultHook* faults) noexcept { faults_ = faults; }
+
  private:
   const DeviceSpec* spec_;
   std::uint64_t capacity_;
   std::uint64_t cursor_ = 0;
   std::vector<Allocation> allocations_;
+  FaultHook* faults_ = nullptr;
 };
 
 /// Host->device (or back) copy-time model: PCIe latency + bytes/bandwidth.

@@ -71,6 +71,9 @@ std::ostream& operator<<(std::ostream& os, const RunReport& r) {
      << format_seconds(r.total_time_s) << ", camping x" << std::fixed
      << std::setprecision(3) << r.mean_camping_factor << ", txn/slot "
      << std::setprecision(2) << r.mean_transactions_per_slot;
+  if (r.faults_injected != 0 || r.retries != 0 || r.failovers != 0)
+    os << "\n  faults " << r.faults_injected << ", retries " << r.retries
+       << ", failovers " << r.failovers;
   return os;
 }
 

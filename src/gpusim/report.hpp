@@ -115,6 +115,10 @@ std::ostream& operator<<(std::ostream& os, const KernelReport& r);
 struct TransferReport {
   std::uint64_t bytes = 0;
   double time_s = 0.0;
+  /// Injected transfer fault: the copy "completed" but its payload bits
+  /// are corrupted.  Silent on real hardware, so never an exception —
+  /// callers that care must check (the resilience runner does).
+  bool corrupted = false;
 };
 
 /// End-to-end accounting for a full GPU computation (copies + kernels).
@@ -126,6 +130,11 @@ struct RunReport {
   std::uint64_t transactions = 0;
   double mean_camping_factor = 1.0;
   double mean_transactions_per_slot = 0.0;
+
+  // -- fault accounting (zero unless a FaultHook was attached) --
+  std::uint64_t faults_injected = 0;  // device faults that fired
+  std::uint64_t retries = 0;          // launches repeated after a fault
+  std::uint64_t failovers = 0;        // units abandoned to a fallback path
 };
 
 std::ostream& operator<<(std::ostream& os, const RunReport& r);

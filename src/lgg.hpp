@@ -14,6 +14,8 @@
 //              launches (tape analyzer + static footprint lint)
 //   core/    — Algorithm 2 triangle counting (CPU + simulated GPU with the
 //              Figs. 8-9 layouts), k-subgraph counters, social analyses
+//   resilience/ — seed-driven device fault injection + resilient chunked
+//              execution with retry, failover and recovery accounting
 //   fuzz/    — differential fuzzing engine over every counting path, with
 //              a delta-debugging shrinker and the regression corpus format
 #pragma once
@@ -53,10 +55,13 @@
 #include "gpusim/coalescing.hpp"     // IWYU pragma: export
 #include "gpusim/device.hpp"         // IWYU pragma: export
 #include "gpusim/executor.hpp"       // IWYU pragma: export
+#include "gpusim/fault.hpp"          // IWYU pragma: export
 #include "gpusim/memory.hpp"         // IWYU pragma: export
 #include "gpusim/occupancy.hpp"      // IWYU pragma: export
 #include "gpusim/partition.hpp"      // IWYU pragma: export
 #include "gpusim/report.hpp"         // IWYU pragma: export
+#include "resilience/fault.hpp"      // IWYU pragma: export
+#include "resilience/runner.hpp"     // IWYU pragma: export
 #include "sancheck/footprint.hpp"    // IWYU pragma: export
 #include "sancheck/sancheck.hpp"     // IWYU pragma: export
 #include "sched/makespan.hpp"        // IWYU pragma: export

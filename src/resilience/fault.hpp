@@ -1,0 +1,115 @@
+// Seed-driven fault injection for the simulated device (DESIGN.md §11).
+//
+// FaultInjector is the gpusim::FaultHook implementation used everywhere:
+// each fault site keeps a consultation counter ("draw"), and the decision
+// for draw d of site s is a pure hash of (master seed, s, d) compared
+// against the configured per-site rate.  Because gpusim consults hooks
+// only from host-serial code, the draw sequence — and therefore the whole
+// fault pattern — is a function of the workload and the seed alone:
+// independent of the host thread count, reproducible across runs, and
+// replayable from the recorded (seed, rates, events) FaultPlan.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "gpusim/executor.hpp"
+#include "gpusim/fault.hpp"
+
+namespace lgg::resilience {
+
+/// Per-site injection probabilities (0 disables a site, 1 always fires).
+struct FaultRates {
+  double alloc = 0.0;
+  double launch = 0.0;
+  double sm_abort = 0.0;
+  double transfer = 0.0;
+
+  /// The same rate at every site (the CLI's --faults=rate form).
+  [[nodiscard]] static FaultRates uniform(double r) noexcept {
+    return {r, r, r, r};
+  }
+  [[nodiscard]] double rate(gpusim::FaultSite site) const noexcept;
+  [[nodiscard]] bool any() const noexcept {
+    return alloc > 0.0 || launch > 0.0 || sm_abort > 0.0 || transfer > 0.0;
+  }
+};
+
+/// One injected fault: site s fired at its draw-th consultation.  `detail`
+/// is the byte count (alloc/transfer) or SM index (sm-abort); 0 for
+/// launch.  (site, draw) alone identifies the fault for replay.
+struct FaultEvent {
+  gpusim::FaultSite site = gpusim::FaultSite::kAlloc;
+  std::uint64_t draw = 0;
+  std::uint64_t detail = 0;
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+/// Everything needed to reproduce a faulty run: re-running the same
+/// workload with FaultInjector(plan.seed, plan.rates) regenerates exactly
+/// plan.events, and FaultInjector(plan) replays the events with no
+/// randomness at all (e.g. against a build where the hash changed).
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  FaultRates rates;
+  std::vector<FaultEvent> events;
+};
+
+class FaultInjector final : public gpusim::FaultHook {
+ public:
+  /// Random mode: decisions are hashes of (seed, site, draw) against
+  /// `rates`; every fired fault is recorded.
+  FaultInjector(std::uint64_t seed, const FaultRates& rates);
+
+  /// Replay mode: fire exactly at the (site, draw) pairs of plan.events,
+  /// ignoring rates.  Events must be in increasing draw order per site
+  /// (the order a random-mode run records them in).
+  explicit FaultInjector(const FaultPlan& plan);
+
+  bool on_alloc(std::uint64_t bytes) override;
+  bool on_launch(const gpusim::KernelConfig& config) override;
+  bool on_sm_abort(const gpusim::KernelConfig& config,
+                   std::uint32_t sm) override;
+  bool on_transfer(std::uint64_t bytes) override;
+
+  /// All faults fired so far, in firing order.
+  [[nodiscard]] const std::vector<FaultEvent>& events() const noexcept {
+    return events_;
+  }
+  /// Consultations so far at `site` (fired or not).
+  [[nodiscard]] std::uint64_t draws(gpusim::FaultSite site) const noexcept {
+    return draws_[static_cast<std::size_t>(site)];
+  }
+  /// Faults fired so far at `site`.
+  [[nodiscard]] std::uint64_t count(gpusim::FaultSite site) const noexcept {
+    return counts_[static_cast<std::size_t>(site)];
+  }
+  [[nodiscard]] std::uint64_t total_faults() const noexcept {
+    return events_.size();
+  }
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+  [[nodiscard]] const FaultRates& rates() const noexcept { return rates_; }
+
+  /// Snapshot (seed, rates, events) — feed back into the replay
+  /// constructor to reproduce this exact fault pattern.
+  [[nodiscard]] FaultPlan plan() const;
+
+ private:
+  bool decide(gpusim::FaultSite site, std::uint64_t detail);
+
+  std::uint64_t seed_ = 0;
+  FaultRates rates_;
+  bool replay_ = false;
+  std::array<std::uint64_t, gpusim::kNumFaultSites> draws_{};
+  std::array<std::uint64_t, gpusim::kNumFaultSites> counts_{};
+  std::vector<FaultEvent> events_;
+  std::array<std::vector<std::uint64_t>, gpusim::kNumFaultSites> replay_draws_;
+  std::array<std::size_t, gpusim::kNumFaultSites> replay_cursor_{};
+};
+
+std::ostream& operator<<(std::ostream& os, const FaultEvent& e);
+
+}  // namespace lgg::resilience

@@ -1,0 +1,374 @@
+#include "resilience/runner.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <sstream>
+
+#include "core/als_plan.hpp"
+#include "graph/bfs.hpp"
+#include "graph/chunking.hpp"
+#include "gpusim/calibration.hpp"
+#include "gpusim/memory.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace lgg::resilience {
+
+namespace cal = gpusim::calibration;
+
+const char* failover_name(Failover f) noexcept {
+  switch (f) {
+    case Failover::kOff:
+      return "off";
+    case Failover::kCpu:
+      return "cpu";
+    case Failover::kStream:
+      return "stream";
+  }
+  return "?";
+}
+
+const char* chunk_outcome_name(ChunkOutcome o) noexcept {
+  switch (o) {
+    case ChunkOutcome::kGpu:
+      return "gpu";
+    case ChunkOutcome::kGpuRetried:
+      return "gpu-retried";
+    case ChunkOutcome::kCpuFailover:
+      return "cpu-failover";
+    case ChunkOutcome::kStreamFailover:
+      return "stream-failover";
+    case ChunkOutcome::kFailed:
+      return "failed";
+  }
+  return "?";
+}
+
+double RetryPolicy::backoff_s(std::uint32_t retry) const noexcept {
+  double b = base_backoff_s;
+  for (std::uint32_t i = 0; i < retry && b < max_backoff_s; ++i) b *= 2.0;
+  return std::min(b, max_backoff_s);
+}
+
+namespace {
+
+/// Streaming recount of a chunk's test space in bounded batches: each
+/// batch seeks its start triple with the closed-form decode and scans
+/// forward, so the working set never exceeds one batch — the same regime
+/// as the external-memory streaming counter, applied per chunk.  Result
+/// is identical to count_chunk_cpu.
+std::uint64_t count_chunk_stream(const graph::Graph& g,
+                                 const core::ChunkWork& work,
+                                 std::uint64_t batch_tests) {
+  const std::uint64_t batch = std::max<std::uint64_t>(batch_tests, 1);
+  std::uint64_t found = 0;
+  for (const core::AlsJob& job : work.jobs) {
+    for (std::uint64_t start = 0; start < job.tests; start += batch) {
+      const std::uint64_t end = std::min(job.tests, start + batch);
+      core::TestTriple t = core::als_decode_test(job, start);
+      for (std::uint64_t i = start; i < end; ++i) {
+        const graph::Vertex u = job.local_to_global[t.x];
+        const graph::Vertex v = job.local_to_global[t.y];
+        const graph::Vertex w = job.local_to_global[t.z];
+        if (g.has_edge(u, v) && g.has_edge(v, w) && g.has_edge(u, w)) ++found;
+        if (i + 1 < end) {
+          const bool more = core::als_advance_test(job, t);
+          LGG_ASSERT(more);
+        }
+      }
+    }
+  }
+  return found;
+}
+
+/// Modelled host time for recounting `tests` candidate triples.
+double host_count_time_s(std::uint64_t tests) {
+  return static_cast<double>(tests) * cal::kCpuCyclesPerTest /
+         (cal::kCpuClockGhz * 1e9);
+}
+
+}  // namespace
+
+RunnerReport run_resilient(const graph::Graph& g, const RunnerOptions& opts) {
+  const gpusim::DeviceSpec& dev =
+      opts.device ? *opts.device : gpusim::tesla_c1060();
+  const std::uint32_t tpb = opts.threads_per_block;
+  LGG_CHECK(tpb >= dev.warp_size && tpb % dev.warp_size == 0,
+            "threads_per_block must be a positive multiple of the warp size");
+
+  // --- Algorithm 1: chunk the graph, rebuild each chunk's ALS work ---
+  graph::ChunkingOptions copts;
+  copts.shared_mem_bits = dev.shared_mem_bits();
+  copts.metric = opts.metric;
+  const graph::ChunkingResult chunking = graph::split_into_chunks(g, copts);
+  std::vector<graph::LevelDecomposition> levels;
+  levels.reserve(chunking.trees.size());
+  for (const auto& tree : chunking.trees) levels.emplace_back(tree);
+
+  const std::size_t n_chunks = chunking.chunks.size();
+  std::vector<core::ChunkWork> works;
+  works.reserve(n_chunks);
+  std::vector<std::uint64_t> test_sizes(n_chunks, 0);
+  for (std::size_t ci = 0; ci < n_chunks; ++ci) {
+    works.push_back(core::build_chunk_work(
+        chunking.chunks[ci], levels[chunking.chunks[ci].component]));
+    test_sizes[ci] = works.back().tests;
+  }
+
+  // Planned SM per chunk (LPT over test counts): where each chunk WOULD
+  // run on the device.  An SM abort during a chunk's attempt is
+  // attributed to its planned SM, which is then treated as lost for the
+  // final schedule repair.
+  const sched::Assignment planned = sched::lpt_schedule(test_sizes, dev.sm_count);
+
+  // Options for the chunk kernel launches (the sim/mem pair is created
+  // fresh per attempt; the faults hook rides on those, not on `inner`).
+  core::HybridOptions inner;
+  inner.device = &dev;
+  inner.metric = opts.metric;
+  inner.threads_per_block = tpb;
+  inner.exec = opts.exec;
+  inner.sancheck = opts.sancheck;
+
+  RunnerReport report;
+  report.exact = true;
+  RecoveryStats& stats = report.recovery;
+  std::ostringstream log;
+  log << "resilient: chunks=" << n_chunks << " device=" << dev.sm_count
+      << "sm failover=" << failover_name(opts.failover)
+      << " max-retries=" << opts.retry.max_retries
+      << " verify=" << (opts.verify ? 1 : 0);
+  if (opts.faults != nullptr)
+    log << " fault-seed=" << opts.faults->seed();
+  log << "\n";
+
+  std::vector<std::uint8_t> sm_lost(dev.sm_count, 0);
+  std::vector<std::uint64_t> job_times_ns(n_chunks, 0);
+  double host_time_s = 0.0;   // serial host failover work
+  double camping_sum = 0.0, tps_sum = 0.0;
+
+  for (std::size_t ci = 0; ci < n_chunks; ++ci) {
+    const graph::Chunk& chunk = chunking.chunks[ci];
+    const core::ChunkWork& work = works[ci];
+
+    ChunkRecord rec;
+    rec.chunk = static_cast<std::uint32_t>(ci);
+    rec.tests = work.tests;
+    rec.shared_resident = chunk.fits_shared;
+    report.total_tests += work.tests;
+
+    if (work.tests == 0) {
+      rec.certified = true;
+      report.chunks.push_back(rec);
+      continue;
+    }
+
+    // The chunk's exact count, computed at most once (verification
+    // invariant and CPU failover value share it).
+    std::optional<std::uint64_t> oracle;
+    const auto chunk_oracle = [&]() -> std::uint64_t {
+      if (!oracle) oracle = core::count_chunk_cpu(g, work);
+      return *oracle;
+    };
+
+    const std::uint32_t max_attempts = opts.retry.max_retries + 1;
+    bool accepted = false;
+    for (std::uint32_t attempt = 0; attempt < max_attempts && !accepted;
+         ++attempt) {
+      if (attempt > 0) {
+        const double b = opts.retry.backoff_s(attempt - 1);
+        rec.backoff_s += b;
+        stats.backoff_s += b;
+        ++stats.retries;
+      }
+      ++rec.attempts;
+
+      // Fresh device state per attempt: nothing survives a fault.
+      gpusim::DeviceMemory mem(dev, opts.faults);
+      const gpusim::Simulator sim(dev, opts.faults);
+      try {
+        const gpusim::TransferReport tr =
+            sim.transfer(core::chunk_device_bytes(chunk));
+        report.device.host_to_device.bytes += tr.bytes;
+        report.device.host_to_device.time_s += tr.time_s;
+        if (tr.corrupted) {
+          ++rec.corruptions;
+          ++rec.faults;
+          ++stats.by_site[static_cast<std::size_t>(
+              gpusim::FaultSite::kTransfer)];
+        }
+
+        const core::ChunkLaunch launch =
+            core::run_chunk_kernel(g, chunk, work, sim, mem, inner);
+        LGG_ASSERT(launch.simulated == work.tests);
+
+        std::uint64_t count = launch.triangles;
+        // A corrupted staging transfer garbles the adjacency data the
+        // kernel probed; model the wrong-but-plausible result with a
+        // deterministic perturbation (always != the true count, so the
+        // recount invariant is guaranteed to catch it when enabled).
+        if (tr.corrupted) count += 1 + tr.bytes % 7;
+
+        if (opts.verify && count != chunk_oracle()) {
+          ++stats.corruptions_detected;
+          continue;  // discard the attempt; retry with backoff
+        }
+
+        rec.triangles = count;
+        rec.time_s = launch.report.kernel_time_s;
+        rec.outcome =
+            attempt == 0 ? ChunkOutcome::kGpu : ChunkOutcome::kGpuRetried;
+        rec.certified = opts.verify;
+        accepted = true;
+
+        ++report.device.kernels;
+        report.device.transactions += launch.report.transactions;
+        report.device.kernel_time_s += launch.report.kernel_time_s;
+        camping_sum += launch.report.camping_factor;
+        tps_sum += launch.report.transactions_per_slot();
+      } catch (const gpusim::DeviceFault& f) {
+        ++rec.faults;
+        ++stats.by_site[static_cast<std::size_t>(f.site())];
+        if (f.site() == gpusim::FaultSite::kSmAbort)
+          sm_lost[planned.machine_of[ci]] = 1;
+      }
+    }
+
+    if (!accepted) {
+      switch (opts.failover) {
+        case Failover::kCpu:
+          rec.triangles = chunk_oracle();
+          rec.outcome = ChunkOutcome::kCpuFailover;
+          rec.certified = true;
+          rec.time_s = host_count_time_s(work.tests);
+          host_time_s += rec.time_s;
+          ++stats.cpu_failovers;
+          break;
+        case Failover::kStream:
+          rec.triangles =
+              count_chunk_stream(g, work, opts.stream_batch_tests);
+          rec.outcome = ChunkOutcome::kStreamFailover;
+          rec.certified = true;
+          rec.time_s = host_count_time_s(work.tests);
+          host_time_s += rec.time_s;
+          ++stats.stream_failovers;
+          break;
+        case Failover::kOff:
+          rec.outcome = ChunkOutcome::kFailed;
+          ++stats.failed_chunks;
+          report.exact = false;
+          break;
+      }
+    }
+
+    report.triangles += rec.triangles;
+    // Only device-executed chunks occupy an SM in the final schedule;
+    // failover work runs on the host and is charged serially.
+    if (rec.outcome == ChunkOutcome::kGpu ||
+        rec.outcome == ChunkOutcome::kGpuRetried)
+      job_times_ns[ci] = static_cast<std::uint64_t>(rec.time_s * 1e9);
+
+    log << "chunk " << ci << ": tests=" << rec.tests
+        << (rec.shared_resident ? " shared" : " global")
+        << " attempts=" << rec.attempts << " faults=" << rec.faults
+        << " corruptions=" << rec.corruptions
+        << " outcome=" << chunk_outcome_name(rec.outcome)
+        << " triangles=" << rec.triangles
+        << " certified=" << (rec.certified ? 1 : 0) << "\n";
+    report.chunks.push_back(std::move(rec));
+  }
+
+  for (std::size_t s = 0; s < gpusim::kNumFaultSites; ++s)
+    stats.faults += stats.by_site[s];
+  report.certified = report.exact;
+  for (const ChunkRecord& rec : report.chunks)
+    if (!rec.certified) report.certified = false;
+
+  // --- Section VI schedule over the device chunks, repaired for loss ---
+  switch (opts.scheduler) {
+    case core::SchedulerKind::kList:
+      report.schedule = sched::list_schedule(job_times_ns, dev.sm_count);
+      break;
+    case core::SchedulerKind::kLpt:
+      report.schedule = sched::lpt_schedule(job_times_ns, dev.sm_count);
+      break;
+    case core::SchedulerKind::kMultifit:
+      report.schedule = sched::multifit_schedule(job_times_ns, dev.sm_count);
+      break;
+  }
+  for (std::uint32_t s = 0; s < dev.sm_count; ++s)
+    if (sm_lost[s] != 0) report.lost_sms.push_back(s);
+  if (!report.lost_sms.empty() &&
+      report.lost_sms.size() < dev.sm_count) {
+    report.schedule =
+        sched::reassign_after_loss(job_times_ns, report.schedule,
+                                   report.lost_sms);
+  }
+  for (std::size_t ci = 0; ci < report.chunks.size(); ++ci)
+    report.chunks[ci].sm = report.schedule.machine_of[ci];
+  report.makespan_s = static_cast<double>(report.schedule.makespan) * 1e-9;
+
+  // --- end-to-end modelled time ---
+  const double preprocessing =
+      2.0 * static_cast<double>(g.num_edges()) * cal::kCpuCyclesPerBfsEdge /
+      (cal::kCpuClockGhz * 1e9);
+  report.total_time_s = preprocessing + report.device.host_to_device.time_s +
+                        cal::kDispatchOverheadS + cal::kDeviceInitOverheadS +
+                        report.makespan_s + host_time_s + stats.backoff_s;
+  report.device.total_time_s = report.total_time_s;
+  if (report.device.kernels > 0) {
+    report.device.mean_camping_factor =
+        camping_sum / static_cast<double>(report.device.kernels);
+    report.device.mean_transactions_per_slot =
+        tps_sum / static_cast<double>(report.device.kernels);
+  }
+  report.device.faults_injected = stats.faults;
+  report.device.retries = stats.retries;
+  report.device.failovers = stats.cpu_failovers + stats.stream_failovers;
+
+  log << "faults:";
+  for (std::size_t s = 0; s < gpusim::kNumFaultSites; ++s)
+    log << " " << gpusim::fault_site_name(static_cast<gpusim::FaultSite>(s))
+        << "=" << stats.by_site[s];
+  log << "\n";
+  log << "lost-sms:";
+  for (const std::uint32_t s : report.lost_sms) log << " " << s;
+  log << "\ntotal: triangles=" << report.triangles
+      << " exact=" << (report.exact ? 1 : 0)
+      << " certified=" << (report.certified ? 1 : 0)
+      << " faults=" << stats.faults << " retries=" << stats.retries
+      << " corruptions-detected=" << stats.corruptions_detected
+      << " cpu-failovers=" << stats.cpu_failovers
+      << " stream-failovers=" << stats.stream_failovers
+      << " failed=" << stats.failed_chunks << "\n";
+  report.log = log.str();
+  return report;
+}
+
+std::ostream& operator<<(std::ostream& os, const RunnerReport& r) {
+  os << "resilient run: " << r.triangles << " triangles over "
+     << r.total_tests << " tests, " << r.chunks.size() << " chunk(s), "
+     << (r.certified ? "certified exact"
+                     : (r.exact ? "exact (uncertified)" : "INEXACT"));
+  os << "\n  recovery: " << r.recovery.faults << " fault(s)";
+  for (std::size_t s = 0; s < gpusim::kNumFaultSites; ++s)
+    if (r.recovery.by_site[s] != 0)
+      os << ", " << gpusim::fault_site_name(static_cast<gpusim::FaultSite>(s))
+         << " x" << r.recovery.by_site[s];
+  os << "; " << r.recovery.retries << " retr"
+     << (r.recovery.retries == 1 ? "y" : "ies") << ", "
+     << r.recovery.corruptions_detected << " corruption(s) detected, "
+     << r.recovery.cpu_failovers + r.recovery.stream_failovers
+     << " failover(s), " << r.recovery.failed_chunks << " failed";
+  if (!r.lost_sms.empty()) {
+    os << "\n  lost SMs:";
+    for (const std::uint32_t s : r.lost_sms) os << " " << s;
+    os << " (schedule repaired)";
+  }
+  os << "\n  modelled: makespan " << format_seconds(r.makespan_s)
+     << ", backoff " << format_seconds(r.recovery.backoff_s) << ", total "
+     << format_seconds(r.total_time_s);
+  return os;
+}
+
+}  // namespace lgg::resilience

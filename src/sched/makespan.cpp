@@ -233,6 +233,57 @@ std::uint64_t makespan_lower_bound(const std::vector<std::uint64_t>& jobs,
   return std::max(maxjob, (sum + machines - 1) / machines);
 }
 
+Assignment reassign_after_loss(const std::vector<std::uint64_t>& jobs,
+                               const Assignment& schedule,
+                               const std::vector<std::uint32_t>& lost) {
+  const std::uint32_t machines =
+      static_cast<std::uint32_t>(schedule.load.size());
+  LGG_CHECK(jobs.size() == schedule.machine_of.size(),
+            "reassign_after_loss: jobs/schedule size mismatch");
+  std::vector<std::uint8_t> dead(machines, 0);
+  for (const std::uint32_t m : lost) {
+    LGG_CHECK(m < machines,
+              "reassign_after_loss: lost machine " << m << " out of range");
+    dead[m] = 1;
+  }
+  std::uint32_t survivors = 0;
+  for (std::uint32_t m = 0; m < machines; ++m)
+    if (dead[m] == 0) ++survivors;
+  LGG_CHECK(survivors > 0, "reassign_after_loss: no surviving machines");
+
+  Assignment a;
+  a.machine_of = schedule.machine_of;
+  a.load.assign(machines, 0);
+  std::vector<std::size_t> displaced;
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    const std::uint32_t m = a.machine_of[j];
+    LGG_CHECK(m < machines,
+              "reassign_after_loss: schedule names machine " << m
+                                                             << " out of range");
+    if (dead[m] != 0)
+      displaced.push_back(j);
+    else
+      a.load[m] += jobs[j];
+  }
+
+  // LPT over the displaced jobs onto survivors only.
+  std::stable_sort(displaced.begin(), displaced.end(),
+                   [&](std::size_t x, std::size_t y) {
+                     return jobs[x] > jobs[y];
+                   });
+  for (const std::size_t j : displaced) {
+    std::uint32_t best = machines;  // sentinel: no survivor seen yet
+    for (std::uint32_t m = 0; m < machines; ++m) {
+      if (dead[m] != 0) continue;
+      if (best == machines || a.load[m] < a.load[best]) best = m;
+    }
+    a.machine_of[j] = best;
+    a.load[best] += jobs[j];
+  }
+  finalize(a);
+  return a;
+}
+
 Assignment recompute(const std::vector<std::uint64_t>& jobs,
                      const std::vector<std::uint32_t>& machine_of,
                      std::uint32_t machines) {

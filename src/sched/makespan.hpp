@@ -66,4 +66,19 @@ Assignment recompute(const std::vector<std::uint64_t>& jobs,
                      const std::vector<std::uint32_t>& machine_of,
                      std::uint32_t machines);
 
+/// Repair `schedule` after the machines in `lost` die mid-run (simulated
+/// SM aborts): survivors keep their jobs and loads untouched; every job
+/// stranded on a lost machine is redistributed LPT-style (descending
+/// length, stable on ties, each to the least-loaded surviving machine,
+/// lowest index on ties).  Lost machines end with load 0.  Deterministic,
+/// and the result's makespan is bounded by
+///   max(schedule.makespan, LB_survivors + max displaced job)
+/// where LB_survivors is makespan_lower_bound over all jobs on the
+/// surviving machine count — the greedy-repair analogue of Graham's
+/// list-scheduling bound (covered by the makespan edge-case tests).
+/// Requires at least one survivor.
+Assignment reassign_after_loss(const std::vector<std::uint64_t>& jobs,
+                               const Assignment& schedule,
+                               const std::vector<std::uint32_t>& lost);
+
 }  // namespace lgg::sched

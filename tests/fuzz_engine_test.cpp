@@ -39,13 +39,36 @@ TEST(SpecTest, SampledSpecsBuildAcrossAllFamilies) {
     const GraphSpec s = sample_spec(rng, limits);
     seen.insert(s.family);
     const Graph g = s.build();  // every sampled spec must materialise
-    // Families may overshoot the soft ceiling slightly (grid rounding,
-    // rmat's 2^scale) but never by more than 2x.
-    EXPECT_LE(g.num_vertices(), 2 * limits.max_vertices) << s.to_string();
+    // max_vertices is a hard invariant: no family may overshoot it
+    // (grid factors its sides, rmat fits 2^scale under the cap).
+    EXPECT_LE(g.num_vertices(), limits.max_vertices) << s.to_string();
     EXPECT_FALSE(s.to_string().empty());
   }
   // 300 draws over 13 families: all of them should appear.
   EXPECT_EQ(seen.size(), spec_families().size());
+}
+
+TEST(SpecTest, MaxVerticesIsAHardInvariantAtEveryLimit) {
+  // Property test: whatever the configured ceiling — including ones
+  // smaller than the samplers' historical constants (grid's 8 rows,
+  // bipartite's 12+1, rmat's 2^2) — no sampled spec builds a graph above
+  // max(max_vertices, 2).
+  for (const std::size_t max_vertices : {2u, 3u, 4u, 5u, 8u, 13u, 72u}) {
+    Xoshiro256 rng(1000 + max_vertices);
+    SamplerLimits limits;
+    limits.max_vertices = max_vertices;
+    const std::size_t cap = std::max<std::size_t>(max_vertices, 2);
+    std::set<std::string> seen;
+    for (int i = 0; i < 400; ++i) {
+      const GraphSpec s = sample_spec(rng, limits);
+      seen.insert(s.family);
+      const Graph g = s.build();
+      ASSERT_LE(g.num_vertices(), cap)
+          << "limit " << max_vertices << ": " << s.to_string();
+    }
+    // Every family must still be reachable under tight limits.
+    EXPECT_EQ(seen.size(), spec_families().size()) << "limit " << max_vertices;
+  }
 }
 
 TEST(SpecTest, SpecBuildIsDeterministic) {
@@ -268,6 +291,63 @@ TEST(FuzzEngine, FindingsLogBitIdenticalAcrossHostThreadCounts) {
   EXPECT_EQ(one.iterations, four.iterations);
   EXPECT_EQ(one.log, four.log);
   EXPECT_TRUE(one.findings.empty()) << one.log;
+}
+
+TEST(FuzzEngine, StreamedEmissionMatchesBufferedLog) {
+  // The same campaign run twice: once buffered, once fully streamed.
+  // Streamed lines must concatenate to the buffered log byte for byte,
+  // and the streamed run must retain nothing in memory.
+  EngineOptions opts;
+  opts.master_seed = 424242;
+  opts.max_iterations = 25;
+  opts.max_findings = 1000;  // don't truncate: the broken path fires often
+  opts.limits.max_vertices = 16;
+  opts.shrink = false;
+  opts.policies = {gpusim::ExecPolicy::serial()};
+  opts.paths = {broken_degree4_path()};
+
+  const auto buffered = run_campaign(opts);
+  ASSERT_GT(buffered.findings_count, 0u);  // the seeded fault must fire
+  EXPECT_EQ(buffered.findings_count, buffered.findings.size());
+
+  std::string streamed;
+  std::uint64_t streamed_findings = 0;
+  opts.buffer_log = false;
+  opts.keep_findings = false;
+  opts.on_log_line = [&streamed](const std::string& line) {
+    streamed += line;
+    streamed += '\n';
+  };
+  opts.on_finding = [&streamed_findings](const Finding& f) {
+    EXPECT_GT(f.graph.num_vertices(), 0u);
+    ++streamed_findings;
+  };
+  const auto live = run_campaign(opts);
+
+  EXPECT_EQ(streamed, buffered.log);
+  EXPECT_EQ(live.findings_count, buffered.findings_count);
+  EXPECT_EQ(streamed_findings, buffered.findings_count);
+  EXPECT_TRUE(live.findings.empty());
+  EXPECT_TRUE(live.log.empty());
+}
+
+TEST(FuzzEngine, FaultCampaignModeAddsResilientPath) {
+  // fault_rate > 0 appends the resilient/chunked path to the defaults;
+  // it is policy-sensitive, so a broken recovery would surface per policy.
+  EngineOptions opts;
+  opts.master_seed = 5;
+  opts.max_iterations = 10;
+  opts.limits.max_vertices = 16;
+  opts.shrink = false;
+  opts.policies = {gpusim::ExecPolicy::serial()};
+  opts.paths = {broken_degree4_path()};  // keep the run small
+  opts.fault_rate = 0.1;
+  opts.fault_seed = 11;
+  const auto result = run_campaign(opts);
+  // The resilient path recovered exactly on every iteration: the only
+  // findings are the deliberately broken path's.
+  for (const auto& f : result.findings)
+    EXPECT_EQ(f.path.rfind("test/degree4-broken", 0), 0u) << f.path;
 }
 
 }  // namespace

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <numeric>
 
 #include "sched/makespan.hpp"
@@ -136,6 +137,97 @@ TEST(Schedulers, MoreMachinesThanJobs) {
 TEST(Recompute, RejectsBadMachineIds) {
   EXPECT_THROW(recompute({1, 2}, {0, 5}, 2), lgg::Error);
   EXPECT_THROW(recompute({1, 2}, {0}, 2), lgg::Error);
+}
+
+// --- edge cases the resilient runner leans on ---------------------------
+
+TEST(Schedulers, EmptyScheduleIsValid) {
+  const auto check = [](const Assignment& a) {
+    EXPECT_TRUE(a.machine_of.empty());
+    EXPECT_EQ(a.load.size(), 5u);
+    EXPECT_EQ(a.makespan, 0u);
+  };
+  check(list_schedule({}, 5));
+  check(lpt_schedule({}, 5));
+  check(multifit_schedule({}, 5));
+  check(exact_schedule({}, 5));
+  // And repairing an empty schedule after a loss is still empty.
+  const Assignment after = reassign_after_loss({}, lpt_schedule({}, 5), {2});
+  EXPECT_TRUE(after.machine_of.empty());
+  EXPECT_EQ(after.makespan, 0u);
+}
+
+TEST(Schedulers, SingleOversizedChunkDominates) {
+  // One chunk far larger than everything else: the makespan equals that
+  // chunk and no heuristic can do better.
+  const std::vector<std::uint64_t> jobs{1u << 30, 3, 1, 4, 1, 5};
+  const auto check = [&](const Assignment& a) {
+    expect_valid(a, jobs, 4);
+    EXPECT_EQ(a.makespan, std::uint64_t{1} << 30);
+  };
+  check(list_schedule(jobs, 4));
+  check(lpt_schedule(jobs, 4));
+  check(multifit_schedule(jobs, 4));
+  EXPECT_EQ(lpt_schedule({1u << 30}, 1).makespan, std::uint64_t{1} << 30);
+}
+
+TEST(ReassignAfterLoss, SurvivorsKeepJobsAndBalanceHolds) {
+  Xoshiro256 rng(99);
+  std::vector<std::uint64_t> jobs(60);
+  for (auto& j : jobs) j = 5 + rng.uniform(200);
+  const std::uint32_t machines = 8;
+  const Assignment before = lpt_schedule(jobs, machines);
+  const std::vector<std::uint32_t> lost{1, 4, 6};
+  const Assignment after = reassign_after_loss(jobs, before, lost);
+  expect_valid(after, jobs, machines);
+
+  for (const auto m : lost) EXPECT_EQ(after.load[m], 0u);
+  const auto is_lost = [&lost](std::uint32_t m) {
+    return std::find(lost.begin(), lost.end(), m) != lost.end();
+  };
+  std::uint64_t max_job = 0;
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    max_job = std::max(max_job, jobs[j]);
+    if (!is_lost(before.machine_of[j]))  // survivors keep their jobs
+      EXPECT_EQ(after.machine_of[j], before.machine_of[j]);
+    else  // displaced jobs land on survivors only
+      EXPECT_FALSE(is_lost(after.machine_of[j]));
+  }
+  // Documented repair bound: max(original makespan, survivor LB + the
+  // largest displaced job) — here relaxed to the largest job overall.
+  const std::uint64_t survivors = machines - 3;
+  const std::uint64_t bound = std::max(
+      before.makespan,
+      makespan_lower_bound(jobs, static_cast<std::uint32_t>(survivors)) +
+          max_job);
+  EXPECT_LE(after.makespan, bound);
+}
+
+TEST(ReassignAfterLoss, NoLossIsIdentity) {
+  const std::vector<std::uint64_t> jobs{7, 3, 9, 1};
+  const Assignment before = lpt_schedule(jobs, 3);
+  const Assignment after = reassign_after_loss(jobs, before, {});
+  EXPECT_EQ(after.machine_of, before.machine_of);
+  EXPECT_EQ(after.load, before.load);
+  EXPECT_EQ(after.makespan, before.makespan);
+}
+
+TEST(ReassignAfterLoss, AllJobsDisplacedOntoOneSurvivor) {
+  const std::vector<std::uint64_t> jobs{5, 5, 5, 5};
+  const Assignment before = lpt_schedule(jobs, 2);
+  const Assignment after = reassign_after_loss(jobs, before, {0});
+  expect_valid(after, jobs, 2);
+  EXPECT_EQ(after.load[0], 0u);
+  EXPECT_EQ(after.load[1], 20u);
+  EXPECT_EQ(after.makespan, 20u);
+}
+
+TEST(ReassignAfterLoss, RejectsBadInput) {
+  const std::vector<std::uint64_t> jobs{1, 2, 3};
+  const Assignment a = lpt_schedule(jobs, 2);
+  EXPECT_THROW(reassign_after_loss(jobs, a, {0, 1}), lgg::Error);  // nobody left
+  EXPECT_THROW(reassign_after_loss(jobs, a, {7}), lgg::Error);     // bad index
+  EXPECT_THROW(reassign_after_loss({1, 2}, a, {0}), lgg::Error);   // size skew
 }
 
 // Paper context: chunk sizes on 30 SMs (the C1060) — the scheduler must

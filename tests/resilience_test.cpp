@@ -1,0 +1,446 @@
+// Tests for the fault-injection framework and the resilient chunked
+// runner (DESIGN.md §11): injector determinism and replay, DeviceFault
+// surfacing through every GPU driver, exact recovery under sustained
+// fault rates, FaultPlan/RecoveryStats accounting, log byte-identity
+// across host thread counts, and the three failover policies.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "lgg.hpp"
+
+namespace {
+
+using namespace lgg;
+using gpusim::DeviceFault;
+using gpusim::FaultSite;
+using resilience::FaultInjector;
+using resilience::FaultPlan;
+using resilience::FaultRates;
+using resilience::Failover;
+
+graph::Graph test_graph() {
+  // Dense enough for a six-digit test count, small enough that CPU
+  // recounts stay fast.
+  return graph::erdos_renyi(120, 0.15, 42);
+}
+
+graph::Graph chunked_graph() {
+  // Many BFS levels (chunk boundaries follow the level decomposition):
+  // with the tiny-shared device below this splits into ~9 chunks, giving
+  // every fault site plenty of draws while staying fast.
+  return graph::layered_random(240, 12, 0.5, 0.2, 7);
+}
+
+// A C1060 with tiny shared memory: chunk capacity derives from shared
+// bits, so chunked_graph() splits into many small chunks — lots of
+// fault-site draws per run without a large (slow) graph.
+const gpusim::DeviceSpec& tiny_shared_device() {
+  static const gpusim::DeviceSpec dev = [] {
+    gpusim::DeviceSpec d = gpusim::tesla_c1060();
+    d.name = "C1060-tiny-shared";
+    d.shared_mem_bytes = 128;  // 1024 bits -> chunks of <= ~45 vertices
+    return d;
+  }();
+  return dev;
+}
+
+// ---------------------------------------------------------------- injector
+
+TEST(FaultInjector, RateZeroNeverFires) {
+  FaultInjector inj(123, FaultRates{});
+  const gpusim::KernelConfig config{};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(inj.on_alloc(64));
+    EXPECT_FALSE(inj.on_launch(config));
+    EXPECT_FALSE(inj.on_sm_abort(config, 3));
+    EXPECT_FALSE(inj.on_transfer(4096));
+  }
+  EXPECT_EQ(inj.total_faults(), 0u);
+  EXPECT_EQ(inj.draws(FaultSite::kAlloc), 1000u);
+}
+
+TEST(FaultInjector, RateOneAlwaysFires) {
+  FaultInjector inj(123, FaultRates::uniform(1.0));
+  const gpusim::KernelConfig config{};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(inj.on_alloc(64));
+    EXPECT_TRUE(inj.on_transfer(4096));
+  }
+  EXPECT_EQ(inj.total_faults(), 200u);
+  EXPECT_EQ(inj.count(FaultSite::kAlloc), 100u);
+  EXPECT_EQ(inj.count(FaultSite::kTransfer), 100u);
+}
+
+TEST(FaultInjector, DecisionsAreDeterministicInSeed) {
+  const gpusim::KernelConfig config{};
+  std::vector<bool> first;
+  for (int run = 0; run < 2; ++run) {
+    FaultInjector inj(99, FaultRates::uniform(0.3));
+    std::vector<bool> fired;
+    for (int i = 0; i < 500; ++i) {
+      fired.push_back(inj.on_alloc(8));
+      fired.push_back(inj.on_transfer(128));
+      fired.push_back(inj.on_sm_abort(config, static_cast<unsigned>(i % 30)));
+    }
+    if (run == 0)
+      first = fired;
+    else
+      EXPECT_EQ(first, fired);
+  }
+}
+
+TEST(FaultInjector, DifferentSeedsDiffer) {
+  auto pattern = [](std::uint64_t seed) {
+    FaultInjector inj(seed, FaultRates::uniform(0.5));
+    std::vector<bool> fired;
+    for (int i = 0; i < 200; ++i) fired.push_back(inj.on_alloc(8));
+    return fired;
+  };
+  EXPECT_NE(pattern(1), pattern(2));
+}
+
+TEST(FaultInjector, RateIsApproximatelyHonoured) {
+  FaultInjector inj(7, FaultRates::uniform(0.1));
+  for (int i = 0; i < 10000; ++i) inj.on_transfer(64);
+  const auto fired = inj.count(FaultSite::kTransfer);
+  EXPECT_GT(fired, 700u);  // ~1000 expected; wide deterministic bounds
+  EXPECT_LT(fired, 1300u);
+}
+
+TEST(FaultInjector, ReplayReproducesRandomRun) {
+  const gpusim::KernelConfig config{};
+  FaultInjector random(31337, FaultRates::uniform(0.25));
+  for (int i = 0; i < 300; ++i) {
+    random.on_alloc(static_cast<std::uint64_t>(i));
+    random.on_launch(config);
+    random.on_transfer(static_cast<std::uint64_t>(2 * i));
+  }
+  const FaultPlan plan = random.plan();
+  ASSERT_GT(plan.events.size(), 0u);
+
+  FaultInjector replay(plan);
+  for (int i = 0; i < 300; ++i) {
+    replay.on_alloc(static_cast<std::uint64_t>(i));
+    replay.on_launch(config);
+    replay.on_transfer(static_cast<std::uint64_t>(2 * i));
+  }
+  EXPECT_EQ(replay.events(), plan.events);
+  // And a fresh random injector from the same (seed, rates) regenerates
+  // the identical plan.
+  FaultInjector again(plan.seed, plan.rates);
+  for (int i = 0; i < 300; ++i) {
+    again.on_alloc(static_cast<std::uint64_t>(i));
+    again.on_launch(config);
+    again.on_transfer(static_cast<std::uint64_t>(2 * i));
+  }
+  EXPECT_EQ(again.events(), plan.events);
+}
+
+// -------------------------------------------------- faults reach all drivers
+
+TEST(FaultDrivers, LaunchFaultSurfacesInEveryGpuDriver) {
+  const graph::Graph g = graph::complete(12);
+  const FaultRates launch_only{0.0, 1.0, 0.0, 0.0};
+
+  {
+    FaultInjector inj(1, launch_only);
+    core::GpuTriangleOptions opts;
+    opts.faults = &inj;
+    EXPECT_THROW(core::count_triangles_gpu(g, opts), DeviceFault);
+  }
+  {
+    FaultInjector inj(1, launch_only);
+    core::GpuIntersectOptions opts;
+    opts.faults = &inj;
+    EXPECT_THROW(core::count_triangles_gpu_intersect(g, opts), DeviceFault);
+  }
+  {
+    FaultInjector inj(1, launch_only);
+    core::GpuKCountOptions opts;
+    opts.faults = &inj;
+    EXPECT_THROW(core::count_kcliques_gpu(g, 3, opts), DeviceFault);
+  }
+  {
+    FaultInjector inj(1, launch_only);
+    core::GpuBfsOptions opts;
+    opts.faults = &inj;
+    EXPECT_THROW(core::bfs_gpu(g, 0, opts), DeviceFault);
+  }
+  {
+    FaultInjector inj(1, launch_only);
+    core::HybridOptions opts;
+    opts.faults = &inj;
+    EXPECT_THROW(core::count_triangles_hybrid(g, opts), DeviceFault);
+  }
+}
+
+TEST(FaultDrivers, AllocFaultSurfacesAsDeviceFault) {
+  const graph::Graph g = graph::complete(12);
+  FaultInjector inj(1, FaultRates{1.0, 0.0, 0.0, 0.0});
+  core::GpuTriangleOptions opts;
+  opts.faults = &inj;
+  try {
+    core::count_triangles_gpu(g, opts);
+    FAIL() << "expected DeviceFault";
+  } catch (const DeviceFault& e) {
+    EXPECT_EQ(e.site(), FaultSite::kAlloc);
+    EXPECT_NE(std::string(e.what()).find("injected"), std::string::npos);
+  }
+}
+
+TEST(FaultDrivers, NullHookIsFaultFree) {
+  const graph::Graph g = graph::complete(10);
+  core::GpuTriangleOptions opts;
+  const auto r = core::count_triangles_gpu(g, opts);
+  EXPECT_EQ(r.triangles, core::count_triangles_forward(g));
+}
+
+// ------------------------------------------------------------------ runner
+
+TEST(ResilientRunner, FaultFreeMatchesOracle) {
+  const graph::Graph g = test_graph();
+  const auto report = resilience::run_resilient(g);
+  EXPECT_EQ(report.triangles, core::count_triangles_forward(g));
+  EXPECT_TRUE(report.exact);
+  EXPECT_TRUE(report.certified);
+  EXPECT_EQ(report.recovery.faults, 0u);
+  EXPECT_EQ(report.recovery.retries, 0u);
+  EXPECT_TRUE(report.lost_sms.empty());
+}
+
+TEST(ResilientRunner, ExactUnderTenPercentFaults) {
+  const graph::Graph g = test_graph();
+  const std::uint64_t oracle = core::count_triangles_forward(g);
+  for (const std::uint64_t seed : {1ull, 7ull, 99ull}) {
+    FaultInjector inj(seed, FaultRates::uniform(0.1));
+    resilience::RunnerOptions opts;
+    opts.faults = &inj;
+    const auto report = resilience::run_resilient(g, opts);
+    EXPECT_EQ(report.triangles, oracle) << "seed " << seed;
+    EXPECT_TRUE(report.exact) << "seed " << seed;
+    EXPECT_TRUE(report.certified) << "seed " << seed;
+  }
+}
+
+TEST(ResilientRunner, AccountingMatchesInjectorPlan) {
+  const graph::Graph g = chunked_graph();
+  FaultInjector inj(2024, FaultRates::uniform(0.1));
+  resilience::RunnerOptions opts;
+  opts.device = &tiny_shared_device();  // many chunks -> many draws
+  opts.faults = &inj;
+  const auto report = resilience::run_resilient(g, opts);
+  EXPECT_GT(inj.total_faults(), 0u);
+
+  // Every fault the injector fired must be accounted, by site, in the
+  // recovery stats — and nothing else.
+  std::array<std::uint64_t, gpusim::kNumFaultSites> plan_by_site{};
+  for (const auto& e : inj.events())
+    ++plan_by_site[static_cast<std::size_t>(e.site)];
+  EXPECT_EQ(report.recovery.by_site, plan_by_site);
+  EXPECT_EQ(report.recovery.faults, inj.total_faults());
+  EXPECT_EQ(report.device.faults_injected, inj.total_faults());
+
+  // Per-chunk fault counts sum to the total.
+  std::uint64_t chunk_faults = 0;
+  for (const auto& c : report.chunks) chunk_faults += c.faults;
+  EXPECT_EQ(chunk_faults, report.recovery.faults);
+}
+
+TEST(ResilientRunner, LogIsByteIdenticalAcrossThreadCounts) {
+  const graph::Graph g = chunked_graph();
+  auto run = [&](std::size_t threads) {
+    FaultInjector inj(555, FaultRates::uniform(0.1));
+    resilience::RunnerOptions opts;
+    opts.device = &tiny_shared_device();
+    opts.faults = &inj;
+    opts.exec = threads == 1 ? gpusim::ExecPolicy::serial()
+                             : gpusim::ExecPolicy::parallel(threads);
+    return resilience::run_resilient(g, opts);
+  };
+  const auto a = run(1);
+  const auto b = run(4);
+  EXPECT_EQ(a.log, b.log);
+  EXPECT_EQ(a.triangles, b.triangles);
+  EXPECT_EQ(a.recovery.by_site, b.recovery.by_site);
+  EXPECT_EQ(a.lost_sms, b.lost_sms);
+}
+
+TEST(ResilientRunner, CorruptionIsDetectedAndRecovered) {
+  const graph::Graph g = test_graph();
+  // Every transfer corrupts: each device attempt fails verification, so
+  // every non-empty chunk must exhaust retries and fail over to the CPU.
+  FaultInjector inj(8, FaultRates{0.0, 0.0, 0.0, 1.0});
+  resilience::RunnerOptions opts;
+  opts.faults = &inj;
+  opts.retry.max_retries = 1;
+  const auto report = resilience::run_resilient(g, opts);
+  EXPECT_EQ(report.triangles, core::count_triangles_forward(g));
+  EXPECT_TRUE(report.certified);
+  EXPECT_GT(report.recovery.corruptions_detected, 0u);
+  EXPECT_GT(report.recovery.cpu_failovers, 0u);
+}
+
+TEST(ResilientRunner, UnverifiedCorruptionGoesUndetected) {
+  const graph::Graph g = test_graph();
+  FaultInjector inj(8, FaultRates{0.0, 0.0, 0.0, 1.0});
+  resilience::RunnerOptions opts;
+  opts.faults = &inj;
+  opts.verify = false;
+  const auto report = resilience::run_resilient(g, opts);
+  // verify=false trusts the device: the corrupted counts land in the
+  // total (always perturbed upward) and the run is not certified.
+  EXPECT_GT(report.triangles, core::count_triangles_forward(g));
+  EXPECT_FALSE(report.certified);
+  EXPECT_EQ(report.recovery.corruptions_detected, 0u);
+}
+
+TEST(ResilientRunner, StreamFailoverIsExact) {
+  const graph::Graph g = test_graph();
+  FaultInjector inj(3, FaultRates{0.0, 1.0, 0.0, 0.0});
+  resilience::RunnerOptions opts;
+  opts.faults = &inj;
+  opts.retry.max_retries = 0;
+  opts.failover = Failover::kStream;
+  opts.stream_batch_tests = 64;  // force many batches
+  const auto report = resilience::run_resilient(g, opts);
+  EXPECT_EQ(report.triangles, core::count_triangles_forward(g));
+  EXPECT_TRUE(report.certified);
+  EXPECT_GT(report.recovery.stream_failovers, 0u);
+  EXPECT_EQ(report.recovery.cpu_failovers, 0u);
+}
+
+TEST(ResilientRunner, FailoverOffGivesUp) {
+  const graph::Graph g = test_graph();
+  FaultInjector inj(3, FaultRates{0.0, 1.0, 0.0, 0.0});
+  resilience::RunnerOptions opts;
+  opts.faults = &inj;
+  opts.retry.max_retries = 0;
+  opts.failover = Failover::kOff;
+  const auto report = resilience::run_resilient(g, opts);
+  EXPECT_FALSE(report.exact);
+  EXPECT_FALSE(report.certified);
+  EXPECT_GT(report.recovery.failed_chunks, 0u);
+  for (const auto& c : report.chunks) {
+    if (c.tests > 0) {
+      EXPECT_EQ(c.outcome, resilience::ChunkOutcome::kFailed);
+    }
+  }
+}
+
+TEST(ResilientRunner, SmAbortMarksSmLostAndSchedulesAroundIt) {
+  const graph::Graph g = chunked_graph();
+  // Aggressive SM aborts: some chunks will exhaust retries, fail over,
+  // and their planned SMs must be reported lost; the repaired schedule
+  // must cover exactly the surviving machines.
+  FaultInjector inj(17, FaultRates{0.0, 0.0, 0.5, 0.0});
+  resilience::RunnerOptions opts;
+  opts.device = &tiny_shared_device();
+  opts.faults = &inj;
+  opts.retry.max_retries = 1;
+  const auto report = resilience::run_resilient(g, opts);
+  EXPECT_EQ(report.triangles, core::count_triangles_forward(g));
+  EXPECT_TRUE(report.certified);
+  EXPECT_GT(report.recovery.by_site[static_cast<std::size_t>(
+                FaultSite::kSmAbort)],
+            0u);
+  ASSERT_FALSE(report.lost_sms.empty());
+  for (const auto sm : report.lost_sms) {
+    ASSERT_LT(sm, report.schedule.load.size());
+    EXPECT_EQ(report.schedule.load[sm], 0u);
+  }
+}
+
+TEST(ResilientRunner, RetriesRecoverTransientFaults) {
+  const graph::Graph g = chunked_graph();
+  // Moderate launch faults with generous retries: most chunks should
+  // recover on-device rather than failing over.
+  FaultInjector inj(12, FaultRates{0.0, 0.2, 0.0, 0.0});
+  resilience::RunnerOptions opts;
+  opts.device = &tiny_shared_device();
+  opts.faults = &inj;
+  opts.retry.max_retries = 8;
+  const auto report = resilience::run_resilient(g, opts);
+  EXPECT_EQ(report.triangles, core::count_triangles_forward(g));
+  EXPECT_TRUE(report.certified);
+  EXPECT_GT(report.recovery.retries, 0u);
+  EXPECT_GT(report.recovery.backoff_s, 0.0);
+  const bool any_retried = std::any_of(
+      report.chunks.begin(), report.chunks.end(), [](const auto& c) {
+        return c.outcome == resilience::ChunkOutcome::kGpuRetried;
+      });
+  EXPECT_TRUE(any_retried);
+}
+
+TEST(ResilientRunner, BackoffIsBoundedAndMonotone) {
+  resilience::RetryPolicy policy;
+  double prev = 0.0;
+  for (std::uint32_t r = 0; r < 32; ++r) {
+    const double b = policy.backoff_s(r);
+    EXPECT_GE(b, prev);
+    EXPECT_LE(b, policy.max_backoff_s);
+    prev = b;
+  }
+  EXPECT_DOUBLE_EQ(policy.backoff_s(0), policy.base_backoff_s);
+  EXPECT_DOUBLE_EQ(policy.backoff_s(31), policy.max_backoff_s);
+}
+
+TEST(ResilientRunner, CorpusGraphsStayExactUnderFaults) {
+  // Every regression graph in tests/corpus must count exactly under a
+  // sustained 10% fault rate at every site (the headline acceptance
+  // criterion of DESIGN.md §11).
+  const auto files = fuzz::list_repro_files(LGG_CORPUS_DIR);
+  ASSERT_FALSE(files.empty());
+  for (const auto& path : files) {
+    const fuzz::Repro repro = fuzz::read_repro_file(path);
+    FaultInjector inj(4242, FaultRates::uniform(0.1));
+    resilience::RunnerOptions opts;
+    opts.faults = &inj;
+    const auto report = resilience::run_resilient(repro.graph, opts);
+    EXPECT_EQ(report.triangles, repro.oracle) << path;
+    EXPECT_TRUE(report.certified) << path;
+  }
+}
+
+// ----------------------------------------------------------- fault campaign
+
+TEST(FaultCampaign, TwoHundredIterationsStayExact) {
+  // 200 sampled graphs through the resilient runner at a 10% fault rate:
+  // zero findings means recovery reproduced the oracle count every time.
+  fuzz::EngineOptions opts;
+  opts.master_seed = 77;
+  opts.max_iterations = 200;
+  opts.limits.max_vertices = 24;
+  opts.shrink = false;
+  opts.policies = {gpusim::ExecPolicy::serial()};
+  opts.fault_rate = 0.1;
+  opts.fault_seed = 7;
+  // Only the fault path: the cross-product paths have their own suites.
+  opts.paths = {fuzz::resilient_fault_path(0.1, 7, 3, Failover::kCpu)};
+  const auto result = fuzz::run_campaign(opts);
+  EXPECT_EQ(result.iterations, 200u);
+  EXPECT_EQ(result.findings_count, 0u) << result.log;
+}
+
+TEST(FaultCampaign, LogIsByteIdenticalAcrossThreadCounts) {
+  auto campaign = [](std::size_t threads) {
+    fuzz::EngineOptions opts;
+    opts.master_seed = 13;
+    opts.max_iterations = 40;
+    opts.limits.max_vertices = 20;
+    opts.shrink = false;
+    opts.policies = {gpusim::ExecPolicy::parallel(threads)};
+    opts.fault_rate = 0.15;
+    opts.fault_seed = 3;
+    opts.paths = {fuzz::resilient_fault_path(0.15, 3, 3, Failover::kCpu)};
+    return fuzz::run_campaign(opts);
+  };
+  const auto a = campaign(1);
+  const auto b = campaign(4);
+  EXPECT_EQ(a.log, b.log);
+  EXPECT_EQ(a.findings_count, b.findings_count);
+}
+
+}  // namespace

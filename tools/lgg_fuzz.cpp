@@ -28,6 +28,8 @@ using namespace lgg;
       "  lgg_fuzz campaign [--iterations N] [--seconds S] [--seed S]\n"
       "                    [--corpus DIR] [--max-vertices N] [--threads T]\n"
       "                    [--max-findings N] [--no-shrink] [--serial-only]\n"
+      "                    [--faults RATE[,SEED]] [--max-retries N]\n"
+      "                    [--failover cpu|stream|off]\n"
       "  lgg_fuzz replay <repro.txt> [...]\n"
       "  lgg_fuzz corpus <dir>\n"
       "  lgg_fuzz shrink <repro.txt>\n";
@@ -46,8 +48,10 @@ bool take_flag(std::vector<std::string>& args, const std::string& flag) {
   return false;
 }
 
+/// Accepts both "--flag value" and "--flag=value".
 bool take_value(std::vector<std::string>& args, const std::string& flag,
                 std::string& value) {
+  const std::string joined = flag + "=";
   for (auto it = args.begin(); it != args.end(); ++it) {
     if (*it == flag) {
       if (it + 1 == args.end()) usage(("missing value for " + flag).c_str());
@@ -55,8 +59,20 @@ bool take_value(std::vector<std::string>& args, const std::string& flag,
       args.erase(it, it + 2);
       return true;
     }
+    if (it->compare(0, joined.size(), joined) == 0) {
+      value = it->substr(joined.size());
+      args.erase(it);
+      return true;
+    }
   }
   return false;
+}
+
+resilience::Failover parse_failover(const std::string& v) {
+  if (v == "cpu") return resilience::Failover::kCpu;
+  if (v == "stream") return resilience::Failover::kStream;
+  if (v == "off") return resilience::Failover::kOff;
+  usage(("unknown failover mode: " + v).c_str());
 }
 
 std::uint64_t take_u64(std::vector<std::string>& args, const std::string& flag,
@@ -112,14 +128,36 @@ int cmd_campaign(std::vector<std::string> args) {
                      gpusim::ExecPolicy::parallel(
                          std::strtoull(threads.c_str(), nullptr, 10))};
   }
+  std::string faults;
+  if (take_value(args, "--faults", faults)) {
+    // RATE or RATE,SEED — e.g. --faults=0.1,7
+    const auto comma = faults.find(',');
+    opts.fault_rate = std::strtod(faults.substr(0, comma).c_str(), nullptr);
+    if (comma != std::string::npos)
+      opts.fault_seed =
+          std::strtoull(faults.c_str() + comma + 1, nullptr, 10);
+  }
+  opts.fault_max_retries = static_cast<std::uint32_t>(
+      take_u64(args, "--max-retries", opts.fault_max_retries));
+  std::string failover;
+  if (take_value(args, "--failover", failover))
+    opts.fault_failover = parse_failover(failover);
   if (!args.empty()) usage(("unknown campaign option: " + args[0]).c_str());
 
-  const auto result = fuzz::run_campaign(opts);
-  std::cout << result.log;
-  for (const auto& f : result.findings)
+  // Stream everything: log lines and repro paths print as they happen, and
+  // the engine never buffers findings (or their graphs) in memory.
+  opts.buffer_log = false;
+  opts.keep_findings = false;
+  opts.on_log_line = [](const std::string& line) {
+    std::cout << line << "\n";
+  };
+  opts.on_finding = [](const fuzz::Finding& f) {
     if (!f.repro_path.empty())
       std::cout << "repro written: " << f.repro_path << "\n";
-  return result.findings.empty() ? 0 : 1;
+  };
+
+  const auto result = fuzz::run_campaign(opts);
+  return result.findings_count == 0 ? 0 : 1;
 }
 
 int cmd_replay(const std::vector<std::string>& args) {
