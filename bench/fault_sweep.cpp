@@ -1,0 +1,91 @@
+// Recovery overhead vs injected fault rate (DESIGN.md §11-12).
+//
+// Sweeps a uniform per-site fault rate through the resilient runner on a
+// fixed workload and reports what recovery costs: retries, backoff,
+// failovers, and the modelled-time overhead relative to the fault-free
+// baseline.  The per-run numbers come straight from the observability
+// metrics registry (the same series `lgg_cli --metrics` scrapes), so this
+// bench doubles as an end-to-end check that the registry agrees with the
+// runner's own RecoveryStats.
+#include <iostream>
+
+#include "bench_json.hpp"
+#include "graph/generators.hpp"
+#include "obs/obs.hpp"
+#include "resilience/fault.hpp"
+#include "resilience/runner.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace lgg;
+  std::cout << "=== Recovery overhead vs injected fault rate ===\n\n";
+
+  // Many-chunk workload: twelve disjoint communities, one chunk each (a
+  // component that fits shared memory becomes exactly one chunk), so
+  // faults land on some chunks and spare others — retry AND failover get
+  // exercised at high rates while each chunk's full (unsampled)
+  // simulation stays cheap.
+  graph::Graph g(0);
+  for (std::uint64_t c = 0; c < 12; ++c)
+    g = graph::disjoint_union(g, graph::erdos_renyi(150, 0.08, 100 + c));
+  const double rates[] = {0.0, 0.01, 0.02, 0.05, 0.1, 0.2, 0.4};
+
+  TextTable table({"Fault rate", "Faults", "Retries", "Failovers",
+                   "Backoff", "Total time", "Overhead", "Certified"});
+  double baseline_s = 0.0;
+  for (const double rate : rates) {
+    resilience::FaultInjector injector(7, resilience::FaultRates::uniform(rate));
+    obs::Session session;
+    resilience::RunnerOptions opts;
+    opts.faults = rate > 0 ? &injector : nullptr;
+    opts.obs = &session;
+    const auto r = resilience::run_resilient(g, opts);
+    if (rate == 0.0) baseline_s = r.total_time_s;
+    const double overhead = r.total_time_s / baseline_s - 1.0;
+
+    // Registry cross-check: the scraped counters must agree with the
+    // runner's own recovery accounting.
+    const auto& m = session.metrics;
+    const std::uint64_t retries = m.counter_value("lgg_resilience_retries_total");
+    const std::uint64_t failovers =
+        m.counter_value("lgg_resilience_failovers_total", "kind=\"cpu\"") +
+        m.counter_value("lgg_resilience_failovers_total", "kind=\"stream\"");
+    if (retries != r.recovery.retries) {
+      std::cerr << "registry/report retry mismatch: " << retries << " vs "
+                << r.recovery.retries << "\n";
+      return 1;
+    }
+
+    table.new_row()
+        .add(std::to_string(rate))
+        .add(std::to_string(r.recovery.faults))
+        .add(std::to_string(retries))
+        .add(std::to_string(failovers))
+        .add(format_seconds(r.recovery.backoff_s))
+        .add(format_seconds(r.total_time_s))
+        .add(std::to_string(static_cast<int>(overhead * 100.0 + 0.5)) + "%")
+        .add(r.certified ? "yes" : "no");
+
+    bench::JsonRecord rec("fault_sweep");
+    rec.field("fault_rate", rate)
+        .field("triangles", r.triangles)
+        .field("certified", r.certified)
+        .field("faults", r.recovery.faults)
+        .field("retries", retries)
+        .field("failovers", failovers)
+        .field("corruptions_detected",
+               m.counter_value("lgg_resilience_corruptions_detected_total"))
+        .field("backoff_s", m.counter_f_value("lgg_resilience_backoff_seconds_total"))
+        .field("launches", m.counter_value("lgg_gpusim_launches_total"))
+        .field("total_time_s", r.total_time_s)
+        .field("overhead_vs_faultfree", overhead)
+        .raw("config", "{\"seed\":7,\"vertices\":500}");
+    bench::emit(rec);
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape: overhead grows with the fault rate "
+               "(retries dominate at low rates, failovers take over once "
+               "chunks exhaust their retry budget), while the count stays "
+               "exact and certified at every rate.\n";
+  return 0;
+}

@@ -38,6 +38,32 @@ step "resilience: 15s fault-campaign smoke (10% fault rate)"
 build/tools/lgg_fuzz campaign --seconds 15 --iterations 100000 \
       --seed 20130520 --faults=0.1,7
 
+step "obs: tracing/metrics suites"
+# The obs-labelled tests (ctest -L obs) pin the DESIGN.md section 12
+# contract: modelled-time span trees and Prometheus dumps byte-identical
+# across host thread counts, and counters that match the driver reports.
+ctest --test-dir build -L obs --output-on-failure \
+      "${CTEST_ARGS[@]+"${CTEST_ARGS[@]}"}"
+
+step "obs: trace determinism + golden span tree (lgg_cli triangle)"
+OBS_TMP="$(mktemp -d)"
+trap 'rm -rf "$OBS_TMP"' EXIT
+build/tools/lgg_cli triangle tests/corpus/single-triangle.txt \
+      --trace="$OBS_TMP/t1.json" --trace-tree="$OBS_TMP/t1.spans" \
+      --metrics="$OBS_TMP/t1.prom" --threads 1 > /dev/null
+build/tools/lgg_cli triangle tests/corpus/single-triangle.txt \
+      --trace="$OBS_TMP/t4.json" --trace-tree="$OBS_TMP/t4.spans" \
+      --metrics="$OBS_TMP/t4.prom" --threads 4 > /dev/null
+cmp "$OBS_TMP/t1.json" "$OBS_TMP/t4.json"
+cmp "$OBS_TMP/t1.prom" "$OBS_TMP/t4.prom"
+if command -v jq > /dev/null; then
+  jq -e '.traceEvents | length > 0' "$OBS_TMP/t1.json" > /dev/null
+elif command -v python3 > /dev/null; then
+  python3 -c "import json,sys; \
+assert json.load(open(sys.argv[1]))['traceEvents']" "$OBS_TMP/t1.json"
+fi
+diff -u ci/golden/single-triangle.spans.txt "$OBS_TMP/t1.spans"
+
 step "asan: configure + build (LGG_SANITIZE=address, LGG_WERROR=ON)"
 cmake --preset asan
 cmake --build --preset asan -j "$JOBS"

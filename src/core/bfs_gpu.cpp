@@ -40,8 +40,21 @@ GpuBfsResult bfs_gpu(const Graph& g, Vertex source,
   result.tree.parent[source] = source;
   result.tree.level[source] = 0;
 
-  const gpusim::TransferReport transfer = sim.transfer(
-      levels_buf.bytes + offsets_buf.bytes + adj_buf.bytes);
+  obs::Scope driver(opts.obs, "gpu/bfs", "driver");
+  if (driver) {
+    driver.arg("vertices", n);
+    driver.arg("source", static_cast<std::uint64_t>(source));
+  }
+
+  gpusim::TransferReport transfer;
+  {
+    obs::Scope span(opts.obs, "transfer/h2d", "transfer");
+    transfer = sim.transfer(levels_buf.bytes + offsets_buf.bytes +
+                            adj_buf.bytes);
+    span.model_s(transfer.time_s);
+    if (span) span.arg("bytes", transfer.bytes);
+  }
+  obs::record_transfer(opts.obs, transfer);
 
   const auto blocks = static_cast<std::uint32_t>((n + tpb - 1) / tpb);
   auto& tree = result.tree;
@@ -98,9 +111,14 @@ GpuBfsResult bfs_gpu(const Graph& g, Vertex source,
     config.name = "bfs/level" + std::to_string(current);
     config.blocks = std::max<std::uint32_t>(blocks, 1);
     config.threads_per_block = tpb;
+    obs::Scope span(opts.obs, config.name, "launch");
     const gpusim::KernelReport report =
         sim.run(kernel, config, 1, opts.exec,
                 analyzer ? &*analyzer : nullptr);
+    span.model_s(report.kernel_time_s);
+    if (span) span.arg("transactions", report.transactions);
+    span.close();
+    obs::record_kernel(opts.obs, report);
     result.kernel_time_s += report.kernel_time_s;
     result.transactions += report.transactions;
     result.bytes += report.bytes;
@@ -122,6 +140,7 @@ GpuBfsResult bfs_gpu(const Graph& g, Vertex source,
     if (advanced) tree.depth = ++current;
   }
 
+  driver.model_s(cal::kDispatchOverheadS + cal::kDeviceInitOverheadS);
   result.total_time_s = transfer.time_s + cal::kDispatchOverheadS +
                         cal::kDeviceInitOverheadS + result.kernel_time_s;
   return result;

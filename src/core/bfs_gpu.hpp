@@ -17,6 +17,7 @@
 #include "gpusim/device.hpp"
 #include "gpusim/executor.hpp"
 #include "gpusim/report.hpp"
+#include "obs/obs.hpp"
 #include "sancheck/sancheck.hpp"
 
 namespace lgg::core {
@@ -33,6 +34,9 @@ struct GpuBfsOptions {
   /// DeviceMemory and Simulator; fired faults surface as
   /// gpusim::DeviceFault (DESIGN.md §11).
   gpusim::FaultHook* faults = nullptr;
+  /// Optional observability session: one launch span per BFS level plus
+  /// aggregated gpusim counters (DESIGN.md §12).
+  obs::Session* obs = nullptr;
 };
 
 struct GpuBfsResult {

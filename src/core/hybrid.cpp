@@ -250,20 +250,31 @@ ChunkLaunch run_chunk_kernel(const graph::Graph& g, const graph::Chunk& chunk,
   }
 
   ChunkLaunch out;
-  out.report =
-      sim.run(kernel, config, 1, opts.exec, analyzer ? &*analyzer : nullptr);
+  {
+    obs::Scope span(opts.obs, config.name, "launch");
+    out.report = sim.run(kernel, config, 1, opts.exec,
+                         analyzer ? &*analyzer : nullptr);
 
-  // Deterministic reduction: fold per-warp slots in warp order.
-  for (std::uint64_t wid = 0; wid < chunk_warps; ++wid) {
-    out.simulated += warp_simulated[wid];
-    out.triangles += warp_found[wid];
+    // Deterministic reduction: fold per-warp slots in warp order.
+    for (std::uint64_t wid = 0; wid < chunk_warps; ++wid) {
+      out.simulated += warp_simulated[wid];
+      out.triangles += warp_found[wid];
+    }
+    if (out.simulated < work.tests) {
+      rescale(out.report,
+              static_cast<double>(work.tests) /
+                  static_cast<double>(
+                      std::max<std::uint64_t>(out.simulated, 1)),
+              dev);
+    }
+    // Span duration and counters use the final (post-rescale) report.
+    span.model_s(out.report.kernel_time_s);
+    if (span) {
+      span.arg("tests", work.tests);
+      span.arg("transactions", out.report.transactions);
+    }
   }
-  if (out.simulated < work.tests) {
-    rescale(out.report,
-            static_cast<double>(work.tests) /
-                static_cast<double>(std::max<std::uint64_t>(out.simulated, 1)),
-            dev);
-  }
+  obs::record_kernel(opts.obs, out.report);
   return out;
 }
 
@@ -275,16 +286,33 @@ HybridResult count_triangles_hybrid(const graph::Graph& g,
   LGG_CHECK(tpb >= dev.warp_size && tpb % dev.warp_size == 0,
             "threads_per_block must be a positive multiple of the warp size");
 
+  obs::Scope driver(opts.obs, "gpu/hybrid", "driver");
+  if (driver) {
+    driver.arg("scheduler", scheduler_name(opts.scheduler));
+    driver.arg("threads_per_block", static_cast<std::uint64_t>(tpb));
+  }
+  const double preprocessing =
+      2.0 * static_cast<double>(g.num_edges()) * cal::kCpuCyclesPerBfsEdge /
+      (cal::kCpuClockGhz * 1e9);
+
   // --- Algorithm 1 ---
   graph::ChunkingOptions copts;
   copts.shared_mem_bits = dev.shared_mem_bits();
   copts.metric = opts.metric;
+  obs::Scope plan_span(opts.obs, "plan/chunking", "plan");
   const graph::ChunkingResult chunking = graph::split_into_chunks(g, copts);
 
   // Level decompositions per component, from the chunker's own trees.
   std::vector<graph::LevelDecomposition> levels;
   levels.reserve(chunking.trees.size());
   for (const auto& tree : chunking.trees) levels.emplace_back(tree);
+  plan_span.model_s(preprocessing);
+  if (plan_span) {
+    plan_span.arg("chunks", static_cast<std::uint64_t>(chunking.chunks.size()));
+    plan_span.arg("components",
+                  static_cast<std::uint64_t>(chunking.trees.size()));
+  }
+  plan_span.close();
 
   HybridResult result;
   const gpusim::Simulator sim(dev, opts.faults);
@@ -314,7 +342,14 @@ HybridResult count_triangles_hybrid(const graph::Graph& g,
     // Data always crosses PCIe once, for shared and global chunks alike.
     device_bytes += chunk_device_bytes(chunk);
 
+    obs::Scope chunk_span(opts.obs, "chunk[" + std::to_string(ci) + "]",
+                          "chunk");
+    if (chunk_span) {
+      chunk_span.arg("shared_resident", chunk.fits_shared);
+      chunk_span.arg("tests", work.tests);
+    }
     const ChunkLaunch launch = run_chunk_kernel(g, chunk, work, sim, mem, opts);
+    chunk_span.close();
     result.hazards.merge(launch.report.hazards);
 
     if (launch.simulated < work.tests) {
@@ -333,6 +368,10 @@ HybridResult count_triangles_hybrid(const graph::Graph& g,
   }
 
   // --- Section VI: schedule chunk jobs onto the SMs ---
+  obs::Scope sched_span(opts.obs,
+                        std::string("schedule/") +
+                            scheduler_name(opts.scheduler),
+                        "schedule");
   switch (opts.scheduler) {
     case SchedulerKind::kList:
       result.schedule = sched::list_schedule(job_times_ns, dev.sm_count);
@@ -347,6 +386,12 @@ HybridResult count_triangles_hybrid(const graph::Graph& g,
   for (std::size_t ci = 0; ci < result.chunks.size(); ++ci)
     result.chunks[ci].sm = result.schedule.machine_of[ci];
   result.makespan_s = static_cast<double>(result.schedule.makespan) * 1e-9;
+  if (sched_span) {
+    sched_span.arg("jobs", static_cast<std::uint64_t>(job_times_ns.size()));
+    sched_span.arg("machines", static_cast<std::uint64_t>(dev.sm_count));
+    sched_span.arg("makespan_s", result.makespan_s);
+  }
+  sched_span.close();
 
   // --- Eq. (6) analytic comparison ---
   const double tau_s =
@@ -361,13 +406,21 @@ HybridResult count_triangles_hybrid(const graph::Graph& g,
       mu * tau_s + static_cast<double>(result.global_chunks) * tau_g;
 
   // --- end-to-end ---
-  const double preprocessing =
-      2.0 * static_cast<double>(g.num_edges()) * cal::kCpuCyclesPerBfsEdge /
-      (cal::kCpuClockGhz * 1e9);
-  result.total_time_s = preprocessing +
-                        gpusim::transfer_time_s(dev, device_bytes) +
-                        cal::kDispatchOverheadS + cal::kDeviceInitOverheadS +
-                        result.makespan_s;
+  const double transfer_s = gpusim::transfer_time_s(dev, device_bytes);
+  {
+    obs::Scope span(opts.obs, "transfer/h2d", "transfer");
+    span.model_s(transfer_s);
+    if (span) span.arg("bytes", device_bytes);
+  }
+  if (opts.obs != nullptr) {
+    gpusim::TransferReport tr;
+    tr.bytes = device_bytes;
+    tr.time_s = transfer_s;
+    obs::record_transfer(opts.obs, tr);
+  }
+  driver.model_s(cal::kDispatchOverheadS + cal::kDeviceInitOverheadS);
+  result.total_time_s = preprocessing + transfer_s + cal::kDispatchOverheadS +
+                        cal::kDeviceInitOverheadS + result.makespan_s;
   return result;
 }
 

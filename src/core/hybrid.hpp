@@ -23,6 +23,7 @@
 #include "graph/graph.hpp"
 #include "gpusim/device.hpp"
 #include "gpusim/executor.hpp"
+#include "obs/obs.hpp"
 #include "sancheck/sancheck.hpp"
 #include "sched/makespan.hpp"
 
@@ -52,6 +53,10 @@ struct HybridOptions {
   /// pipeline does NOT recover — use resilience::run_resilient for
   /// retry/failover semantics.
   gpusim::FaultHook* faults = nullptr;
+  /// Optional observability session: chunk/schedule/launch spans plus
+  /// gpusim counters (DESIGN.md §12).  run_chunk_kernel reads it too, so
+  /// the resilient runner inherits launch spans by forwarding it here.
+  obs::Session* obs = nullptr;
 };
 
 /// Per-chunk execution record.

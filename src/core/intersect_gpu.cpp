@@ -102,11 +102,20 @@ GpuIntersectResult count_triangles_gpu_intersect(
       mem.alloc(std::max<std::uint64_t>(oriented.out.size() * 4, 4));
   result.device_bytes = offsets_buf.bytes + adj_buf.bytes;
   const gpusim::Simulator sim(dev, opts.faults);
-  result.transfer = sim.transfer(result.device_bytes);
+  obs::Scope driver(opts.obs, "gpu/intersect", "driver");
+  if (driver) driver.arg("edges", result.total_edges);
+  {
+    obs::Scope span(opts.obs, "transfer/h2d", "transfer");
+    result.transfer = sim.transfer(result.device_bytes);
+    span.model_s(result.transfer.time_s);
+    if (span) span.arg("bytes", result.transfer.bytes);
+  }
+  obs::record_transfer(opts.obs, result.transfer);
 
   if (oriented.edges.empty()) {
     result.total_time_s = result.transfer.time_s + cal::kDispatchOverheadS +
                           cal::kDeviceInitOverheadS;
+    driver.model_s(cal::kDispatchOverheadS + cal::kDeviceInitOverheadS);
     return result;
   }
 
@@ -188,6 +197,7 @@ GpuIntersectResult count_triangles_gpu_intersect(
     sc.staged = {offsets_buf, adj_buf};
     analyzer.emplace(std::move(sc), mem);
   }
+  obs::Scope launch_span(opts.obs, config.name, "launch");
   result.kernel =
       sim.run(kernel, config, 1, opts.exec, analyzer ? &*analyzer : nullptr);
 
@@ -225,6 +235,14 @@ GpuIntersectResult count_triangles_gpu_intersect(
         cycles / (dev.core_clock_ghz * 1e9) + cal::kKernelLaunchOverheadS;
     k.sample_fraction = 1.0 / f;
   }
+
+  // Span duration and counters use the final (post-rescale) report.
+  launch_span.model_s(result.kernel.kernel_time_s);
+  if (launch_span)
+    launch_span.arg("transactions", result.kernel.transactions);
+  launch_span.close();
+  obs::record_kernel(opts.obs, result.kernel);
+  driver.model_s(cal::kDispatchOverheadS + cal::kDeviceInitOverheadS);
 
   result.total_time_s = result.transfer.time_s + cal::kDispatchOverheadS +
                         cal::kDeviceInitOverheadS +

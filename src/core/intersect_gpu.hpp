@@ -20,6 +20,7 @@
 #include "gpusim/device.hpp"
 #include "gpusim/executor.hpp"
 #include "gpusim/report.hpp"
+#include "obs/obs.hpp"
 #include "sancheck/sancheck.hpp"
 
 namespace lgg::core {
@@ -39,6 +40,9 @@ struct GpuIntersectOptions {
   /// DeviceMemory and Simulator; fired faults surface as
   /// gpusim::DeviceFault (DESIGN.md §11).
   gpusim::FaultHook* faults = nullptr;
+  /// Optional observability session: transfer/launch spans plus gpusim
+  /// counters (DESIGN.md §12).
+  obs::Session* obs = nullptr;
 };
 
 struct GpuIntersectResult {

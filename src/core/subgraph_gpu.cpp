@@ -187,11 +187,23 @@ GpuKCountResult run_kcount(const Graph& g, std::uint32_t k,
   const gpusim::Buffer matrix =
       mem.alloc(std::max<std::uint64_t>(n * row_bytes, 4));
   const gpusim::Simulator sim(dev, opts.faults);
-  result.transfer = sim.transfer(matrix.bytes);
+  obs::Scope driver(opts.obs, "gpu/subgraph", "driver");
+  if (driver) {
+    driver.arg("k", static_cast<std::uint64_t>(k));
+    driver.arg("total_tests", total);
+  }
+  {
+    obs::Scope span(opts.obs, "transfer/h2d", "transfer");
+    result.transfer = sim.transfer(matrix.bytes);
+    span.model_s(result.transfer.time_s);
+    if (span) span.arg("bytes", result.transfer.bytes);
+  }
+  obs::record_transfer(opts.obs, result.transfer);
 
   if (total == 0) {
     result.total_time_s = result.transfer.time_s + cal::kDispatchOverheadS +
                           cal::kDeviceInitOverheadS;
+    driver.model_s(cal::kDispatchOverheadS + cal::kDeviceInitOverheadS);
     return result;
   }
 
@@ -258,21 +270,31 @@ GpuKCountResult run_kcount(const Graph& g, std::uint32_t k,
     sc.staged = {matrix};
     analyzer.emplace(std::move(sc), mem);
   }
-  result.kernel =
-      sim.run(kernel, config, 1, opts.exec, analyzer ? &*analyzer : nullptr);
+  {
+    obs::Scope span(opts.obs, config.name, "launch");
+    result.kernel = sim.run(kernel, config, 1, opts.exec,
+                            analyzer ? &*analyzer : nullptr);
 
-  // Deterministic reduction: fold per-warp slots in warp order.
-  std::uint64_t found = 0, simulated = 0;
-  for (std::uint64_t wid = 0; wid < warps; ++wid) {
-    found += warp_found[wid];
-    simulated += warp_simulated[wid];
+    // Deterministic reduction: fold per-warp slots in warp order.
+    std::uint64_t found = 0, simulated = 0;
+    for (std::uint64_t wid = 0; wid < warps; ++wid) {
+      found += warp_found[wid];
+      simulated += warp_simulated[wid];
+    }
+    result.simulated_tests = simulated;
+    result.count = found;
+    result.exact = simulated == total;
+    if (!result.exact && simulated > 0)
+      rescale(result.kernel,
+              static_cast<double>(total) / static_cast<double>(simulated),
+              dev);
+
+    // Span duration and counters use the final (post-rescale) report.
+    span.model_s(result.kernel.kernel_time_s);
+    if (span) span.arg("transactions", result.kernel.transactions);
   }
-  result.simulated_tests = simulated;
-  result.count = found;
-  result.exact = simulated == total;
-  if (!result.exact && simulated > 0)
-    rescale(result.kernel,
-            static_cast<double>(total) / static_cast<double>(simulated), dev);
+  obs::record_kernel(opts.obs, result.kernel);
+  driver.model_s(cal::kDispatchOverheadS + cal::kDeviceInitOverheadS);
 
   result.total_time_s = result.transfer.time_s + cal::kDispatchOverheadS +
                         cal::kDeviceInitOverheadS +

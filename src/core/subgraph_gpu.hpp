@@ -24,6 +24,7 @@
 #include "gpusim/device.hpp"
 #include "gpusim/executor.hpp"
 #include "gpusim/report.hpp"
+#include "obs/obs.hpp"
 #include "sancheck/sancheck.hpp"
 
 namespace lgg::core {
@@ -45,6 +46,9 @@ struct GpuKCountOptions {
   /// DeviceMemory and Simulator; fired faults surface as
   /// gpusim::DeviceFault (DESIGN.md §11).
   gpusim::FaultHook* faults = nullptr;
+  /// Optional observability session: transfer/launch spans plus gpusim
+  /// counters (DESIGN.md §12).
+  obs::Session* obs = nullptr;
 };
 
 struct GpuKCountResult {

@@ -7,6 +7,7 @@
 #include "combi/strategies.hpp"
 #include "gpusim/calibration.hpp"
 #include "gpusim/memory.hpp"
+#include "gpusim/occupancy.hpp"
 #include "util/bits.hpp"
 #include "util/error.hpp"
 
@@ -149,24 +150,52 @@ GpuTriangleResult count_triangles_gpu(const graph::Graph& g,
   LGG_CHECK(tpb >= dev.warp_size && tpb % dev.warp_size == 0,
             "threads_per_block must be a positive multiple of the warp size");
 
+  obs::Scope driver(opts.obs, "gpu/triangle", "driver");
+  if (driver) {
+    driver.arg("layout", gpu_layout_name(opts.layout));
+    driver.arg("blocks", static_cast<std::uint64_t>(blocks));
+    driver.arg("threads_per_block", static_cast<std::uint64_t>(tpb));
+  }
+
   GpuTriangleResult result;
-  const AlsPlan plan = build_als_plan(g);
-  result.total_tests = plan.total_tests;
-  result.preprocessing_s =
-      static_cast<double>(plan.bfs_edges_visited) * cal::kCpuCyclesPerBfsEdge /
-      (cal::kCpuClockGhz * 1e9);
+  AlsPlan plan;
+  {
+    obs::Scope span(opts.obs, "plan/bfs+als", "plan");
+    plan = build_als_plan(g);
+    result.total_tests = plan.total_tests;
+    result.preprocessing_s = static_cast<double>(plan.bfs_edges_visited) *
+                             cal::kCpuCyclesPerBfsEdge /
+                             (cal::kCpuClockGhz * 1e9);
+    span.model_s(result.preprocessing_s);
+    if (span) {
+      span.arg("jobs", static_cast<std::uint64_t>(plan.jobs.size()));
+      span.arg("total_tests", plan.total_tests);
+      span.arg("bfs_edges", plan.bfs_edges_visited);
+    }
+  }
 
   gpusim::DeviceMemory mem(dev, opts.faults);
   const Layout layout = build_layout(g, plan, opts.layout, mem);
   result.device_bytes = layout.total_bytes;
 
   const gpusim::Simulator sim(dev, opts.faults);
-  result.transfer = sim.transfer(layout.total_bytes);
+  {
+    obs::Scope span(opts.obs, "transfer/h2d", "transfer");
+    result.transfer = sim.transfer(layout.total_bytes);
+    span.model_s(result.transfer.time_s);
+    if (span) span.arg("bytes", result.transfer.bytes);
+  }
+  obs::record_transfer(opts.obs, result.transfer);
+  if (opts.obs != nullptr) {
+    const gpusim::OccupancyResult occ = gpusim::occupancy(dev, {tpb});
+    obs::record_occupancy(opts.obs, occ.occupancy);
+  }
 
   if (plan.total_tests == 0) {
     result.total_time_s = result.preprocessing_s + result.transfer.time_s +
                           cal::kDispatchOverheadS +
                           cal::kDeviceInitOverheadS;
+    driver.model_s(cal::kDispatchOverheadS + cal::kDeviceInitOverheadS);
     return result;
   }
 
@@ -181,9 +210,15 @@ GpuTriangleResult count_triangles_gpu(const graph::Graph& g,
   }
 
   const bool warp_interleaved = opts.layout != GpuLayout::kNaive;
+  obs::Scope sched(opts.obs, "schedule/work-division", "schedule");
   const auto thread_ranges = warp_interleaved
                                  ? divide_work(plan.total_tests, warps)
                                  : divide_work(plan.total_tests, threads);
+  if (sched) {
+    sched.arg("workers", static_cast<std::uint64_t>(thread_ranges.size()));
+    sched.arg("warp_interleaved", warp_interleaved);
+  }
+  sched.close();
 
   // Per-warp functional output slots: the simulator may replay warps
   // concurrently, so every mutable capture below is indexed by
@@ -275,53 +310,67 @@ GpuTriangleResult count_triangles_gpu(const graph::Graph& g,
                                : std::vector<Buffer>{layout.matrix};
     analyzer.emplace(std::move(sc), mem);
   }
-  result.kernel =
-      sim.run(kernel, config, 1, opts.exec, analyzer ? &*analyzer : nullptr);
+  {
+    obs::Scope span(opts.obs, config.name, "launch");
+    result.kernel =
+        sim.run(kernel, config, 1, opts.exec, analyzer ? &*analyzer : nullptr);
 
-  // Deterministic reduction: fold per-warp slots in warp order.
-  std::uint64_t triangles = 0;
-  std::uint64_t simulated = 0;
-  for (std::uint64_t wid = 0; wid < warps; ++wid) {
-    triangles += warp_triangles[wid];
-    simulated += warp_simulated[wid];
+    // Deterministic reduction: fold per-warp slots in warp order.
+    std::uint64_t triangles = 0;
+    std::uint64_t simulated = 0;
+    for (std::uint64_t wid = 0; wid < warps; ++wid) {
+      triangles += warp_triangles[wid];
+      simulated += warp_simulated[wid];
+    }
+
+    result.simulated_tests = simulated;
+    result.triangles = triangles;
+    result.exact = simulated == plan.total_tests;
+
+    // Rescale traffic/timing when the budget truncated the simulation:
+    // every charge scales linearly with the number of tests, so the cycle
+    // terms and the DRAM histogram scale by the same factor.
+    if (!result.exact && simulated > 0) {
+      const double f = static_cast<double>(plan.total_tests) /
+                       static_cast<double>(simulated);
+      auto scale_u64 = [f](std::uint64_t v) {
+        return static_cast<std::uint64_t>(static_cast<double>(v) * f);
+      };
+      gpusim::KernelReport& k = result.kernel;
+      k.global_slots = scale_u64(k.global_slots);
+      k.transactions = scale_u64(k.transactions);
+      k.bytes = scale_u64(k.bytes);
+      k.shared_slots = scale_u64(k.shared_slots);
+      k.bank_conflict_steps = scale_u64(k.bank_conflict_steps);
+      k.warp_instructions *= f;
+      for (auto& c : k.partition_histogram.count) c = scale_u64(c);
+      k.partition_histogram.total = scale_u64(k.partition_histogram.total);
+      k.camping_factor = k.partition_histogram.camping_factor();
+      k.compute_cycles *= f;
+      k.latency_cycles *= f;
+      k.dram_cycles *= f;
+      const double cycles =
+          std::max({k.compute_cycles, k.latency_cycles, k.dram_cycles});
+      k.kernel_time_s =
+          cycles / (dev.core_clock_ghz * 1e9) + cal::kKernelLaunchOverheadS;
+      k.sample_fraction = 1.0 / f;
+    }
+
+    // Span duration and counters use the FINAL (post-rescale) report so
+    // the exported metrics match the KernelReport the caller sees.
+    span.model_s(result.kernel.kernel_time_s);
+    if (span) {
+      span.arg("transactions", result.kernel.transactions);
+      span.arg("camping_factor", result.kernel.camping_factor);
+      span.arg("sample_fraction", result.kernel.sample_fraction);
+    }
   }
-
-  result.simulated_tests = simulated;
-  result.triangles = triangles;
-  result.exact = simulated == plan.total_tests;
-
-  // Rescale traffic/timing when the budget truncated the simulation: every
-  // charge scales linearly with the number of tests, so the cycle terms
-  // and the DRAM histogram scale by the same factor.
-  if (!result.exact && simulated > 0) {
-    const double f = static_cast<double>(plan.total_tests) /
-                     static_cast<double>(simulated);
-    auto scale_u64 = [f](std::uint64_t v) {
-      return static_cast<std::uint64_t>(static_cast<double>(v) * f);
-    };
-    gpusim::KernelReport& k = result.kernel;
-    k.global_slots = scale_u64(k.global_slots);
-    k.transactions = scale_u64(k.transactions);
-    k.bytes = scale_u64(k.bytes);
-    k.shared_slots = scale_u64(k.shared_slots);
-    k.bank_conflict_steps = scale_u64(k.bank_conflict_steps);
-    k.warp_instructions *= f;
-    for (auto& c : k.partition_histogram.count) c = scale_u64(c);
-    k.partition_histogram.total = scale_u64(k.partition_histogram.total);
-    k.camping_factor = k.partition_histogram.camping_factor();
-    k.compute_cycles *= f;
-    k.latency_cycles *= f;
-    k.dram_cycles *= f;
-    const double cycles =
-        std::max({k.compute_cycles, k.latency_cycles, k.dram_cycles});
-    k.kernel_time_s =
-        cycles / (dev.core_clock_ghz * 1e9) + cal::kKernelLaunchOverheadS;
-    k.sample_fraction = 1.0 / f;
-  }
+  obs::record_kernel(opts.obs, result.kernel);
 
   result.total_time_s = result.preprocessing_s + result.transfer.time_s +
                         cal::kDispatchOverheadS + cal::kDeviceInitOverheadS +
                         result.kernel.kernel_time_s;
+  driver.model_s(cal::kDispatchOverheadS + cal::kDeviceInitOverheadS);
   return result;
 }
 

@@ -40,6 +40,7 @@
 #include "gpusim/device.hpp"
 #include "gpusim/executor.hpp"
 #include "gpusim/report.hpp"
+#include "obs/obs.hpp"
 #include "sancheck/footprint.hpp"
 #include "sancheck/sancheck.hpp"
 
@@ -74,6 +75,9 @@ struct GpuTriangleOptions {
   /// DeviceMemory and Simulator; fired faults surface as
   /// gpusim::DeviceFault (DESIGN.md §11).
   gpusim::FaultHook* faults = nullptr;
+  /// Optional observability session (non-owning): plan/transfer/launch
+  /// spans on the modelled timeline plus gpusim counters (DESIGN.md §12).
+  obs::Session* obs = nullptr;
 };
 
 struct GpuTriangleResult {

@@ -223,14 +223,31 @@ CampaignResult run_campaign(const EngineOptions& opts) {
     emit_line(describe(f));
     if (opts.on_finding) opts.on_finding(f);
     ++result.findings_count;
+    if (opts.obs != nullptr)
+      opts.obs->metrics.count(
+          "lgg_fuzz_findings_total", 1,
+          std::string("kind=\"") + finding_kind_name(f.kind) + "\"");
     if (opts.keep_findings) result.findings.push_back(std::move(f));
   };
+
+  obs::Scope campaign_span(opts.obs, "fuzz/campaign", "driver");
+  if (campaign_span) {
+    campaign_span.arg("master_seed", opts.master_seed);
+    campaign_span.arg("max_iterations", opts.max_iterations);
+  }
 
   for (std::uint64_t iter = 0; iter < opts.max_iterations; ++iter) {
     if (opts.time_budget_s > 0 && wall.elapsed_s() >= opts.time_budget_s)
       break;
     if (result.findings_count >= opts.max_findings) break;
     ++result.iterations;
+    if (opts.obs != nullptr)
+      opts.obs->metrics.count("lgg_fuzz_iterations_total");
+    obs::Scope iter_span(opts.obs,
+                         opts.obs != nullptr
+                             ? "iter[" + std::to_string(iter) + "]"
+                             : std::string(),
+                         "iter");
 
     const std::uint64_t seed = iteration_seed(opts.master_seed, iter);
     Xoshiro256 rng(seed);
@@ -277,12 +294,15 @@ CampaignResult run_campaign(const EngineOptions& opts) {
         Finding& f = *found;
 
         if (opts.shrink) {
+          obs::Scope shrink_span(opts.obs, "shrink/ddmin", "shrink");
           const auto pred =
               make_predicate(path, policies[p], opts, f.kind, seed);
           const ShrinkResult shrunk =
               shrink_graph(f.graph, pred, opts.shrink_options);
           f.shrunk = shrunk.graph;
           f.shrunk_minimal = shrunk.minimal;
+          if (shrink_span)
+            shrink_span.arg("minimal", shrunk.minimal);
         }
 
         if (!opts.corpus_dir.empty()) {

@@ -105,6 +105,10 @@ struct EngineOptions {
   bool keep_findings = true;
   /// false: CampaignResult.log stays empty (use on_log_line).
   bool buffer_log = true;
+
+  /// Optional observability session: campaign/iteration/shrink spans plus
+  /// fuzz counters (DESIGN.md §12).  Surfaced as lgg_fuzz --trace-dir.
+  obs::Session* obs = nullptr;
 };
 
 struct CampaignResult {

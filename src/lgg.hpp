@@ -14,6 +14,8 @@
 //              launches (tape analyzer + static footprint lint)
 //   core/    — Algorithm 2 triangle counting (CPU + simulated GPU with the
 //              Figs. 8-9 layouts), k-subgraph counters, social analyses
+//   obs/     — unified observability: modelled-time span tracer, metrics
+//              registry, Chrome-trace / span-tree / Prometheus exporters
 //   resilience/ — seed-driven device fault injection + resilient chunked
 //              execution with retry, failover and recovery accounting
 //   fuzz/    — differential fuzzing engine over every counting path, with
@@ -60,6 +62,9 @@
 #include "gpusim/occupancy.hpp"      // IWYU pragma: export
 #include "gpusim/partition.hpp"      // IWYU pragma: export
 #include "gpusim/report.hpp"         // IWYU pragma: export
+#include "obs/metrics.hpp"           // IWYU pragma: export
+#include "obs/obs.hpp"               // IWYU pragma: export
+#include "obs/trace.hpp"             // IWYU pragma: export
 #include "resilience/fault.hpp"      // IWYU pragma: export
 #include "resilience/runner.hpp"     // IWYU pragma: export
 #include "sancheck/footprint.hpp"    // IWYU pragma: export

@@ -1,0 +1,62 @@
+#include "obs/obs.hpp"
+
+#include <array>
+
+namespace lgg::obs {
+
+void record_kernel(Session* session, const gpusim::KernelReport& report) {
+  if (session == nullptr) return;
+  Metrics& m = session->metrics;
+  m.help("lgg_gpusim_global_slots_total",
+         "warp-level global access instructions before coalescing");
+  m.help("lgg_gpusim_transactions_total",
+         "global-memory transactions after coalescing");
+  m.count("lgg_gpusim_launches_total");
+  m.count("lgg_gpusim_global_slots_total", report.global_slots);
+  m.count("lgg_gpusim_transactions_total", report.transactions);
+  m.count("lgg_gpusim_bytes_total", report.bytes);
+  m.count("lgg_gpusim_shared_slots_total", report.shared_slots);
+  m.count("lgg_gpusim_bank_conflict_steps_total", report.bank_conflict_steps);
+  m.count("lgg_gpusim_partition_serialized_steps_total",
+          report.partition_histogram.serialized_steps());
+  m.count("lgg_gpusim_partition_ideal_steps_total",
+          report.partition_histogram.ideal_steps());
+  m.count_f("lgg_gpusim_kernel_seconds_total", report.kernel_time_s);
+  static constexpr std::array<double, 7> kCampingBounds = {
+      1.0, 1.25, 1.5, 2.0, 3.0, 4.0, 6.0};
+  m.observe("lgg_gpusim_camping_factor", report.camping_factor,
+            kCampingBounds);
+  if (!report.hazards.clean()) record_hazards(session, report.hazards);
+}
+
+void record_transfer(Session* session, const gpusim::TransferReport& report) {
+  if (session == nullptr) return;
+  Metrics& m = session->metrics;
+  m.count("lgg_gpusim_transfers_total");
+  m.count("lgg_gpusim_transfer_bytes_total", report.bytes);
+  m.count_f("lgg_gpusim_transfer_seconds_total", report.time_s);
+  if (report.corrupted) m.count("lgg_gpusim_transfer_corrupted_total");
+}
+
+void record_hazards(Session* session, const gpusim::HazardReport& report) {
+  if (session == nullptr) return;
+  Metrics& m = session->metrics;
+  m.count("lgg_sancheck_hazards_total", report.total);
+  for (std::size_t c = 0; c < gpusim::kNumHazardClasses; ++c) {
+    if (report.by_class[c] == 0) continue;
+    const std::string labels =
+        std::string("class=\"") +
+        gpusim::hazard_class_name(static_cast<gpusim::HazardClass>(c)) + "\"";
+    m.count("lgg_sancheck_hazards_by_class_total", report.by_class[c],
+            labels);
+  }
+}
+
+void record_occupancy(Session* session, double occupancy) {
+  if (session == nullptr) return;
+  static constexpr std::array<double, 7> kBounds = {0.125, 0.25, 0.375, 0.5,
+                                                    0.625, 0.75, 0.875};
+  session->metrics.observe("lgg_gpusim_occupancy", occupancy, kBounds);
+}
+
+}  // namespace lgg::obs

@@ -96,10 +96,22 @@ RunnerReport run_resilient(const graph::Graph& g, const RunnerOptions& opts) {
   LGG_CHECK(tpb >= dev.warp_size && tpb % dev.warp_size == 0,
             "threads_per_block must be a positive multiple of the warp size");
 
+  obs::Scope driver(opts.obs, "resilient/run", "driver");
+  if (driver) {
+    driver.arg("failover", failover_name(opts.failover));
+    driver.arg("max_retries",
+               static_cast<std::uint64_t>(opts.retry.max_retries));
+    driver.arg("verify", opts.verify);
+  }
+  const double preprocessing =
+      2.0 * static_cast<double>(g.num_edges()) * cal::kCpuCyclesPerBfsEdge /
+      (cal::kCpuClockGhz * 1e9);
+
   // --- Algorithm 1: chunk the graph, rebuild each chunk's ALS work ---
   graph::ChunkingOptions copts;
   copts.shared_mem_bits = dev.shared_mem_bits();
   copts.metric = opts.metric;
+  obs::Scope plan_span(opts.obs, "plan/chunking", "plan");
   const graph::ChunkingResult chunking = graph::split_into_chunks(g, copts);
   std::vector<graph::LevelDecomposition> levels;
   levels.reserve(chunking.trees.size());
@@ -113,6 +125,23 @@ RunnerReport run_resilient(const graph::Graph& g, const RunnerOptions& opts) {
     works.push_back(core::build_chunk_work(
         chunking.chunks[ci], levels[chunking.chunks[ci].component]));
     test_sizes[ci] = works.back().tests;
+  }
+  plan_span.model_s(preprocessing);
+  if (plan_span)
+    plan_span.arg("chunks", static_cast<std::uint64_t>(n_chunks));
+  plan_span.close();
+
+  // Always-present record of the retry controller's configuration (so a
+  // fault-free trace still carries the retry phase; actual backoff spans
+  // appear under the chunks that retried).
+  {
+    obs::Scope span(opts.obs, "retry/policy", "retry");
+    if (span) {
+      span.arg("max_retries",
+               static_cast<std::uint64_t>(opts.retry.max_retries));
+      span.arg("base_backoff_s", opts.retry.base_backoff_s);
+      span.arg("max_backoff_s", opts.retry.max_backoff_s);
+    }
   }
 
   // Planned SM per chunk (LPT over test counts): where each chunk WOULD
@@ -129,6 +158,7 @@ RunnerReport run_resilient(const graph::Graph& g, const RunnerOptions& opts) {
   inner.threads_per_block = tpb;
   inner.exec = opts.exec;
   inner.sancheck = opts.sancheck;
+  inner.obs = opts.obs;
 
   RunnerReport report;
   report.exact = true;
@@ -163,6 +193,16 @@ RunnerReport run_resilient(const graph::Graph& g, const RunnerOptions& opts) {
       continue;
     }
 
+    obs::Scope chunk_span(opts.obs,
+                          opts.obs != nullptr
+                              ? "chunk[" + std::to_string(ci) + "]"
+                              : std::string(),
+                          "chunk");
+    if (chunk_span) {
+      chunk_span.arg("tests", work.tests);
+      chunk_span.arg("shared_resident", chunk.fits_shared);
+    }
+
     // The chunk's exact count, computed at most once (verification
     // invariant and CPU failover value share it).
     std::optional<std::uint64_t> oracle;
@@ -180,6 +220,17 @@ RunnerReport run_resilient(const graph::Graph& g, const RunnerOptions& opts) {
         rec.backoff_s += b;
         stats.backoff_s += b;
         ++stats.retries;
+        obs::Scope span(opts.obs, "retry/backoff", "retry");
+        span.model_s(b);
+        if (span) {
+          span.arg("attempt", static_cast<std::uint64_t>(attempt));
+          span.arg("backoff_s", b);
+        }
+        if (opts.obs != nullptr) {
+          opts.obs->metrics.count("lgg_resilience_retries_total");
+          opts.obs->metrics.count_f("lgg_resilience_backoff_seconds_total",
+                                    b);
+        }
       }
       ++rec.attempts;
 
@@ -187,8 +238,13 @@ RunnerReport run_resilient(const graph::Graph& g, const RunnerOptions& opts) {
       gpusim::DeviceMemory mem(dev, opts.faults);
       const gpusim::Simulator sim(dev, opts.faults);
       try {
+        obs::Scope transfer_span(opts.obs, "transfer/h2d", "transfer");
         const gpusim::TransferReport tr =
             sim.transfer(core::chunk_device_bytes(chunk));
+        transfer_span.model_s(tr.time_s);
+        if (transfer_span) transfer_span.arg("bytes", tr.bytes);
+        transfer_span.close();
+        obs::record_transfer(opts.obs, tr);
         report.device.host_to_device.bytes += tr.bytes;
         report.device.host_to_device.time_s += tr.time_s;
         if (tr.corrupted) {
@@ -196,6 +252,10 @@ RunnerReport run_resilient(const graph::Graph& g, const RunnerOptions& opts) {
           ++rec.faults;
           ++stats.by_site[static_cast<std::size_t>(
               gpusim::FaultSite::kTransfer)];
+          if (opts.obs != nullptr)
+            opts.obs->metrics.count(
+                "lgg_resilience_faults_total", 1,
+                "site=\"transfer\"");
         }
 
         const core::ChunkLaunch launch =
@@ -211,6 +271,9 @@ RunnerReport run_resilient(const graph::Graph& g, const RunnerOptions& opts) {
 
         if (opts.verify && count != chunk_oracle()) {
           ++stats.corruptions_detected;
+          if (opts.obs != nullptr)
+            opts.obs->metrics.count(
+                "lgg_resilience_corruptions_detected_total");
           continue;  // discard the attempt; retry with backoff
         }
 
@@ -231,10 +294,19 @@ RunnerReport run_resilient(const graph::Graph& g, const RunnerOptions& opts) {
         ++stats.by_site[static_cast<std::size_t>(f.site())];
         if (f.site() == gpusim::FaultSite::kSmAbort)
           sm_lost[planned.machine_of[ci]] = 1;
+        if (opts.obs != nullptr)
+          opts.obs->metrics.count(
+              "lgg_resilience_faults_total", 1,
+              std::string("site=\"") + gpusim::fault_site_name(f.site()) +
+                  "\"");
       }
     }
 
     if (!accepted) {
+      obs::Scope failover_span(opts.obs,
+                               std::string("failover/") +
+                                   failover_name(opts.failover),
+                               "failover");
       switch (opts.failover) {
         case Failover::kCpu:
           rec.triangles = chunk_oracle();
@@ -259,6 +331,18 @@ RunnerReport run_resilient(const graph::Graph& g, const RunnerOptions& opts) {
           report.exact = false;
           break;
       }
+      if (rec.outcome == ChunkOutcome::kCpuFailover ||
+          rec.outcome == ChunkOutcome::kStreamFailover)
+        failover_span.model_s(rec.time_s);
+      if (opts.obs != nullptr) {
+        if (rec.outcome == ChunkOutcome::kFailed) {
+          opts.obs->metrics.count("lgg_resilience_failed_chunks_total");
+        } else {
+          opts.obs->metrics.count(
+              "lgg_resilience_failovers_total", 1,
+              std::string("kind=\"") + failover_name(opts.failover) + "\"");
+        }
+      }
     }
 
     report.triangles += rec.triangles;
@@ -275,6 +359,15 @@ RunnerReport run_resilient(const graph::Graph& g, const RunnerOptions& opts) {
         << " outcome=" << chunk_outcome_name(rec.outcome)
         << " triangles=" << rec.triangles
         << " certified=" << (rec.certified ? 1 : 0) << "\n";
+    if (chunk_span) {
+      chunk_span.arg("outcome", chunk_outcome_name(rec.outcome));
+      chunk_span.arg("attempts", static_cast<std::uint64_t>(rec.attempts));
+    }
+    if (opts.obs != nullptr)
+      opts.obs->metrics.count(
+          "lgg_resilience_chunks_total", 1,
+          std::string("outcome=\"") + chunk_outcome_name(rec.outcome) +
+              "\"");
     report.chunks.push_back(std::move(rec));
   }
 
@@ -285,6 +378,10 @@ RunnerReport run_resilient(const graph::Graph& g, const RunnerOptions& opts) {
     if (!rec.certified) report.certified = false;
 
   // --- Section VI schedule over the device chunks, repaired for loss ---
+  obs::Scope sched_span(opts.obs,
+                        std::string("schedule/") +
+                            core::scheduler_name(opts.scheduler),
+                        "schedule");
   switch (opts.scheduler) {
     case core::SchedulerKind::kList:
       report.schedule = sched::list_schedule(job_times_ns, dev.sm_count);
@@ -307,11 +404,16 @@ RunnerReport run_resilient(const graph::Graph& g, const RunnerOptions& opts) {
   for (std::size_t ci = 0; ci < report.chunks.size(); ++ci)
     report.chunks[ci].sm = report.schedule.machine_of[ci];
   report.makespan_s = static_cast<double>(report.schedule.makespan) * 1e-9;
+  if (sched_span) {
+    sched_span.arg("machines", static_cast<std::uint64_t>(dev.sm_count));
+    sched_span.arg("lost_sms",
+                   static_cast<std::uint64_t>(report.lost_sms.size()));
+    sched_span.arg("makespan_s", report.makespan_s);
+  }
+  sched_span.close();
 
   // --- end-to-end modelled time ---
-  const double preprocessing =
-      2.0 * static_cast<double>(g.num_edges()) * cal::kCpuCyclesPerBfsEdge /
-      (cal::kCpuClockGhz * 1e9);
+  driver.model_s(cal::kDispatchOverheadS + cal::kDeviceInitOverheadS);
   report.total_time_s = preprocessing + report.device.host_to_device.time_s +
                         cal::kDispatchOverheadS + cal::kDeviceInitOverheadS +
                         report.makespan_s + host_time_s + stats.backoff_s;

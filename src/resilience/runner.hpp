@@ -95,6 +95,12 @@ struct RunnerOptions {
   /// Streaming failover batch size, in tests per batch (bounds the
   /// working set of the kStream path).
   std::uint64_t stream_batch_tests = 1u << 16;
+  /// Optional observability session: chunk/retry/failover/schedule spans
+  /// plus resilience counters (DESIGN.md §12).  Forwarded to the chunk
+  /// kernel launches, which contribute their own launch spans and gpusim
+  /// counters.  Spans and metrics are byte-identical across ExecPolicies,
+  /// like the log.
+  obs::Session* obs = nullptr;
 };
 
 /// Per-chunk accounting.

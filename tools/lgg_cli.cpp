@@ -8,10 +8,20 @@
 //   lgg_cli gpu      <graph.txt> [layout] [device]  simulated GPU run
 //   lgg_cli hybrid   <graph.txt>                    Sections V-VI pipeline
 //   lgg_cli resilient <graph.txt>                   fault-tolerant pipeline
+//   lgg_cli triangle <graph.txt>                    resilient alias: the
+//                                                   full traced pipeline
 //   lgg_cli approx   <graph.txt> <doulion|wedges> <param>
+//
+// The gpu/hybrid/resilient/triangle commands accept the observability
+// flags (DESIGN.md §12): --trace=FILE writes Chrome trace-event JSON
+// (load it in Perfetto / chrome://tracing), --trace-tree[=FILE] the
+// human-readable span tree, --metrics[=FILE] a Prometheus text dump, and
+// --threads N pins the host ExecPolicy — every exported artifact is
+// byte-identical across thread counts.
 //
 // Graph files are SNAP-format edge lists.
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -40,7 +50,14 @@ using namespace lgg;
       "  lgg_cli hybrid  <graph> [--sancheck[=report|strict]]\n"
       "  lgg_cli resilient <graph> [--faults RATE[,SEED]] [--max-retries N]\n"
       "                    [--failover cpu|stream|off] [--no-verify] [--log]\n"
-      "  lgg_cli approx  <graph> doulion <p> | wedges <samples>\n";
+      "  lgg_cli triangle <graph> [resilient options]   (resilient alias)\n"
+      "  lgg_cli approx  <graph> doulion <p> | wedges <samples>\n"
+      "observability (gpu/hybrid/resilient/triangle):\n"
+      "  --trace=FILE        Chrome trace-event JSON (Perfetto-loadable)\n"
+      "  --trace-tree[=FILE] human-readable span tree (stdout if bare)\n"
+      "  --metrics[=FILE]    Prometheus text dump (stdout if bare)\n"
+      "  --threads N         host simulator threads (1 = serial); traces\n"
+      "                      and metrics are byte-identical across N\n";
   std::exit(2);
 }
 
@@ -185,57 +202,6 @@ int cmd_suggest(const std::vector<std::string>& args) {
   return 0;
 }
 
-int cmd_gpu(std::vector<std::string> args) {
-  core::GpuTriangleOptions opts;
-  opts.sancheck = extract_sancheck(args);
-  if (args.empty()) usage("gpu needs a graph file");
-  const graph::Graph g = load(args[0]);
-  const std::string layout = args.size() > 1 ? args[1] : "improved";
-  if (layout == "naive")
-    opts.layout = core::GpuLayout::kNaive;
-  else if (layout == "coalesced")
-    opts.layout = core::GpuLayout::kCoalesced;
-  else if (layout == "improved")
-    opts.layout = core::GpuLayout::kCoalescedAntiCamping;
-  else
-    usage("unknown layout");
-  if (args.size() > 2) opts.device = &gpusim::device_by_name(args[2]);
-  opts.max_simulated_tests = 2000000;
-  const auto r = core::count_triangles_gpu(g, opts);
-  std::cout << r.kernel << "\n";
-  std::cout << "device bytes " << format_bytes(r.device_bytes)
-            << ", transfer " << format_seconds(r.transfer.time_s)
-            << ", end-to-end " << format_seconds(r.total_time_s) << "\n";
-  if (r.exact) std::cout << "triangles (exact functional run): "
-                         << r.triangles << "\n";
-  if (opts.sancheck != sancheck::SancheckMode::kOff) {
-    std::cout << r.kernel.hazards << "\n";
-    // The static half: prove the launch's footprint from the combinadic
-    // formulas alone (no simulation).
-    std::cout << sancheck::lint_footprint(core::als_footprint_spec(g, opts))
-              << "\n";
-  }
-  return 0;
-}
-
-int cmd_hybrid(std::vector<std::string> args) {
-  core::HybridOptions opts;
-  opts.sancheck = extract_sancheck(args);
-  if (args.empty()) usage("hybrid needs a graph file");
-  opts.max_simulated_tests_per_chunk = 100000;
-  const auto r = core::count_triangles_hybrid(load(args[0]), opts);
-  std::cout << "chunks: " << r.shared_chunks << " shared-resident, "
-            << r.global_chunks << " global-resident\n"
-            << "makespan " << format_seconds(r.makespan_s) << " on "
-            << gpusim::tesla_c1060().sm_count << " SMs (Eq. 6 estimate "
-            << format_seconds(r.eq6_time_s) << ")\n"
-            << "end-to-end " << format_seconds(r.total_time_s) << "\n";
-  if (r.exact) std::cout << "triangles: " << r.triangles << "\n";
-  if (opts.sancheck != sancheck::SancheckMode::kOff)
-    std::cout << r.hazards << "\n";
-  return 0;
-}
-
 /// Strip "--flag value" / "--flag=value" from args; true when present.
 bool extract_value(std::vector<std::string>& args, const std::string& flag,
                    std::string& value) {
@@ -266,9 +232,153 @@ bool extract_flag(std::vector<std::string>& args, const std::string& flag) {
   return false;
 }
 
+/// Strip "--flag" (bare) or "--flag=value" from args, never consuming the
+/// next token (for flags whose value is optional).  Returns true when the
+/// flag was present; value is "-" for the bare form.
+bool extract_optional_value(std::vector<std::string>& args,
+                            const std::string& flag, std::string& value) {
+  const std::string joined = flag + "=";
+  for (auto it = args.begin(); it != args.end(); ++it) {
+    if (*it == flag) {
+      value = "-";
+      args.erase(it);
+      return true;
+    }
+    if (it->compare(0, joined.size(), joined) == 0) {
+      value = it->substr(joined.size());
+      args.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+/// The observability flags shared by the gpu/hybrid/resilient/triangle
+/// commands (see usage()).  extract() strips them from args; session()
+/// returns nullptr when no flag armed tracing (drivers then skip all
+/// instrumentation); finish() writes the requested exports after the run.
+struct ObsCli {
+  obs::Session sess;
+  bool enabled = false;
+  std::string trace_path;
+  std::string tree_path;    // "-" = stdout
+  std::string metrics_path; // "-" = stdout
+  bool have_threads = false;
+  gpusim::ExecPolicy exec;
+
+  static ObsCli extract(std::vector<std::string>& args) {
+    ObsCli o;
+    std::string value;
+    if (extract_value(args, "--trace", value)) {
+      o.trace_path = value;
+      o.enabled = true;
+    }
+    if (extract_optional_value(args, "--trace-tree", value)) {
+      o.tree_path = value;
+      o.enabled = true;
+    }
+    if (extract_optional_value(args, "--metrics", value)) {
+      o.metrics_path = value;
+      o.enabled = true;
+    }
+    if (extract_value(args, "--threads", value)) {
+      const auto n =
+          static_cast<std::uint32_t>(std::strtoul(value.c_str(), nullptr, 10));
+      o.exec = n <= 1 ? gpusim::ExecPolicy::serial()
+                      : gpusim::ExecPolicy::parallel(n);
+      o.have_threads = true;
+    }
+    return o;
+  }
+
+  obs::Session* session() { return enabled ? &sess : nullptr; }
+
+  void write_or_die(const std::string& path, const std::string& text) {
+    if (path == "-") {
+      std::cout << text;
+      return;
+    }
+    std::ofstream out(path, std::ios::binary);
+    if (!out) usage(("cannot write " + path).c_str());
+    out << text;
+  }
+
+  void finish() {
+    if (!enabled) return;
+    if (!trace_path.empty())
+      write_or_die(trace_path, obs::chrome_trace_json(sess.tracer));
+    if (!tree_path.empty())
+      write_or_die(tree_path, obs::span_tree_text(sess.tracer));
+    if (!metrics_path.empty())
+      write_or_die(metrics_path, sess.metrics.prometheus_text());
+  }
+};
+
+int cmd_gpu(std::vector<std::string> args) {
+  core::GpuTriangleOptions opts;
+  opts.sancheck = extract_sancheck(args);
+  ObsCli ocli = ObsCli::extract(args);
+  opts.obs = ocli.session();
+  if (ocli.have_threads) opts.exec = ocli.exec;
+  if (args.empty()) usage("gpu needs a graph file");
+  const graph::Graph g = load(args[0]);
+  const std::string layout = args.size() > 1 ? args[1] : "improved";
+  if (layout == "naive")
+    opts.layout = core::GpuLayout::kNaive;
+  else if (layout == "coalesced")
+    opts.layout = core::GpuLayout::kCoalesced;
+  else if (layout == "improved")
+    opts.layout = core::GpuLayout::kCoalescedAntiCamping;
+  else
+    usage("unknown layout");
+  if (args.size() > 2) opts.device = &gpusim::device_by_name(args[2]);
+  opts.max_simulated_tests = 2000000;
+  const auto r = core::count_triangles_gpu(g, opts);
+  std::cout << r.kernel << "\n";
+  std::cout << "device bytes " << format_bytes(r.device_bytes)
+            << ", transfer " << format_seconds(r.transfer.time_s)
+            << ", end-to-end " << format_seconds(r.total_time_s) << "\n";
+  if (r.exact) std::cout << "triangles (exact functional run): "
+                         << r.triangles << "\n";
+  if (opts.sancheck != sancheck::SancheckMode::kOff) {
+    std::cout << r.kernel.hazards << "\n";
+    // The static half: prove the launch's footprint from the combinadic
+    // formulas alone (no simulation).
+    std::cout << sancheck::lint_footprint(core::als_footprint_spec(g, opts))
+              << "\n";
+  }
+  ocli.finish();
+  return 0;
+}
+
+int cmd_hybrid(std::vector<std::string> args) {
+  core::HybridOptions opts;
+  opts.sancheck = extract_sancheck(args);
+  ObsCli ocli = ObsCli::extract(args);
+  opts.obs = ocli.session();
+  if (ocli.have_threads) opts.exec = ocli.exec;
+  if (args.empty()) usage("hybrid needs a graph file");
+  opts.max_simulated_tests_per_chunk = 100000;
+  const auto r = core::count_triangles_hybrid(load(args[0]), opts);
+  std::cout << "chunks: " << r.shared_chunks << " shared-resident, "
+            << r.global_chunks << " global-resident\n"
+            << "makespan " << format_seconds(r.makespan_s) << " on "
+            << gpusim::tesla_c1060().sm_count << " SMs (Eq. 6 estimate "
+            << format_seconds(r.eq6_time_s) << ")\n"
+            << "end-to-end " << format_seconds(r.total_time_s) << "\n";
+  if (r.exact) std::cout << "triangles: " << r.triangles << "\n";
+  if (opts.sancheck != sancheck::SancheckMode::kOff)
+    std::cout << r.hazards << "\n";
+  ocli.finish();
+  return 0;
+}
+
 int cmd_resilient(std::vector<std::string> args) {
   resilience::RunnerOptions opts;
   opts.sancheck = extract_sancheck(args);
+  ObsCli ocli = ObsCli::extract(args);
+  opts.obs = ocli.session();
+  if (ocli.have_threads) opts.exec = ocli.exec;
 
   resilience::FaultInjector injector(0, resilience::FaultRates{});
   std::string value;
@@ -307,6 +417,7 @@ int cmd_resilient(std::vector<std::string> args) {
   const auto report = resilience::run_resilient(load(args[0]), opts);
   std::cout << report;
   if (show_log) std::cout << "\n" << report.log;
+  ocli.finish();
   // Exact-or-fail: an uncertified run (failover off and a chunk exhausted
   // its retries) is a non-zero exit so scripts can rely on the count.
   return report.certified ? 0 : 1;
@@ -345,6 +456,9 @@ int main(int argc, char** argv) {
     if (command == "gpu") return cmd_gpu(args);
     if (command == "hybrid") return cmd_hybrid(args);
     if (command == "resilient") return cmd_resilient(args);
+    // `triangle` is the front door for the traced pipeline: the resilient
+    // runner exercises every span phase (plan, schedule, launch, retry).
+    if (command == "triangle") return cmd_resilient(args);
     if (command == "approx") return cmd_approx(args);
     usage("unknown command");
   } catch (const std::exception& e) {

@@ -11,6 +11,8 @@
 // Exit status: 0 when clean, 1 when any finding (or replay disagreement)
 // occurred, 2 on usage errors.
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -29,7 +31,7 @@ using namespace lgg;
       "                    [--corpus DIR] [--max-vertices N] [--threads T]\n"
       "                    [--max-findings N] [--no-shrink] [--serial-only]\n"
       "                    [--faults RATE[,SEED]] [--max-retries N]\n"
-      "                    [--failover cpu|stream|off]\n"
+      "                    [--failover cpu|stream|off] [--trace-dir DIR]\n"
       "  lgg_fuzz replay <repro.txt> [...]\n"
       "  lgg_fuzz corpus <dir>\n"
       "  lgg_fuzz shrink <repro.txt>\n";
@@ -142,6 +144,9 @@ int cmd_campaign(std::vector<std::string> args) {
   std::string failover;
   if (take_value(args, "--failover", failover))
     opts.fault_failover = parse_failover(failover);
+  std::string trace_dir;
+  obs::Session session;
+  if (take_value(args, "--trace-dir", trace_dir)) opts.obs = &session;
   if (!args.empty()) usage(("unknown campaign option: " + args[0]).c_str());
 
   // Stream everything: log lines and repro paths print as they happen, and
@@ -157,6 +162,21 @@ int cmd_campaign(std::vector<std::string> args) {
   };
 
   const auto result = fuzz::run_campaign(opts);
+  if (opts.obs != nullptr) {
+    // Campaign observability exports: Chrome trace, span tree and
+    // Prometheus dump side by side in the requested directory.
+    std::filesystem::create_directories(trace_dir);
+    const auto write = [&](const char* name, const std::string& text) {
+      const auto path = std::filesystem::path(trace_dir) / name;
+      std::ofstream out(path, std::ios::binary);
+      if (!out) usage(("cannot write " + path.string()).c_str());
+      out << text;
+      std::cout << "trace written: " << path.string() << "\n";
+    };
+    write("campaign-trace.json", obs::chrome_trace_json(session.tracer));
+    write("campaign-spans.txt", obs::span_tree_text(session.tracer));
+    write("campaign-metrics.prom", session.metrics.prometheus_text());
+  }
   return result.findings_count == 0 ? 0 : 1;
 }
 
