@@ -64,6 +64,31 @@ assert json.load(open(sys.argv[1]))['traceEvents']" "$OBS_TMP/t1.json"
 fi
 diff -u ci/golden/single-triangle.spans.txt "$OBS_TMP/t1.spans"
 
+step "ingest: determinism suites"
+# The ingest-labelled tests (ctest -L ingest) pin the DESIGN.md section 13
+# contract: the parallel loader's LoadedGraph is byte-identical to the
+# serial reference at any thread count and chunk size.
+ctest --test-dir build -L ingest --output-on-failure \
+      "${CTEST_ARGS[@]+"${CTEST_ARGS[@]}"}"
+
+step "ingest: serial-vs-parallel digest on a 1M-edge graph (lgg_cli)"
+# The same contract end to end through the CLI, at a size where the
+# parallel pipeline actually fans out (many chunks, skewed buckets).
+build/tools/lgg_cli generate gnm "$OBS_TMP/ingest-1m.txt" 200000 1000000 7 \
+      > /dev/null
+SERIAL_DIGEST="$(build/tools/lgg_cli ingest "$OBS_TMP/ingest-1m.txt" --serial \
+      | awk '$1 == "digest:" { print $2 }')"
+for T in 1 8; do
+  PAR_DIGEST="$(build/tools/lgg_cli ingest "$OBS_TMP/ingest-1m.txt" \
+        --threads "$T" | awk '$1 == "digest:" { print $2 }')"
+  if [ "$SERIAL_DIGEST" != "$PAR_DIGEST" ]; then
+    echo "ingest digest mismatch at --threads $T:" \
+         "serial=$SERIAL_DIGEST parallel=$PAR_DIGEST" >&2
+    exit 1
+  fi
+done
+echo "digest $SERIAL_DIGEST identical for --serial, --threads 1, --threads 8"
+
 step "asan: configure + build (LGG_SANITIZE=address, LGG_WERROR=ON)"
 cmake --preset asan
 cmake --build --preset asan -j "$JOBS"

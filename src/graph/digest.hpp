@@ -1,0 +1,38 @@
+// Content digests for graphs and loader results.
+//
+// The parallel ingest pipeline (src/ingest/) promises output byte-identical
+// to the serial SNAP loader at any thread count.  A digest turns that
+// promise into something a test or CI stage can compare with one string:
+// it folds every observable field — CSR arrays, original-id mapping,
+// comments, declared node count — through FNV-1a.  The same value is the
+// natural cache key for the planned serving layer (ROADMAP item 1: result
+// caches keyed by graph digest).
+//
+// The digest is a stable function of the *content*, not of the machine:
+// all integers are folded little-endian at fixed widths, so the value is
+// reproducible across runs, thread counts and platforms.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.hpp"
+#include "graph/io.hpp"
+
+namespace lgg::graph {
+
+/// FNV-1a over the CSR arrays (n, offsets, adjacency).  Two graphs digest
+/// equal iff they are identical up to this representation — which is
+/// canonical for a given vertex labelling.
+[[nodiscard]] std::uint64_t graph_digest(const Graph& g);
+
+/// Digest of the full loader result: the graph plus original-id mapping,
+/// comment lines and declared node count.  This is the value the ingest
+/// determinism contract pins across thread counts.
+[[nodiscard]] std::uint64_t loaded_graph_digest(const LoadedGraph& loaded);
+
+/// Fixed-width lowercase hex rendering (16 chars) for CLI output and CI
+/// string compares.
+[[nodiscard]] std::string digest_hex(std::uint64_t digest);
+
+}  // namespace lgg::graph

@@ -45,6 +45,26 @@ Graph Graph::from_edges(std::size_t n, std::span<const Edge> edges) {
   return g;
 }
 
+Graph Graph::from_csr(std::size_t n, std::vector<std::uint64_t> offsets,
+                      std::vector<Vertex> adjacency) {
+  LGG_CHECK(offsets.size() == n + 1,
+            "from_csr: offsets has " << offsets.size() << " entries for n="
+                                     << n);
+  LGG_CHECK(offsets.front() == 0, "from_csr: offsets must start at 0");
+  LGG_CHECK(offsets.back() == adjacency.size(),
+            "from_csr: offsets end at " << offsets.back() << " but adjacency has "
+                                        << adjacency.size() << " entries");
+  LGG_CHECK(adjacency.size() % 2 == 0,
+            "from_csr: undirected adjacency must have an even entry count");
+  for (std::size_t v = 0; v < n; ++v)
+    LGG_CHECK(offsets[v] <= offsets[v + 1],
+              "from_csr: offsets not monotone at vertex " << v);
+  Graph g(n);
+  g.offsets_ = std::move(offsets);
+  g.adjacency_ = std::move(adjacency);
+  return g;
+}
+
 bool Graph::has_edge(Vertex u, Vertex v) const noexcept {
   if (u >= n_ || v >= n_) return false;
   // Search the shorter list.
@@ -85,8 +105,14 @@ InducedSubgraph Graph::induced_subgraph(std::span<const Vertex> vertices) const 
 }
 
 std::size_t Graph::max_degree() const noexcept {
+  // Single pass over offsets_: each degree reuses the previous iteration's
+  // upper offset instead of reloading both ends per vertex.
   std::size_t best = 0;
-  for (Vertex v = 0; v < n_; ++v) best = std::max(best, degree(v));
+  std::uint64_t prev = offsets_[0];
+  for (std::size_t v = 1; v <= n_; ++v) {
+    best = std::max(best, static_cast<std::size_t>(offsets_[v] - prev));
+    prev = offsets_[v];
+  }
   return best;
 }
 

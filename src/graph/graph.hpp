@@ -36,6 +36,18 @@ class Graph {
     return from_edges(n, std::span<const Edge>(edges));
   }
 
+  /// Adopts prebuilt CSR arrays (the parallel ingest builder produces them
+  /// without going through an Edge list).  `offsets` must have n+1
+  /// monotone entries starting at 0 and ending at adjacency.size(), which
+  /// must be even; each vertex's adjacency slice must be sorted,
+  /// self-loop-free and duplicate-free with every (u,v) mirrored as (v,u)
+  /// — i.e. exactly what from_edges would have built.  Sizes and
+  /// monotonicity are validated; the per-vertex invariants are the
+  /// caller's contract (they are O(m) to re-check; the ingest determinism
+  /// tests pin them by digest against from_edges).
+  static Graph from_csr(std::size_t n, std::vector<std::uint64_t> offsets,
+                        std::vector<Vertex> adjacency);
+
   [[nodiscard]] std::size_t num_vertices() const noexcept { return n_; }
   /// Number of undirected edges.
   [[nodiscard]] std::size_t num_edges() const noexcept {

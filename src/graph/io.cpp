@@ -36,8 +36,17 @@ LoadedGraph read_snap_edge_list(std::istream& in,
         text.pop_back();
       std::uint64_t nodes = 0;
       if (std::istringstream hs(text);
-          (hs >> line) && line == "Nodes:" && (hs >> nodes))
+          (hs >> line) && line == "Nodes:" && (hs >> nodes)) {
         loaded.declared_nodes = nodes;
+        // Headers precede the edge lines in real SNAP files, so the
+        // declared count is a free sizing hint for the id-compaction
+        // tables (a measurable allocation win on big files).  Capped so a
+        // corrupt header cannot force an absurd allocation.
+        if (const auto hint = std::min<std::uint64_t>(nodes, 1u << 28)) {
+          compact.reserve(hint);
+          loaded.original_ids.reserve(hint);
+        }
+      }
       loaded.comments.push_back(std::move(text));
       continue;
     }
@@ -60,10 +69,11 @@ LoadedGraph read_snap_edge_list(std::istream& in,
   return loaded;
 }
 
-LoadedGraph read_snap_edge_list_file(const std::string& path) {
+LoadedGraph read_snap_edge_list_file(const std::string& path,
+                                     const SnapReadOptions& opts) {
   std::ifstream in(path);
   LGG_CHECK(in.good(), "cannot open graph file: " << path);
-  return read_snap_edge_list(in);
+  return read_snap_edge_list(in, opts);
 }
 
 void write_snap_edge_list(std::ostream& out, const Graph& g,

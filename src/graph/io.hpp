@@ -41,7 +41,8 @@ LoadedGraph read_snap_edge_list(std::istream& in,
 
 /// Parse a SNAP edge-list file.  Throws lgg::Error if the file cannot be
 /// opened or is malformed.
-LoadedGraph read_snap_edge_list_file(const std::string& path);
+LoadedGraph read_snap_edge_list_file(const std::string& path,
+                                     const SnapReadOptions& opts = {});
 
 /// Write a graph as a SNAP edge list ("u v" per undirected edge, u < v),
 /// with a comment header.

@@ -10,6 +10,9 @@
 //   gpusim/  — the simulated CUDA substrate: devices (Table I),
 //              coalescing (Table III), partition camping, bank conflicts,
 //              warp executor and timing model
+//   ingest/  — ThreadPool-parallel SNAP ingest: chunked parsing, parallel
+//              CSR build, degree-ordered orientation (DODG); output
+//              byte-identical to the serial loader at any thread count
 //   sancheck/— compute-sanitizer-style hazard analysis of simulated
 //              launches (tape analyzer + static footprint lint)
 //   core/    — Algorithm 2 triangle counting (CPU + simulated GPU with the
@@ -47,6 +50,7 @@
 #include "graph/bfs.hpp"             // IWYU pragma: export
 #include "graph/bit_matrix.hpp"      // IWYU pragma: export
 #include "graph/chunking.hpp"        // IWYU pragma: export
+#include "graph/digest.hpp"          // IWYU pragma: export
 #include "graph/formats.hpp"         // IWYU pragma: export
 #include "graph/generators.hpp"      // IWYU pragma: export
 #include "graph/graph.hpp"           // IWYU pragma: export
@@ -62,6 +66,8 @@
 #include "gpusim/occupancy.hpp"      // IWYU pragma: export
 #include "gpusim/partition.hpp"      // IWYU pragma: export
 #include "gpusim/report.hpp"         // IWYU pragma: export
+#include "ingest/ingest.hpp"         // IWYU pragma: export
+#include "ingest/orient.hpp"         // IWYU pragma: export
 #include "obs/metrics.hpp"           // IWYU pragma: export
 #include "obs/obs.hpp"               // IWYU pragma: export
 #include "obs/trace.hpp"             // IWYU pragma: export

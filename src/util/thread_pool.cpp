@@ -107,4 +107,69 @@ void ThreadPool::parallel_for(
   if (first_error) std::rethrow_exception(first_error);
 }
 
+void ThreadPool::parallel_for_dynamic(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn,
+    std::size_t grain, std::size_t chunks_per_worker) {
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+  if (chunks_per_worker == 0) chunks_per_worker = 1;
+  const std::size_t executors = workers_.size() + 1;
+  const std::size_t max_chunks = std::max<std::size_t>(1, n / grain);
+  const std::size_t chunks = std::min(executors * chunks_per_worker, max_chunks);
+  if (chunks <= 1 || workers_.empty()) {
+    fn(0, n);
+    return;
+  }
+
+  // Balanced fixed boundaries: chunk c covers [c*base + min(c, extra), +len).
+  const std::size_t base = n / chunks;
+  const std::size_t extra = n % chunks;
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto run_chunks = [&] {
+    for (;;) {
+      const std::size_t c = next.fetch_add(1);
+      if (c >= chunks) return;
+      const std::size_t begin = c * base + std::min(c, extra);
+      const std::size_t end = begin + base + (c < extra ? 1 : 0);
+      try {
+        fn(begin, end);
+      } catch (...) {
+        const std::lock_guard lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  // One claiming task per worker (never more tasks than chunks); the
+  // calling thread claims chunks too, so every chunk is joined before the
+  // scope exits even if the queue is busy.
+  const std::size_t tasks = std::min(workers_.size(), chunks - 1);
+  std::atomic<std::size_t> remaining{tasks};
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  {
+    const std::lock_guard lock(mutex_);
+    for (std::size_t t = 0; t < tasks; ++t) {
+      tasks_.emplace([&] {
+        run_chunks();
+        if (remaining.fetch_sub(1) == 1) {
+          const std::lock_guard done_lock(done_mutex);
+          done_cv.notify_all();
+        }
+      });
+    }
+  }
+  cv_.notify_all();
+
+  run_chunks();
+
+  std::unique_lock lock(done_mutex);
+  done_cv.wait(lock, [&] { return remaining.load() == 0; });
+  if (first_error) std::rethrow_exception(first_error);
+}
+
 }  // namespace lgg

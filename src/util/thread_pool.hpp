@@ -47,6 +47,18 @@ class ThreadPool {
                     const std::function<void(std::size_t, std::size_t)>& fn,
                     std::size_t grain = 1);
 
+  /// Like parallel_for, but splits [0, n) into up to `chunks_per_worker`
+  /// chunks per executor and lets workers claim them from a shared atomic
+  /// cursor.  Use when per-element cost is badly skewed (per-vertex
+  /// adjacency sorts on power-law graphs): static chunking strands the
+  /// heavy chunk on one worker, dynamic claiming rebalances.  The chunk
+  /// boundaries depend only on (n, grain, chunks_per_worker, pool size),
+  /// never on claim order, so callers writing to disjoint ranges stay
+  /// deterministic.  Exception semantics match parallel_for.
+  void parallel_for_dynamic(
+      std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn,
+      std::size_t grain = 1, std::size_t chunks_per_worker = 8);
+
  private:
   void worker_loop();
 

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
 
 #include "graph/generators.hpp"
@@ -69,6 +70,27 @@ TEST(SnapIo, FileRoundTrip) {
   const LoadedGraph loaded = read_snap_edge_list_file(path);
   EXPECT_EQ(loaded.graph.num_vertices(), 5u);
   EXPECT_EQ(loaded.graph.num_edges(), 10u);
+}
+
+// Regression: the file overload used to drop its options argument and
+// always parse with the defaults, so pad_to_declared_nodes silently did
+// nothing for files (while working for streams).
+TEST(SnapIo, FileOverloadHonoursReadOptions) {
+  const std::string path = ::testing::TempDir() + "/lgg_io_test_pad.txt";
+  {
+    std::ofstream out(path);
+    out << "# Nodes: 9 Edges: 2\n0 1\n1 2\n";
+  }
+  const LoadedGraph plain = read_snap_edge_list_file(path);
+  EXPECT_EQ(plain.graph.num_vertices(), 3u);
+
+  SnapReadOptions opts;
+  opts.pad_to_declared_nodes = true;
+  const LoadedGraph padded = read_snap_edge_list_file(path, opts);
+  ASSERT_TRUE(padded.declared_nodes.has_value());
+  EXPECT_EQ(*padded.declared_nodes, 9u);
+  EXPECT_EQ(padded.graph.num_vertices(), 9u);
+  EXPECT_EQ(padded.graph.num_edges(), 2u);
 }
 
 }  // namespace

@@ -263,6 +263,54 @@ TEST(ThreadPool, GrainBoundsChunkSize) {
   EXPECT_LE(sizes.size(), 2u);  // 100 / 40 = 2 chunks max
 }
 
+TEST(ThreadPoolDynamic, CoversWholeRangeOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for_dynamic(1000, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolDynamic, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for_dynamic(0, [&](std::size_t, std::size_t) {
+    called = true;
+  });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolDynamic, GrainBoundsChunkCount) {
+  ThreadPool pool(8);
+  std::mutex mu;
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  pool.parallel_for_dynamic(
+      100,
+      [&](std::size_t lo, std::size_t hi) {
+        const std::lock_guard lock(mu);
+        chunks.emplace_back(lo, hi);
+      },
+      40);
+  std::size_t covered = 0;
+  for (const auto& [lo, hi] : chunks) {
+    EXPECT_LT(lo, hi);
+    covered += hi - lo;
+  }
+  EXPECT_EQ(covered, 100u);
+  EXPECT_LE(chunks.size(), 2u);  // 100 / 40 = at most 2 chunks
+}
+
+TEST(ThreadPoolDynamic, PropagatesException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for_dynamic(
+                   100,
+                   [](std::size_t lo, std::size_t) {
+                     if (lo != 0) throw std::runtime_error("dynamic boom");
+                   }),
+               std::runtime_error);
+}
+
 TEST(ThreadPool, GrainLargerThanRangeRunsInline) {
   ThreadPool pool(8);
   std::mutex mu;

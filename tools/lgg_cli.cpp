@@ -5,6 +5,7 @@
 //   lgg_cli count    <graph.txt> [algo] [budget]    triangle counting
 //   lgg_cli list     <graph.txt> [limit]            triangle listing
 //   lgg_cli suggest  <graph.txt> <vertex> [k]       friend suggestions
+//   lgg_cli ingest   <graph.txt>                    parallel loader stats
 //   lgg_cli gpu      <graph.txt> [layout] [device]  simulated GPU run
 //   lgg_cli hybrid   <graph.txt>                    Sections V-VI pipeline
 //   lgg_cli resilient <graph.txt>                   fault-tolerant pipeline
@@ -42,9 +43,13 @@ using namespace lgg;
       "  lgg_cli generate rmat    <out> <scale> <edge_factor> [seed]\n"
       "  lgg_cli generate layered <out> <n> <width> <p_in> <p_between> [seed]\n"
       "  lgg_cli stats   <graph>\n"
-      "  lgg_cli count   <graph> [forward|als|bitmatrix|external] [budget_edges]\n"
+      "  lgg_cli count   <graph> [forward|als|bitmatrix|external|dodg] "
+      "[budget_edges] [--orient]\n"
       "  lgg_cli list    <graph> [limit]\n"
       "  lgg_cli suggest <graph> <vertex> [k]\n"
+      "  lgg_cli ingest  <graph> [--serial] [--orient] [--pad]\n"
+      "                  [--chunk-bytes N] [--threads N]   parallel loader\n"
+      "                  stats + `digest:` line (byte-identical across N)\n"
       "  lgg_cli gpu     <graph> [naive|coalesced|improved] "
       "[C1060|C2050|C2070] [--sancheck[=report|strict]]\n"
       "  lgg_cli hybrid  <graph> [--sancheck[=report|strict]]\n"
@@ -57,12 +62,77 @@ using namespace lgg;
       "  --trace-tree[=FILE] human-readable span tree (stdout if bare)\n"
       "  --metrics[=FILE]    Prometheus text dump (stdout if bare)\n"
       "  --threads N         host simulator threads (1 = serial); traces\n"
-      "                      and metrics are byte-identical across N\n";
+      "                      and metrics are byte-identical across N\n"
+      "every command that reads a graph also accepts --threads N for the\n"
+      "parallel ingest loader (identical result at any N)\n";
   std::exit(2);
 }
 
-graph::Graph load(const std::string& path) {
-  return graph::read_snap_edge_list_file(path).graph;
+/// Strip "--flag value" / "--flag=value" from args; true when present.
+bool extract_value(std::vector<std::string>& args, const std::string& flag,
+                   std::string& value) {
+  const std::string joined = flag + "=";
+  for (auto it = args.begin(); it != args.end(); ++it) {
+    if (*it == flag) {
+      if (it + 1 == args.end()) usage(("missing value for " + flag).c_str());
+      value = *(it + 1);
+      args.erase(it, it + 2);
+      return true;
+    }
+    if (it->compare(0, joined.size(), joined) == 0) {
+      value = it->substr(joined.size());
+      args.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool extract_flag(std::vector<std::string>& args, const std::string& flag) {
+  for (auto it = args.begin(); it != args.end(); ++it) {
+    if (*it == flag) {
+      args.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Strip "--flag" (bare) or "--flag=value" from args, never consuming the
+/// next token (for flags whose value is optional).  Returns true when the
+/// flag was present; value is "-" for the bare form.
+bool extract_optional_value(std::vector<std::string>& args,
+                            const std::string& flag, std::string& value) {
+  const std::string joined = flag + "=";
+  for (auto it = args.begin(); it != args.end(); ++it) {
+    if (*it == flag) {
+      value = "-";
+      args.erase(it);
+      return true;
+    }
+    if (it->compare(0, joined.size(), joined) == 0) {
+      value = it->substr(joined.size());
+      args.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Strip a "--threads N" flag (for commands where it only drives the
+/// ingest loader); 0 = default (shared pool).
+std::size_t extract_threads(std::vector<std::string>& args) {
+  std::string value;
+  if (!extract_value(args, "--threads", value)) return 0;
+  return static_cast<std::size_t>(std::strtoull(value.c_str(), nullptr, 10));
+}
+
+/// Every command loads through the parallel ingest pipeline — its output
+/// is byte-identical to the serial loader at any thread count.
+graph::Graph load(const std::string& path, std::size_t threads = 0) {
+  ingest::IngestOptions opts;
+  opts.threads = threads;
+  return ingest::load_snap_file(path, opts).loaded.graph;
 }
 
 std::uint64_t arg_u64(const std::vector<std::string>& args, std::size_t i,
@@ -125,9 +195,10 @@ int cmd_generate(const std::vector<std::string>& args) {
   return 0;
 }
 
-int cmd_stats(const std::vector<std::string>& args) {
+int cmd_stats(std::vector<std::string> args) {
+  const std::size_t threads = extract_threads(args);
   if (args.empty()) usage("stats needs a graph file");
-  const graph::Graph g = load(args[0]);
+  const graph::Graph g = load(args[0], threads);
   const auto deg = graph::degree_stats(g);
   const auto cores = graph::core_decomposition(g);
   const auto comps = graph::connected_components(g);
@@ -149,18 +220,27 @@ int cmd_stats(const std::vector<std::string>& args) {
   return 0;
 }
 
-int cmd_count(const std::vector<std::string>& args) {
+int cmd_count(std::vector<std::string> args) {
+  const std::size_t threads = extract_threads(args);
+  const bool orient = extract_flag(args, "--orient");
   if (args.empty()) usage("count needs a graph file");
-  const std::string algo = args.size() > 1 ? args[1] : "forward";
+  const std::string algo =
+      orient ? "dodg" : (args.size() > 1 ? args[1] : "forward");
   Stopwatch wall;
   std::uint64_t triangles = 0;
-  if (algo == "forward") {
-    triangles = core::count_triangles_forward(load(args[0]));
+  if (algo == "dodg") {
+    // Degree-ordered orientation: half the adjacency, sqrt(2m)-bounded
+    // out-degrees (DESIGN.md §13).
+    ThreadPool* pool = threads == 1 ? nullptr : &ThreadPool::shared();
+    const auto og = ingest::orient_by_degree(load(args[0], threads), pool);
+    triangles = ingest::count_triangles_oriented(og, pool);
+  } else if (algo == "forward") {
+    triangles = core::count_triangles_forward(load(args[0], threads));
   } else if (algo == "als") {
-    triangles = core::count_triangles_cpu_als(load(args[0])).triangles;
+    triangles = core::count_triangles_cpu_als(load(args[0], threads)).triangles;
   } else if (algo == "bitmatrix") {
     triangles = core::count_triangles_bitmatrix(
-        graph::BitMatrix::from_graph(load(args[0])));
+        graph::BitMatrix::from_graph(load(args[0], threads)));
   } else if (algo == "external") {
     const stream::EdgeStream es(args[0]);
     const auto r =
@@ -176,9 +256,10 @@ int cmd_count(const std::vector<std::string>& args) {
   return 0;
 }
 
-int cmd_list(const std::vector<std::string>& args) {
+int cmd_list(std::vector<std::string> args) {
+  const std::size_t threads = extract_threads(args);
   if (args.empty()) usage("list needs a graph file");
-  const graph::Graph g = load(args[0]);
+  const graph::Graph g = load(args[0], threads);
   const std::uint64_t limit = arg_u64(args, 1, 20);
   const auto triangles = core::list_triangles(g);
   std::cout << triangles.size() << " triangles";
@@ -191,66 +272,16 @@ int cmd_list(const std::vector<std::string>& args) {
   return 0;
 }
 
-int cmd_suggest(const std::vector<std::string>& args) {
+int cmd_suggest(std::vector<std::string> args) {
+  const std::size_t threads = extract_threads(args);
   if (args.size() < 2) usage("suggest needs a graph file and a vertex");
-  const graph::Graph g = load(args[0]);
+  const graph::Graph g = load(args[0], threads);
   const auto v = static_cast<graph::Vertex>(arg_u64(args, 1, 0));
   for (const auto& s :
        core::suggest_friends(g, v, arg_u64(args, 2, 10)))
     std::cout << "  " << s.candidate << "  (" << s.mutual_friends
               << " mutual)\n";
   return 0;
-}
-
-/// Strip "--flag value" / "--flag=value" from args; true when present.
-bool extract_value(std::vector<std::string>& args, const std::string& flag,
-                   std::string& value) {
-  const std::string joined = flag + "=";
-  for (auto it = args.begin(); it != args.end(); ++it) {
-    if (*it == flag) {
-      if (it + 1 == args.end()) usage(("missing value for " + flag).c_str());
-      value = *(it + 1);
-      args.erase(it, it + 2);
-      return true;
-    }
-    if (it->compare(0, joined.size(), joined) == 0) {
-      value = it->substr(joined.size());
-      args.erase(it);
-      return true;
-    }
-  }
-  return false;
-}
-
-bool extract_flag(std::vector<std::string>& args, const std::string& flag) {
-  for (auto it = args.begin(); it != args.end(); ++it) {
-    if (*it == flag) {
-      args.erase(it);
-      return true;
-    }
-  }
-  return false;
-}
-
-/// Strip "--flag" (bare) or "--flag=value" from args, never consuming the
-/// next token (for flags whose value is optional).  Returns true when the
-/// flag was present; value is "-" for the bare form.
-bool extract_optional_value(std::vector<std::string>& args,
-                            const std::string& flag, std::string& value) {
-  const std::string joined = flag + "=";
-  for (auto it = args.begin(); it != args.end(); ++it) {
-    if (*it == flag) {
-      value = "-";
-      args.erase(it);
-      return true;
-    }
-    if (it->compare(0, joined.size(), joined) == 0) {
-      value = it->substr(joined.size());
-      args.erase(it);
-      return true;
-    }
-  }
-  return false;
 }
 
 /// The observability flags shared by the gpu/hybrid/resilient/triangle
@@ -264,6 +295,7 @@ struct ObsCli {
   std::string tree_path;    // "-" = stdout
   std::string metrics_path; // "-" = stdout
   bool have_threads = false;
+  std::size_t threads = 0;  // also drives the ingest loader
   gpusim::ExecPolicy exec;
 
   static ObsCli extract(std::vector<std::string>& args) {
@@ -287,6 +319,7 @@ struct ObsCli {
       o.exec = n <= 1 ? gpusim::ExecPolicy::serial()
                       : gpusim::ExecPolicy::parallel(n);
       o.have_threads = true;
+      o.threads = n;
     }
     return o;
   }
@@ -321,7 +354,7 @@ int cmd_gpu(std::vector<std::string> args) {
   opts.obs = ocli.session();
   if (ocli.have_threads) opts.exec = ocli.exec;
   if (args.empty()) usage("gpu needs a graph file");
-  const graph::Graph g = load(args[0]);
+  const graph::Graph g = load(args[0], ocli.threads);
   const std::string layout = args.size() > 1 ? args[1] : "improved";
   if (layout == "naive")
     opts.layout = core::GpuLayout::kNaive;
@@ -359,7 +392,7 @@ int cmd_hybrid(std::vector<std::string> args) {
   if (ocli.have_threads) opts.exec = ocli.exec;
   if (args.empty()) usage("hybrid needs a graph file");
   opts.max_simulated_tests_per_chunk = 100000;
-  const auto r = core::count_triangles_hybrid(load(args[0]), opts);
+  const auto r = core::count_triangles_hybrid(load(args[0], ocli.threads), opts);
   std::cout << "chunks: " << r.shared_chunks << " shared-resident, "
             << r.global_chunks << " global-resident\n"
             << "makespan " << format_seconds(r.makespan_s) << " on "
@@ -414,13 +447,89 @@ int cmd_resilient(std::vector<std::string> args) {
   if (args.size() > 1)
     usage(("unknown resilient option: " + args[1]).c_str());
 
-  const auto report = resilience::run_resilient(load(args[0]), opts);
+  const auto report =
+      resilience::run_resilient(load(args[0], ocli.threads), opts);
   std::cout << report;
   if (show_log) std::cout << "\n" << report.log;
   ocli.finish();
   // Exact-or-fail: an uncertified run (failover off and a chunk exhausted
   // its retries) is a non-zero exit so scripts can rely on the count.
   return report.certified ? 0 : 1;
+}
+
+/// `lgg_cli ingest` — load a SNAP file through the parallel pipeline (or
+/// the serial reference loader with --serial) and report content counters,
+/// phase timings and the LoadedGraph digest.  The `digest:` line is the
+/// determinism contract made greppable: ci/check.sh compares it between
+/// --serial and --threads 8 runs.
+int cmd_ingest(std::vector<std::string> args) {
+  ObsCli ocli = ObsCli::extract(args);
+  const bool serial = extract_flag(args, "--serial");
+  const bool orient = extract_flag(args, "--orient");
+  const bool pad = extract_flag(args, "--pad");
+  std::string value;
+  std::size_t chunk_bytes = 0;
+  if (extract_value(args, "--chunk-bytes", value))
+    chunk_bytes = std::strtoull(value.c_str(), nullptr, 10);
+  if (args.empty()) usage("ingest needs a graph file");
+
+  graph::LoadedGraph loaded;
+  ingest::IngestStats stats;
+  Stopwatch wall;
+  if (serial) {
+    graph::SnapReadOptions sopts;
+    sopts.pad_to_declared_nodes = pad;
+    loaded = graph::read_snap_edge_list_file(args[0], sopts);
+    stats.total_s = wall.elapsed_s();
+    stats.threads = 1;
+  } else {
+    ingest::IngestOptions opts;
+    opts.threads = ocli.threads;
+    opts.pad_to_declared_nodes = pad;
+    if (chunk_bytes > 0) opts.chunk_bytes = chunk_bytes;
+    opts.obs = ocli.session();
+    auto r = ingest::load_snap_file(args[0], opts);
+    loaded = std::move(r.loaded);
+    stats = r.stats;
+  }
+  const graph::Graph& g = loaded.graph;
+
+  std::cout << "loader: " << (serial ? "serial" : "parallel") << " (threads "
+            << stats.threads;
+  if (!serial) std::cout << ", chunks " << stats.chunks;
+  std::cout << ")\n";
+  std::cout << "vertices: " << g.num_vertices() << "\n"
+            << "edges: " << g.num_edges() << "\n"
+            << "digest: " << graph::digest_hex(graph::loaded_graph_digest(loaded))
+            << "\n";
+  if (!serial) {
+    std::cout << "bytes: " << format_bytes(stats.bytes) << ", lines "
+              << stats.lines << " (" << stats.edge_lines << " edges, "
+              << stats.comment_lines << " comments)\n"
+              << "dropped: " << stats.duplicate_edges << " duplicates, "
+              << stats.self_loops << " self-loops\n"
+              << "phases: read " << format_seconds(stats.read_s) << ", parse "
+              << format_seconds(stats.parse_s) << ", compact "
+              << format_seconds(stats.compact_s) << ", build "
+              << format_seconds(stats.build_s) << "\n";
+  }
+  const double total = stats.total_s > 0 ? stats.total_s : wall.elapsed_s();
+  std::cout << "total " << format_seconds(total) << " ("
+            << static_cast<std::uint64_t>(
+                   total > 0 ? static_cast<double>(g.num_edges()) / total : 0)
+            << " edges/sec)\n";
+
+  if (orient) {
+    ThreadPool* pool =
+        (serial || ocli.threads == 1) ? nullptr : &ThreadPool::shared();
+    const auto og = ingest::orient_by_degree(g, pool);
+    std::cout << "oriented: " << og.num_arcs() << " arcs, max out-degree "
+              << og.max_out_degree << "\n"
+              << "triangles (dodg): "
+              << ingest::count_triangles_oriented(og, pool) << "\n";
+  }
+  ocli.finish();
+  return 0;
 }
 
 int cmd_approx(const std::vector<std::string>& args) {
@@ -453,6 +562,7 @@ int main(int argc, char** argv) {
     if (command == "count") return cmd_count(args);
     if (command == "list") return cmd_list(args);
     if (command == "suggest") return cmd_suggest(args);
+    if (command == "ingest") return cmd_ingest(args);
     if (command == "gpu") return cmd_gpu(args);
     if (command == "hybrid") return cmd_hybrid(args);
     if (command == "resilient") return cmd_resilient(args);
