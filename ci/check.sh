@@ -2,8 +2,9 @@
 # One-command local CI: configure/build/test the default preset, a
 # time-boxed deterministic fuzz smoke campaign, the address+UB-sanitized
 # preset, the thread-sanitized preset (concurrency label only -- TSan is
-# too slow for the full suite), and finally the clang-tidy lint target
-# (a no-op notice when clang-tidy is absent).
+# too slow for the full suite), and finally the lint stage: lgg_lint's
+# determinism source lint + whole-pipeline plan verification (always), and
+# clang-tidy on top when installed.
 #
 # Usage: ci/check.sh [extra ctest args, e.g. -j8]
 set -euo pipefail
@@ -103,7 +104,24 @@ cmake --build --preset tsan -j "$JOBS"
 step "tsan: concurrency-labelled tests"
 ctest --preset tsan-concurrency "${CTEST_ARGS[@]+"${CTEST_ARGS[@]}"}"
 
-step "lint (clang-tidy, skipped when unavailable)"
+step "lint: determinism + plan-safety suites (ctest -L lint)"
+# The lint-labelled tests pin the DESIGN.md section 14 contract: every
+# rule catches its seeded fixture at the exact line, the allowlist stays
+# non-stale, and the footprint/schedule-repair proofs hold.
+ctest --test-dir build -L lint --output-on-failure \
+      "${CTEST_ARGS[@]+"${CTEST_ARGS[@]}"}"
+
+step "lint: rule catalog matches the reviewed golden"
+build/tools/lgg_lint --list-rules > "$OBS_TMP/lint-rules.txt"
+diff -u ci/golden/lint-rules.txt "$OBS_TMP/lint-rules.txt"
+
+step "lint: source tree clean through ci/lint_allow.txt"
+build/tools/lgg_lint --allowlist=ci/lint_allow.txt src tools bench
+
+step "lint: whole-pipeline plan verification (loss-k=2)"
+build/tools/lgg_lint --verify-plans --loss-k=2
+
+step "lint: lgg_lint + clang-tidy via the CMake target"
 cmake --build build --target lint
 
 step "all checks passed"

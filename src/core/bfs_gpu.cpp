@@ -146,4 +146,43 @@ GpuBfsResult bfs_gpu(const Graph& g, Vertex source,
   return result;
 }
 
+sancheck::FootprintSpec bfs_footprint_spec(const Graph& g,
+                                           const GpuBfsOptions& opts) {
+  const gpusim::DeviceSpec& dev =
+      opts.device ? *opts.device : gpusim::tesla_c1060();
+  const std::uint32_t tpb = opts.threads_per_block;
+  LGG_CHECK(tpb >= dev.warp_size && tpb % dev.warp_size == 0,
+            "threads_per_block must be a positive multiple of the warp size");
+
+  const std::uint64_t n = g.num_vertices();
+  gpusim::DeviceMemory mem(dev);  // scratch: only the addresses matter
+  const gpusim::Buffer levels_buf =
+      mem.alloc(std::max<std::uint64_t>(n, 1) * 4);
+  const gpusim::Buffer offsets_buf =
+      mem.alloc(std::max<std::uint64_t>((n + 1) * 8, 8));
+  const gpusim::Buffer adj_buf =
+      mem.alloc(std::max<std::uint64_t>(g.raw_adjacency().size() * 4, 4));
+
+  sancheck::FootprintSpec spec;
+  spec.name = "gpu/bfs";
+  spec.total_tests = n;  // one item per vertex, every level
+  spec.warp_size = dev.warp_size;
+  spec.warp_interleaved = false;
+  spec.division = sancheck::WorkDivision::kThreadPerItem;
+  const auto launch_blocks =
+      std::max<std::uint32_t>(static_cast<std::uint32_t>((n + tpb - 1) / tpb), 1);
+  spec.workers = static_cast<std::uint64_t>(launch_blocks) * tpb;
+  spec.blocks.push_back({levels_buf.base, levels_buf.bytes, 4});
+  spec.blocks.push_back({offsets_buf.base, offsets_buf.bytes, 8});
+  spec.blocks.push_back({adj_buf.base, adj_buf.bytes, 4});
+  // Frontier flags are read per own-vertex and per-neighbour (and updated
+  // via atomics at the same addresses); offsets per frontier vertex;
+  // adjacency by CSR position.  All three are vertex/position-indexed.
+  spec.accesses.push_back({n, 4, 4, 0, "level flags"});
+  spec.accesses.push_back({n, 8, 8, 1, "csr offsets"});
+  spec.accesses.push_back(
+      {g.raw_adjacency().size(), 4, 4, 2, "csr neighbours"});
+  return spec;
+}
+
 }  // namespace lgg::core

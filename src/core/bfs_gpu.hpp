@@ -18,6 +18,7 @@
 #include "gpusim/executor.hpp"
 #include "gpusim/report.hpp"
 #include "obs/obs.hpp"
+#include "sancheck/footprint.hpp"
 #include "sancheck/sancheck.hpp"
 
 namespace lgg::core {
@@ -58,5 +59,12 @@ struct GpuBfsResult {
 /// parent is acceptable, and the GPU visits in vertex-id order).
 GpuBfsResult bfs_gpu(const graph::Graph& g, graph::Vertex source,
                      const GpuBfsOptions& opts = {});
+
+/// Static footprint spec of one BFS level launch (every level touches the
+/// same three arrays with the same bounds, so one spec covers the whole
+/// run): level flags and offset words indexed by vertex id, neighbour
+/// words by CSR position, one thread per vertex.
+sancheck::FootprintSpec bfs_footprint_spec(const graph::Graph& g,
+                                           const GpuBfsOptions& opts = {});
 
 }  // namespace lgg::core

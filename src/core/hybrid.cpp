@@ -278,6 +278,78 @@ ChunkLaunch run_chunk_kernel(const graph::Graph& g, const graph::Chunk& chunk,
   return out;
 }
 
+HybridFootprint hybrid_footprint_spec(const graph::Graph& g,
+                                      const HybridOptions& opts) {
+  const gpusim::DeviceSpec& dev =
+      opts.device ? *opts.device : gpusim::tesla_c1060();
+  const std::uint32_t tpb = opts.threads_per_block;
+  LGG_CHECK(tpb >= dev.warp_size && tpb % dev.warp_size == 0,
+            "threads_per_block must be a positive multiple of the warp size");
+
+  // Replay Algorithm 1's planning exactly as count_triangles_hybrid does.
+  graph::ChunkingOptions copts;
+  copts.shared_mem_bits = dev.shared_mem_bits();
+  copts.metric = opts.metric;
+  const graph::ChunkingResult chunking = graph::split_into_chunks(g, copts);
+  std::vector<graph::LevelDecomposition> levels;
+  levels.reserve(chunking.trees.size());
+  for (const auto& tree : chunking.trees) levels.emplace_back(tree);
+
+  HybridFootprint fp;
+  fp.sm_count = dev.sm_count;
+  gpusim::DeviceMemory mem(dev);  // scratch: only the addresses matter
+  const std::uint64_t shared_bytes = dev.shared_mem_bits() / 8;
+
+  for (std::size_t ci = 0; ci < chunking.chunks.size(); ++ci) {
+    const graph::Chunk& chunk = chunking.chunks[ci];
+    const ChunkWork work = build_chunk_work(chunk, levels[chunk.component]);
+    fp.chunk_tests.push_back(work.tests);
+    if (work.tests == 0) continue;  // never launched, nothing to prove
+
+    const std::uint64_t local_n = chunk.vertices.size();
+    sancheck::FootprintSpec spec;
+    spec.name = "hybrid/chunk[" + std::to_string(ci) +
+                (chunk.fits_shared ? "]/shared" : "]/global");
+    spec.total_tests = work.tests;
+    spec.warp_size = dev.warp_size;
+    spec.warp_interleaved = true;
+    spec.division = sancheck::WorkDivision::kCyclic;
+    spec.workers = tpb;  // one block == one SM job
+
+    std::size_t job_block = 0;
+    if (chunk.fits_shared) {
+      // The triangular S-UTM packs into utm_words shared words; the word
+      // index is bounded by the last pair's word, so one LinearAccess over
+      // the flat word array bounds both the staging loop and every probe.
+      const std::uint64_t utm_words =
+          (local_n * (local_n - 1) / 2 + 31) / 32;
+      spec.blocks.push_back({0, shared_bytes, 4});
+      spec.accesses.push_back(
+          {std::max<std::uint64_t>(utm_words, 1), 4, 4, 0, "s-utm words"});
+      job_block = sancheck::kNoBlock;  // matrix covered by the access above
+    } else {
+      const std::uint64_t row_bytes = ((local_n + 31) / 32) * 4;
+      const gpusim::Buffer buffer = mem.alloc(chunk_device_bytes(chunk));
+      spec.blocks.push_back({buffer.base, buffer.bytes, row_bytes});
+    }
+    for (const AlsJob& job : work.jobs) {
+      sancheck::FootprintJob fj;
+      fj.test_offset = job.test_offset;
+      fj.tests = job.tests;
+      fj.s = job.s;
+      fj.x_max = job.x_max;
+      fj.k = 3;
+      // The kernel probes by chunk-local position (chunk_local), bounded
+      // by the chunk's vertex count, a superset of any job's two levels.
+      fj.index_bound = local_n;
+      fj.block = job_block;
+      spec.jobs.push_back(fj);
+    }
+    fp.chunk_specs.push_back(std::move(spec));
+  }
+  return fp;
+}
+
 HybridResult count_triangles_hybrid(const graph::Graph& g,
                                     const HybridOptions& opts) {
   const gpusim::DeviceSpec& dev =

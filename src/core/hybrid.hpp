@@ -24,6 +24,7 @@
 #include "gpusim/device.hpp"
 #include "gpusim/executor.hpp"
 #include "obs/obs.hpp"
+#include "sancheck/footprint.hpp"
 #include "sancheck/sancheck.hpp"
 #include "sched/makespan.hpp"
 
@@ -139,5 +140,29 @@ ChunkLaunch run_chunk_kernel(const graph::Graph& g, const graph::Chunk& chunk,
 /// Exact CPU recount of the chunk's test space (the oracle the resilient
 /// runner verifies device results against, and its CPU failover path).
 std::uint64_t count_chunk_cpu(const graph::Graph& g, const ChunkWork& work);
+
+// ---- static plan verification (lint/plan_verify.hpp drives this) -----
+
+/// The whole hybrid pipeline's static footprint: one FootprintSpec per
+/// non-empty chunk launch (shared chunks prove S-UTM containment against
+/// the SM's shared memory, global chunks against their device matrix)
+/// plus the inputs the Section VI scheduler sees, so schedule-repair
+/// proofs can run without simulating a single test.
+struct HybridFootprint {
+  /// One spec per chunk OWNING tests, in chunk order
+  /// ("hybrid/chunk[i]/shared" or ".../global").
+  std::vector<sancheck::FootprintSpec> chunk_specs;
+  /// Static schedule weights: tests owned per chunk, ALL chunks (empty
+  /// ones included) — index-compatible with HybridResult::chunks.
+  std::vector<std::uint64_t> chunk_tests;
+  /// Machines the scheduler assigns onto (the device's SM count).
+  std::uint32_t sm_count = 0;
+};
+
+/// Build the pipeline footprint by replaying the planning half of
+/// count_triangles_hybrid (chunking, level decomposition, per-chunk ALS
+/// work) without launching anything.
+HybridFootprint hybrid_footprint_spec(const graph::Graph& g,
+                                      const HybridOptions& opts = {});
 
 }  // namespace lgg::core

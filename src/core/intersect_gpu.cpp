@@ -250,4 +250,38 @@ GpuIntersectResult count_triangles_gpu_intersect(
   return result;
 }
 
+sancheck::FootprintSpec intersect_footprint_spec(
+    const Graph& g, const GpuIntersectOptions& opts) {
+  const gpusim::DeviceSpec& dev =
+      opts.device ? *opts.device : gpusim::tesla_c1060();
+  const std::uint32_t blocks = opts.blocks ? opts.blocks : 2 * dev.sm_count;
+  const std::uint32_t tpb = opts.threads_per_block;
+  LGG_CHECK(tpb >= dev.warp_size && tpb % dev.warp_size == 0,
+            "threads_per_block must be a positive multiple of the warp size");
+
+  const Oriented oriented = orient(g);
+  const std::uint64_t n = g.num_vertices();
+  gpusim::DeviceMemory mem(dev);  // scratch: only the addresses matter
+  const gpusim::Buffer offsets_buf =
+      mem.alloc(std::max<std::uint64_t>((n + 1) * 8, 8));
+  const gpusim::Buffer adj_buf =
+      mem.alloc(std::max<std::uint64_t>(oriented.out.size() * 4, 4));
+
+  sancheck::FootprintSpec spec;
+  spec.name = "gpu/intersect";
+  spec.total_tests = oriented.edges.size();
+  spec.warp_size = dev.warp_size;
+  spec.warp_interleaved = true;
+  spec.division = sancheck::WorkDivision::kDivideWork;
+  spec.workers = static_cast<std::uint64_t>(blocks) * tpb / dev.warp_size;
+  spec.blocks.push_back({offsets_buf.base, offsets_buf.bytes, 8});
+  spec.blocks.push_back({adj_buf.base, adj_buf.bytes, 4});
+  // Offset reads: the kernel touches words u * 8 and v * 8 for oriented
+  // edge endpoints, all < n.  Neighbour reads (including the trailing-lane
+  // clamp) stay below the CSR length.
+  spec.accesses.push_back({n, 8, 8, 0, "csr offsets"});
+  spec.accesses.push_back({oriented.out.size(), 4, 4, 1, "csr neighbours"});
+  return spec;
+}
+
 }  // namespace lgg::core

@@ -21,6 +21,7 @@
 #include "gpusim/executor.hpp"
 #include "gpusim/report.hpp"
 #include "obs/obs.hpp"
+#include "sancheck/footprint.hpp"
 #include "sancheck/sancheck.hpp"
 
 namespace lgg::core {
@@ -59,6 +60,14 @@ struct GpuIntersectResult {
 /// Count triangles with the warp-per-edge intersection kernel on the
 /// simulated device.  Exact runs agree with count_triangles_forward.
 GpuIntersectResult count_triangles_gpu_intersect(
+    const graph::Graph& g, const GpuIntersectOptions& opts = {});
+
+/// Static footprint spec of the intersection launch: the CSR offset and
+/// neighbour arrays as LinearAccess patterns (offset words indexed by
+/// vertex id, neighbour words by CSR position), with divide_work handing
+/// the oriented edge list to the warps.  lint_footprint proves every
+/// access of every schedule in bounds without running the kernel.
+sancheck::FootprintSpec intersect_footprint_spec(
     const graph::Graph& g, const GpuIntersectOptions& opts = {});
 
 }  // namespace lgg::core

@@ -304,6 +304,53 @@ GpuKCountResult run_kcount(const Graph& g, std::uint32_t k,
 
 }  // namespace
 
+sancheck::FootprintSpec subgraph_footprint_spec(
+    const Graph& g, std::uint32_t k, std::uint32_t window_levels,
+    const GpuKCountOptions& opts) {
+  LGG_CHECK(k >= 1 && k <= 16, "GPU k-count supports 1 <= k <= 16");
+  LGG_CHECK(window_levels >= 1, "window_levels must be positive");
+  const gpusim::DeviceSpec& dev =
+      opts.device ? *opts.device : gpusim::tesla_c1060();
+  const std::uint32_t blocks = opts.blocks ? opts.blocks : 2 * dev.sm_count;
+  const std::uint32_t tpb = opts.threads_per_block;
+  LGG_CHECK(tpb >= dev.warp_size && tpb % dev.warp_size == 0,
+            "threads_per_block must be a positive multiple of the warp size");
+
+  std::uint64_t total = 0;
+  const std::vector<WindowJob> windows =
+      build_windows(g, window_levels, k, total);
+
+  gpusim::DeviceMemory mem(dev);  // scratch: only the addresses matter
+  const std::uint64_t n = g.num_vertices();
+  const std::uint64_t row_bytes = ((n + 31) / 32) * 4;
+  const gpusim::Buffer matrix =
+      mem.alloc(std::max<std::uint64_t>(n * row_bytes, 4));
+
+  sancheck::FootprintSpec spec;
+  spec.name = "gpu/subgraph";
+  spec.total_tests = total;
+  spec.warp_size = dev.warp_size;
+  spec.warp_interleaved = true;
+  spec.division = sancheck::WorkDivision::kDivideWork;
+  spec.workers = static_cast<std::uint64_t>(blocks) * tpb / dev.warp_size;
+  spec.blocks.push_back({matrix.base, matrix.bytes, row_bytes});
+  spec.jobs.reserve(windows.size());
+  for (const WindowJob& w : windows) {
+    sancheck::FootprintJob fj;
+    fj.test_offset = w.offset;
+    fj.tests = w.tests;
+    fj.s = w.s;
+    fj.x_max = w.x_max;
+    fj.k = k;
+    // The C(k,2) pair probes use GLOBAL vertex ids against the shared
+    // matrix, so the whole-graph vertex count bounds the addressing.
+    fj.index_bound = n;
+    fj.block = 0;
+    spec.jobs.push_back(fj);
+  }
+  return spec;
+}
+
 GpuKCountResult count_kcliques_gpu(const Graph& g, std::uint32_t k,
                                    const GpuKCountOptions& opts) {
   return run_kcount(g, k, /*window_levels=*/2, opts,

@@ -25,6 +25,7 @@
 #include "gpusim/executor.hpp"
 #include "gpusim/report.hpp"
 #include "obs/obs.hpp"
+#include "sancheck/footprint.hpp"
 #include "sancheck/sancheck.hpp"
 
 namespace lgg::core {
@@ -86,5 +87,15 @@ struct GpuTriangleListing {
 /// writes), which shows up in the transaction/bandwidth accounting.
 GpuTriangleListing list_triangles_gpu(const graph::Graph& g,
                                       const GpuKCountOptions& opts = {});
+
+/// Static footprint spec of the k-count launch shared by
+/// count_kcliques_gpu (window_levels = 2) and
+/// count_connected_subgraphs_gpu (window_levels = k): one combinadic job
+/// per BFS-level window with the generalised hockey-stick accounting
+/// C(s,k) - C(s-x_max,k), all probing the shared whole-graph matrix by
+/// global vertex id.
+sancheck::FootprintSpec subgraph_footprint_spec(
+    const graph::Graph& g, std::uint32_t k, std::uint32_t window_levels,
+    const GpuKCountOptions& opts = {});
 
 }  // namespace lgg::core

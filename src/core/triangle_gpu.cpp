@@ -389,6 +389,7 @@ sancheck::FootprintSpec als_footprint_spec(const graph::Graph& g,
   const Layout layout = build_layout(g, plan, opts.layout, mem);
 
   sancheck::FootprintSpec spec;
+  spec.name = std::string("gpu/triangle/") + gpu_layout_name(opts.layout);
   spec.total_tests = plan.total_tests;
   spec.warp_size = dev.warp_size;
   spec.warp_interleaved = opts.layout != GpuLayout::kNaive;

@@ -1,5 +1,6 @@
 #include "fuzz/paths.hpp"
 
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
@@ -72,9 +73,9 @@ PathOutcome count_via_strategy(const graph::Graph& g, combi::Strategy s) {
 struct TempGraphFile {
   std::string path;
   explicit TempGraphFile(const graph::Graph& g, std::uint64_t tag) {
+    static std::atomic<std::uint64_t> sequence{0};
     std::ostringstream name;
-    name << "lgg-fuzz-" << tag << '-'
-         << reinterpret_cast<std::uintptr_t>(this) << ".txt";
+    name << "lgg-fuzz-" << tag << '-' << sequence.fetch_add(1) << ".txt";
     path = (std::filesystem::temp_directory_path() / name.str()).string();
     graph::write_snap_edge_list_file(path, g, "fuzz streaming path");
   }

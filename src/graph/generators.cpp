@@ -97,12 +97,17 @@ Graph barabasi_albert(std::size_t n, std::size_t attach, std::uint64_t seed) {
       targets.push_back(v);
     }
 
-  std::unordered_set<Vertex> picked;
+  // Insertion-ordered dedup (attach is tiny): the emitted edge order — and
+  // through `targets` every later draw — must not depend on hash iteration
+  // order, or the generated graph varies across standard libraries.
+  std::vector<Vertex> picked;
+  picked.reserve(attach);
   for (Vertex v = static_cast<Vertex>(attach + 1); v < n; ++v) {
     picked.clear();
     while (picked.size() < attach) {
       const Vertex t = targets[rng.uniform(targets.size())];
-      picked.insert(t);
+      if (std::find(picked.begin(), picked.end(), t) == picked.end())
+        picked.push_back(t);
     }
     for (Vertex t : picked) {
       edges.emplace_back(v, t);

@@ -1,0 +1,441 @@
+#include "lint/source_lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+namespace lgg::lint {
+
+namespace {
+
+// ---- tokenizer -------------------------------------------------------
+// Just enough C++ lexing for the rules: identifiers, merged '::' and
+// '->', single punctuation, with comments and all literal forms skipped
+// so banned names inside strings or docs never fire.
+
+struct Token {
+  std::string text;
+  std::uint32_t line = 0;
+  bool ident = false;
+};
+
+std::vector<Token> tokenize(const std::string& src) {
+  std::vector<Token> out;
+  std::uint32_t line = 1;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  const auto peek = [&](std::size_t off) {
+    return i + off < n ? src[i + off] : '\0';
+  };
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '/' && peek(1) == '/') {
+      while (i < n && src[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && peek(1) == '*') {
+      i += 2;
+      while (i < n && !(src[i] == '*' && peek(1) == '/')) {
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      i = std::min(i + 2, n);
+      continue;
+    }
+    if (c == 'R' && peek(1) == '"') {
+      // Raw string: R"delim( ... )delim".
+      std::size_t j = i + 2;
+      std::string delim;
+      while (j < n && src[j] != '(') delim.push_back(src[j++]);
+      const std::string close = ")" + delim + "\"";
+      std::size_t end = src.find(close, j);
+      end = end == std::string::npos ? n : end + close.size();
+      for (std::size_t p = i; p < end; ++p)
+        if (src[p] == '\n') ++line;
+      i = end;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const char q = c;
+      ++i;
+      while (i < n && src[i] != q) {
+        if (src[i] == '\\' && i + 1 < n) ++i;
+        if (src[i] == '\n') ++line;  // tolerate unterminated literals
+        ++i;
+      }
+      if (i < n) ++i;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(src[j])) ||
+                       src[j] == '_'))
+        ++j;
+      out.push_back({src.substr(i, j - i), line, true});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(src[j])) ||
+                       src[j] == '.' ||
+                       (src[j] == '\'' && j + 1 < n &&
+                        std::isdigit(static_cast<unsigned char>(src[j + 1])))))
+        ++j;  // digit separators stay inside the number token
+      out.push_back({src.substr(i, j - i), line, false});
+      i = j;
+      continue;
+    }
+    if (c == ':' && peek(1) == ':') {
+      out.push_back({"::", line, false});
+      i += 2;
+      continue;
+    }
+    if (c == '-' && peek(1) == '>') {
+      out.push_back({"->", line, false});
+      i += 2;
+      continue;
+    }
+    out.push_back({std::string(1, c), line, false});
+    ++i;
+  }
+  return out;
+}
+
+bool ends_with_clock(const std::string& s) {
+  static const std::string kSuffix = "clock";
+  if (s.size() < kSuffix.size()) return false;
+  const std::size_t off = s.size() - kSuffix.size();
+  for (std::size_t i = 0; i < kSuffix.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(s[off + i])) != kSuffix[i])
+      return false;
+  }
+  return true;
+}
+
+bool any_of(const std::string& s, std::initializer_list<const char*> names) {
+  for (const char* name : names)
+    if (s == name) return true;
+  return false;
+}
+
+/// Call-context check for bare function names: `x.time(` is a member
+/// call, `double time(` a declaration; `= time(`, `return time(` and
+/// `std::time(` are the real thing.
+bool call_context(const std::vector<Token>& toks, std::size_t i) {
+  if (i == 0) return true;
+  const Token& prev = toks[i - 1];
+  if (prev.text == "." || prev.text == "->") return false;
+  if (prev.ident && prev.text != "return" && prev.text != "co_return")
+    return false;  // likely `Type name(` — a declaration, not a call
+  return true;
+}
+
+/// Skip a balanced template-argument list.  `open` indexes the '<';
+/// returns the index one past the matching '>' (or `open + limit` when
+/// unbalanced within the window).  `star` reports whether a '*' appeared
+/// anywhere inside; `seen` collects the identifiers inside.
+std::size_t skip_template_args(const std::vector<Token>& toks,
+                               std::size_t open, bool* star,
+                               std::vector<std::string>* seen) {
+  std::size_t depth = 0;
+  const std::size_t limit = std::min(toks.size(), open + 256);
+  for (std::size_t j = open; j < limit; ++j) {
+    const std::string& t = toks[j].text;
+    if (t == "<") {
+      ++depth;
+    } else if (t == ">") {
+      if (--depth == 0) return j + 1;
+    } else if (depth > 0) {
+      if (star != nullptr && t == "*") *star = true;
+      if (seen != nullptr && toks[j].ident) seen->push_back(t);
+    }
+  }
+  return limit;
+}
+
+void add(std::vector<Violation>& out, const char* rule,
+         const std::string& path, std::uint32_t line,
+         const std::string& message) {
+  out.push_back({rule, path, line, message});
+}
+
+}  // namespace
+
+const std::vector<Rule>& source_rules() {
+  static const std::vector<Rule> kRules = {
+      {"det-wall-clock",
+       "wall-clock/calendar time read (a *clock::now, time(), gettimeofday, "
+       "localtime) — outputs must not depend on when the run happened"},
+      {"det-rand",
+       "ambient randomness (rand, srand, *rand48, random_device) — use a "
+       "seeded engine threaded through the call"},
+      {"det-thread-id",
+       "thread identity (this_thread::get_id, thread::id, pthread_self) "
+       "feeding program logic"},
+      {"det-pointer-hash",
+       "pointer-identity hashing/ordering (hash/less/greater over T*, "
+       "reinterpret_cast to [u]intptr_t) — addresses vary run to run"},
+      {"det-unordered-iter",
+       "iteration over an unordered container — visit order is "
+       "implementation-defined; iterate a sorted view instead"},
+      {"lint-stale-allow",
+       "allowlist entry matched no violation — remove it or fix its path"},
+      {"lint-io", "source file could not be read"},
+  };
+  return kRules;
+}
+
+std::vector<Violation> lint_source(const std::string& path,
+                                   const std::string& content) {
+  std::vector<Violation> out;
+  const std::vector<Token> toks = tokenize(content);
+  const auto text = [&](std::size_t i) -> const std::string& {
+    static const std::string kEmpty;
+    return i < toks.size() ? toks[i].text : kEmpty;
+  };
+
+  // Names declared in this file as unordered containers (pass 1 of the
+  // det-unordered-iter rule).  Ordered set: the linter must itself be
+  // deterministic.
+  std::set<std::string> unordered_vars;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (!toks[i].ident) continue;
+    if (!any_of(toks[i].text, {"unordered_map", "unordered_set",
+                               "unordered_multimap", "unordered_multiset"}))
+      continue;
+    if (text(i + 1) != "<") continue;
+    std::size_t j = skip_template_args(toks, i + 1, nullptr, nullptr);
+    while (j < toks.size() &&
+           (text(j) == "&" || text(j) == "*" || text(j) == "const"))
+      ++j;
+    if (j < toks.size() && toks[j].ident) unordered_vars.insert(toks[j].text);
+  }
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& tok = toks[i];
+    if (!tok.ident) continue;
+    const std::string& t = tok.text;
+
+    // ---- det-wall-clock ----
+    if (ends_with_clock(t) && text(i + 1) == "::" && text(i + 2) == "now") {
+      add(out, "det-wall-clock", path, tok.line,
+          "'" + t + "::now' reads the clock");
+    } else if (any_of(t, {"time", "clock", "gettimeofday", "localtime",
+                          "gmtime", "mktime"}) &&
+               text(i + 1) == "(" && call_context(toks, i)) {
+      add(out, "det-wall-clock", path, tok.line,
+          "'" + t + "()' reads wall-clock/calendar time");
+    }
+
+    // ---- det-rand ----
+    if (any_of(t, {"rand", "srand", "drand48", "lrand48", "mrand48",
+                   "erand48", "random"}) &&
+        text(i + 1) == "(" && call_context(toks, i)) {
+      add(out, "det-rand", path, tok.line,
+          "'" + t + "()' draws from ambient random state");
+    } else if (t == "random_device") {
+      add(out, "det-rand", path, tok.line,
+          "'random_device' is nondeterministic by design");
+    }
+
+    // ---- det-thread-id ----
+    if (t == "this_thread" && text(i + 1) == "::" && text(i + 2) == "get_id") {
+      add(out, "det-thread-id", path, tok.line,
+          "'this_thread::get_id' exposes scheduling identity");
+    } else if (t == "thread" && text(i + 1) == "::" && text(i + 2) == "id") {
+      add(out, "det-thread-id", path, tok.line,
+          "'thread::id' values vary run to run");
+    } else if (t == "pthread_self" && text(i + 1) == "(") {
+      add(out, "det-thread-id", path, tok.line,
+          "'pthread_self()' exposes scheduling identity");
+    }
+
+    // ---- det-pointer-hash ----
+    if (any_of(t, {"hash", "less", "greater"}) && text(i + 1) == "<") {
+      bool star = false;
+      skip_template_args(toks, i + 1, &star, nullptr);
+      if (star) {
+        add(out, "det-pointer-hash", path, tok.line,
+            "'" + t + "' instantiated over a pointer type orders by address");
+      }
+    } else if (t == "reinterpret_cast" && text(i + 1) == "<") {
+      std::vector<std::string> inside;
+      skip_template_args(toks, i + 1, nullptr, &inside);
+      for (const std::string& name : inside) {
+        if (name == "uintptr_t" || name == "intptr_t") {
+          add(out, "det-pointer-hash", path, tok.line,
+              "casting a pointer to '" + name +
+                  "' bakes the address into a value");
+          break;
+        }
+      }
+    }
+
+    // ---- det-unordered-iter ----
+    if (t == "for" && text(i + 1) == "(") {
+      // Range-for over a tracked container: find the ':' at paren depth 1
+      // and look for a tracked name in the range expression.
+      std::size_t depth = 0;
+      std::size_t colon = 0;
+      std::size_t close = 0;
+      const std::size_t limit = std::min(toks.size(), i + 256);
+      for (std::size_t j = i + 1; j < limit; ++j) {
+        const std::string& u = text(j);
+        if (u == "(") {
+          ++depth;
+        } else if (u == ")") {
+          if (--depth == 0) {
+            close = j;
+            break;
+          }
+        } else if (u == ":" && depth == 1 && colon == 0) {
+          colon = j;
+        }
+      }
+      if (colon != 0 && close != 0) {
+        for (std::size_t j = colon + 1; j < close; ++j) {
+          if (toks[j].ident && unordered_vars.count(toks[j].text) != 0) {
+            add(out, "det-unordered-iter", path, tok.line,
+                "range-for over unordered container '" + toks[j].text + "'");
+            break;
+          }
+        }
+      }
+    } else if (unordered_vars.count(t) != 0 &&
+               (text(i + 1) == "." || text(i + 1) == "->") &&
+               (text(i + 2) == "begin" || text(i + 2) == "cbegin") &&
+               text(i + 3) == "(") {
+      add(out, "det-unordered-iter", path, tok.line,
+          "iterator over unordered container '" + t + "'");
+    }
+  }
+
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Violation& a, const Violation& b) {
+                     return a.line < b.line;
+                   });
+  return out;
+}
+
+// ---- allowlist -------------------------------------------------------
+
+Allowlist Allowlist::parse(const std::string& text,
+                           const std::string& origin) {
+  Allowlist allow;
+  allow.origin_ = origin;
+  std::istringstream in(text);
+  std::string line;
+  std::uint32_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream fields(line);
+    AllowEntry entry;
+    entry.line = lineno;
+    fields >> entry.rule >> entry.path;
+    std::getline(fields, entry.why);
+    const std::size_t start = entry.why.find_first_not_of(" \t");
+    entry.why = start == std::string::npos ? "" : entry.why.substr(start);
+    if (entry.rule.empty() || entry.path.empty() || entry.why.empty()) {
+      allow.parse_errors_.push_back(
+          origin + ":" + std::to_string(lineno) +
+          ": expected 'rule-id path justification...'");
+      continue;
+    }
+    const auto& rules = source_rules();
+    const bool known =
+        std::any_of(rules.begin(), rules.end(),
+                    [&](const Rule& r) { return r.id == entry.rule; });
+    if (!known) {
+      allow.parse_errors_.push_back(origin + ":" + std::to_string(lineno) +
+                                    ": unknown rule '" + entry.rule + "'");
+      continue;
+    }
+    allow.entries_.push_back(std::move(entry));
+  }
+  return allow;
+}
+
+bool Allowlist::allows(const std::string& rule, const std::string& file) {
+  bool hit = false;
+  for (AllowEntry& entry : entries_) {
+    if (entry.rule != rule) continue;
+    if (file.size() < entry.path.size()) continue;
+    const std::size_t off = file.size() - entry.path.size();
+    if (file.compare(off, entry.path.size(), entry.path) != 0) continue;
+    if (off != 0 && file[off - 1] != '/') continue;  // '/'-boundary suffix
+    entry.used = true;
+    hit = true;
+  }
+  return hit;
+}
+
+std::vector<Violation> Allowlist::stale() const {
+  std::vector<Violation> out;
+  for (const AllowEntry& entry : entries_) {
+    if (entry.used) continue;
+    out.push_back({"lint-stale-allow", origin_, entry.line,
+                   "entry '" + entry.rule + " " + entry.path +
+                       "' matched no violation"});
+  }
+  return out;
+}
+
+// ---- drivers ---------------------------------------------------------
+
+std::vector<std::string> collect_sources(
+    const std::vector<std::string>& paths) {
+  namespace fs = std::filesystem;
+  const std::set<std::string> kExts = {".hpp", ".cpp", ".h",
+                                       ".cc",  ".hh",  ".cu"};
+  std::set<std::string> found;
+  for (const std::string& path : paths) {
+    std::error_code ec;
+    if (fs::is_directory(path, ec)) {
+      for (fs::recursive_directory_iterator it(path, ec), end;
+           !ec && it != end; it.increment(ec)) {
+        if (!it->is_regular_file(ec)) continue;
+        if (kExts.count(it->path().extension().string()) != 0)
+          found.insert(it->path().generic_string());
+      }
+    } else {
+      found.insert(path);  // explicit files lint regardless of extension
+    }
+  }
+  return {found.begin(), found.end()};
+}
+
+std::vector<Violation> lint_files(const std::vector<std::string>& files,
+                                  Allowlist* allow) {
+  std::vector<Violation> out;
+  for (const std::string& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      out.push_back({"lint-io", file, 0, "cannot read file"});
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    for (Violation& v : lint_source(file, buf.str())) {
+      if (allow != nullptr && allow->allows(v.rule, v.file)) continue;
+      out.push_back(std::move(v));
+    }
+  }
+  return out;
+}
+
+}  // namespace lgg::lint

@@ -1,0 +1,97 @@
+// Source-level determinism lint (DESIGN.md §14): a token-level scanner
+// over the repo's C++ sources that bans the constructs able to break the
+// byte-identical-output contract the pipeline ships under — wall-clock
+// reads, ambient randomness, thread identity, pointer-identity ordering,
+// and iteration over unordered containers (whose order is
+// implementation-defined and can leak into logs, exports and digests).
+//
+// The scanner works on tokens, not text: comments, string/char literals
+// and raw strings are skipped entirely, so banned names inside messages
+// or docs never fire.  Every exemption lives in an explicit allowlist
+// file (ci/lint_allow.txt) with a per-line justification; entries that no
+// longer match anything are themselves errors (lint-stale-allow), so the
+// allowlist cannot rot.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lgg::lint {
+
+/// One lint rule, stable id + human summary (`lgg_lint --list-rules`).
+struct Rule {
+  std::string id;
+  std::string summary;
+};
+
+/// The rule catalog, in reporting order.  Stable across runs; snapshotted
+/// under ci/golden/.
+const std::vector<Rule>& source_rules();
+
+struct Violation {
+  std::string rule;  // rule id ("det-wall-clock", ...)
+  std::string file;  // path as given to the linter
+  std::uint32_t line = 0;
+  std::string message;
+};
+
+/// One allowlist line: `rule-id path-suffix justification...`.
+struct AllowEntry {
+  std::string rule;
+  std::string path;  // suffix-matched against the violation's file path
+  std::string why;
+  std::uint32_t line = 0;  // line in the allowlist file
+  bool used = false;       // matched at least one violation this run
+};
+
+/// Parsed allowlist with per-entry used-tracking.
+class Allowlist {
+ public:
+  Allowlist() = default;
+
+  /// Parse allowlist text.  `origin` names the file for diagnostics.
+  /// Malformed lines (fewer than three fields) become parse errors, not
+  /// silent exemptions.
+  static Allowlist parse(const std::string& text, const std::string& origin);
+
+  /// True if some entry exempts (rule, file); marks that entry used.
+  /// Matching is by path suffix on '/' boundaries, so `core/social.cpp`
+  /// matches `src/core/social.cpp` but not `src/core/asocial.cpp`.
+  bool allows(const std::string& rule, const std::string& file);
+
+  /// One lint-stale-allow violation per never-used entry.  Call after all
+  /// sources have been linted.
+  [[nodiscard]] std::vector<Violation> stale() const;
+
+  [[nodiscard]] const std::vector<AllowEntry>& entries() const {
+    return entries_;
+  }
+  [[nodiscard]] const std::vector<std::string>& parse_errors() const {
+    return parse_errors_;
+  }
+  [[nodiscard]] const std::string& origin() const { return origin_; }
+
+ private:
+  std::vector<AllowEntry> entries_;
+  std::vector<std::string> parse_errors_;
+  std::string origin_;
+};
+
+/// Lint one translation unit.  Pure function of (path, content); the path
+/// is only used for reporting.  Violations come back in line order.
+std::vector<Violation> lint_source(const std::string& path,
+                                   const std::string& content);
+
+/// Expand files-or-directories into a sorted, deduplicated list of C++
+/// sources (.hpp/.cpp/.h/.cc/.hh/.cu), walking directories recursively.
+/// Deterministic: lexicographic path order regardless of readdir order.
+std::vector<std::string> collect_sources(const std::vector<std::string>& paths);
+
+/// Lint files from disk, filtering through `allow` when given (allowed
+/// violations are dropped and the entry marked used).  Unreadable files
+/// produce a violation rather than a crash.
+std::vector<Violation> lint_files(const std::vector<std::string>& files,
+                                  Allowlist* allow);
+
+}  // namespace lgg::lint

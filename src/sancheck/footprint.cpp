@@ -31,12 +31,13 @@ void refute_plan(FootprintReport& report, std::uint64_t addr,
   add_finding(report, HazardClass::kFootprintEscape, addr, message);
 }
 
-/// C(s,3) - C(s-x_max,3): the hockey-stick count of tests with first
-/// element below x_max (als_plan.hpp).  Overflow propagates the sentinel.
-std::uint64_t expected_tests(std::uint32_t s, std::uint32_t x_max) {
-  const std::uint64_t all = combi::binomial(s, 3);
-  const std::uint64_t tail =
-      combi::binomial(x_max <= s ? s - x_max : 0, 3);
+/// C(s,k) - C(s-x_max,k): the hockey-stick count of tests with first
+/// element below x_max (als_plan.hpp generalised to k-combinations).
+/// Overflow propagates the sentinel.
+std::uint64_t expected_tests(std::uint32_t s, std::uint32_t x_max,
+                             std::uint32_t k) {
+  const std::uint64_t all = combi::binomial(s, k);
+  const std::uint64_t tail = combi::binomial(x_max <= s ? s - x_max : 0, k);
   if (all == combi::kBinomialOverflow) return combi::kBinomialOverflow;
   return all - tail;
 }
@@ -47,28 +48,39 @@ FootprintReport lint_footprint(const FootprintSpec& spec) {
   FootprintReport report;
 
   // ---- 1. plan consistency: jobs tile [0, total_tests) in order and each
-  // job's test count matches the combinadic formula.
+  // job's test count matches the combinadic formula.  Array-style kernels
+  // (no combinadic jobs) skip this section; their plan consistency is the
+  // work-division check below plus LinearAccess containment.
   std::uint64_t expected_offset = 0;
   for (std::size_t r = 0; r < spec.jobs.size(); ++r) {
     const FootprintJob& job = spec.jobs[r];
     std::ostringstream os;
+    if (job.k < 1) {
+      os << "job " << r << ": combination size k = 0";
+      refute_plan(report, r, os.str());
+      continue;
+    }
     if (job.test_offset != expected_offset) {
       os << "job " << r << ": test_offset " << job.test_offset
          << " leaves a gap (expected " << expected_offset << ')';
       refute_plan(report, job.test_offset, os.str());
       expected_offset = job.test_offset;  // resync to localise findings
     }
-    const std::uint64_t want = expected_tests(job.s, job.x_max);
-    if (job.x_max > (job.s >= 2 ? job.s - 2 : 0) && job.tests != 0) {
+    // x_max may not exceed s - k + 1 (the first element still needs k - 1
+    // ids above it).
+    const std::uint32_t x_bound =
+        job.s + 1 >= job.k ? job.s - job.k + 1 : 0;
+    const std::uint64_t want = expected_tests(job.s, job.x_max, job.k);
+    if (job.x_max > x_bound && job.tests != 0) {
       os.str("");
-      os << "job " << r << ": x_max " << job.x_max
-         << " exceeds s - 2 = " << (job.s >= 2 ? job.s - 2 : 0);
+      os << "job " << r << ": x_max " << job.x_max << " exceeds s - k + 1 = "
+         << x_bound << " for s = " << job.s << ", k = " << job.k;
       refute_plan(report, r, os.str());
     } else if (want != combi::kBinomialOverflow && job.tests != want) {
       os.str("");
       os << "job " << r << ": " << job.tests
-         << " tests but C(s,3) - C(s-x_max,3) = " << want << " for s = "
-         << job.s << ", x_max = " << job.x_max;
+         << " tests but C(s,k) - C(s-x_max,k) = " << want << " for s = "
+         << job.s << ", x_max = " << job.x_max << ", k = " << job.k;
       refute_plan(report, r, os.str());
     }
     if (job.tests > 0 && job.index_bound < job.s) {
@@ -79,34 +91,54 @@ FootprintReport lint_footprint(const FootprintSpec& spec) {
     }
     expected_offset += job.tests;
   }
-  if (expected_offset != spec.total_tests) {
+  if (!spec.jobs.empty() && expected_offset != spec.total_tests) {
     std::ostringstream os;
     os << "jobs cover " << expected_offset << " tests but the plan claims "
        << spec.total_tests;
     refute_plan(report, expected_offset, os.str());
   }
 
-  // ---- 2. work division: divide_work must tile [0, total_tests) across
-  // the workers with no gap or overlap (each range is then walked either
-  // sequentially or lane-interleaved — both stay inside the range).
-  if (spec.total_tests > 0 && spec.workers > 0) {
-    const auto ranges = combi::divide_work(
-        spec.total_tests, static_cast<std::uint32_t>(spec.workers));
-    std::uint64_t cursor = 0;
-    bool tiled = ranges.size() == spec.workers;
-    for (const combi::WorkRange& range : ranges) {
-      tiled = tiled && range.begin == cursor && range.end >= range.begin;
-      cursor = range.end;
-    }
-    tiled = tiled && cursor == spec.total_tests;
-    if (!tiled) {
-      std::ostringstream os;
-      os << "divide_work(" << spec.total_tests << ", " << spec.workers
-         << ") does not tile the test space";
-      refute_plan(report, 0, os.str());
-    }
-  } else if (spec.total_tests > 0) {
+  // ---- 2. work division: the worker -> item map must cover [0,
+  // total_tests) with no gap or overlap.
+  if (spec.total_tests > 0 && spec.workers == 0) {
     refute_plan(report, 0, "plan has tests but zero workers");
+  } else if (spec.total_tests > 0) {
+    switch (spec.division) {
+      case WorkDivision::kDivideWork: {
+        // divide_work must tile the space across the workers (each range
+        // is then walked either sequentially or lane-interleaved — both
+        // stay inside the range).
+        const auto ranges = combi::divide_work(
+            spec.total_tests, static_cast<std::uint32_t>(spec.workers));
+        std::uint64_t cursor = 0;
+        bool tiled = ranges.size() == spec.workers;
+        for (const combi::WorkRange& range : ranges) {
+          tiled = tiled && range.begin == cursor && range.end >= range.begin;
+          cursor = range.end;
+        }
+        tiled = tiled && cursor == spec.total_tests;
+        if (!tiled) {
+          std::ostringstream os;
+          os << "divide_work(" << spec.total_tests << ", " << spec.workers
+             << ") does not tile the test space";
+          refute_plan(report, 0, os.str());
+        }
+        break;
+      }
+      case WorkDivision::kThreadPerItem:
+        // Worker i owns item i; full coverage needs a worker per item.
+        if (spec.workers < spec.total_tests) {
+          std::ostringstream os;
+          os << "thread-per-item division has " << spec.workers
+             << " workers for " << spec.total_tests << " items";
+          refute_plan(report, 0, os.str());
+        }
+        break;
+      case WorkDivision::kCyclic:
+        // Worker t takes t, t + workers, ...: covers whenever workers > 0,
+        // which the guard above already established.
+        break;
+    }
   }
 
   // ---- 3. containment: interval proof per job.  The kernel's addressing
@@ -115,7 +147,7 @@ FootprintReport lint_footprint(const FootprintSpec& spec) {
   // comparison bounds every access of every schedule.
   for (std::size_t r = 0; r < spec.jobs.size(); ++r) {
     const FootprintJob& job = spec.jobs[r];
-    if (job.tests == 0) continue;
+    if (job.tests == 0 || job.block == kNoBlock) continue;
     std::ostringstream os;
     if (job.block >= spec.blocks.size()) {
       os << "job " << r << ": block index " << job.block << " out of range";
@@ -134,6 +166,34 @@ FootprintReport lint_footprint(const FootprintSpec& spec) {
       report.contained = false;
       add_finding(report, HazardClass::kFootprintEscape,
                   block.base + max_addr - 4, os.str());
+    }
+  }
+
+  // ---- 3b. containment of the array-style patterns: every access is
+  // index * elem_bytes with index < index_bound, monotone in the index, so
+  // the last element bounds the pattern.
+  for (std::size_t a = 0; a < spec.accesses.size(); ++a) {
+    const LinearAccess& acc = spec.accesses[a];
+    if (acc.index_bound == 0) continue;
+    std::ostringstream os;
+    if (acc.block >= spec.blocks.size()) {
+      os << "access '" << acc.what << "': block index " << acc.block
+         << " out of range";
+      report.contained = false;
+      add_finding(report, HazardClass::kFootprintEscape, acc.block, os.str());
+      continue;
+    }
+    const FootprintBlock& block = spec.blocks[acc.block];
+    const std::uint64_t max_addr =
+        (acc.index_bound - 1) * acc.elem_bytes + acc.word_bytes;
+    if (max_addr > block.bytes) {
+      os << "access '" << acc.what << "': footprint reaches byte " << max_addr
+         << " of a " << block.bytes << "-byte block (" << acc.index_bound
+         << " elements x " << acc.elem_bytes << " bytes)";
+      report.contained = false;
+      add_finding(report, HazardClass::kFootprintEscape,
+                  block.base + max_addr - (acc.word_bytes ? acc.word_bytes : 1),
+                  os.str());
     }
   }
 

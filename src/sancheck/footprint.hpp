@@ -1,10 +1,10 @@
 // The static half of lgg-sancheck: an access-pattern lint that reasons
 // about a kernel's memory footprint WITHOUT running the kernel.
 //
-// The triangle kernels address adjacency storage with the closed-form
+// The combinadic kernels address adjacency storage with the closed-form
 //     word(i, j) = i * stride + (j >> 5) * 4
 // over local (or global) vertex ids bounded by `index_bound`, and take
-// their work from combi::divide_work over the flat combinadic test space
+// their work from combi::divide_work over the flat test space
 // (Section VIII-D).  That regularity makes containment PROVABLE by
 // interval arithmetic: the largest byte any thread of any warp can touch
 // in a block is
@@ -12,52 +12,98 @@
 // so `max_addr <= bytes` proves every access of every schedule in bounds
 // — no enumeration of the (possibly ~1e14-test) space needed.  The lint
 // also re-derives the plan's combinadic accounting (hockey-stick totals,
-// offset prefix sums, divide_work partition) and proves per-warp output
+// offset prefix sums, work-division partition) and proves per-warp output
 // slots disjoint, refuting each property with a Hazard finding
 // (kFootprintEscape / kSlotOverlap) when it does not hold.
 //
-// The spec is layout-neutral on purpose: core/ builds one from an AlsPlan
-// (core::als_footprint_spec) without sancheck ever depending on core.
+// Array-style kernels (CSR intersection, level-synchronous BFS) do not
+// fit the matrix-word model; they declare LinearAccess patterns instead:
+// every touch is `index * elem_bytes` with index < index_bound, so one
+// comparison per pattern bounds the whole launch the same way.
+//
+// The spec is layout-neutral on purpose: core/ builds one per kernel
+// (core::als_footprint_spec, intersect_footprint_spec, bfs_footprint_spec,
+// subgraph_footprint_spec, hybrid_footprint_spec) without sancheck ever
+// depending on core.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <iosfwd>
+#include <string>
 #include <vector>
 
 #include "gpusim/report.hpp"
 
 namespace lgg::sancheck {
 
-/// One device allocation the kernel addresses with word(i, j).
+/// One device allocation the kernel addresses with word(i, j) or via
+/// LinearAccess patterns.
 struct FootprintBlock {
   std::uint64_t base = 0;    // device address (reporting only)
   std::uint64_t bytes = 0;   // allocation size
-  std::uint64_t stride = 0;  // row stride in bytes
+  std::uint64_t stride = 0;  // row stride in bytes (matrix-word model)
 };
 
-/// The symbolic shape of one ALS job's test space.
+/// Sentinel for FootprintJob::block: the job's memory accesses are covered
+/// by LinearAccess entries instead of the matrix-word model (e.g. the
+/// hybrid kernel's shared-memory S-UTM, whose triangular packing is bounded
+/// as a flat word array).
+inline constexpr std::size_t kNoBlock = ~std::size_t{0};
+
+/// The symbolic shape of one combinadic job's test space: choose the first
+/// (minimum) local id x < x_max, then a (k-1)-combination above it.
 struct FootprintJob {
   std::uint64_t test_offset = 0;  // prefix sum over the plan
-  std::uint64_t tests = 0;        // C(s,3) - C(s-x_max,3)
+  std::uint64_t tests = 0;        // C(s,k) - C(s-x_max,k)
   std::uint32_t s = 0;            // local vertex count
   std::uint32_t x_max = 0;        // first-element bound
+  std::uint32_t k = 3;            // combination size (3 = triangles)
   /// Exclusive bound on the ids used to address the block: s for per-job
   /// blocks (local ids), the graph's vertex count for a shared matrix
   /// (global ids).  Must be >= s.
   std::uint64_t index_bound = 0;
-  std::size_t block = 0;  // index into FootprintSpec::blocks
+  /// Index into FootprintSpec::blocks, or kNoBlock when containment is
+  /// proven through LinearAccess entries instead.
+  std::size_t block = 0;
+};
+
+/// One array-style access pattern: the kernel touches bytes
+/// [i * elem_bytes, i * elem_bytes + word_bytes) for some i < index_bound.
+/// Containment: (index_bound - 1) * elem_bytes + word_bytes <= bytes.
+struct LinearAccess {
+  std::uint64_t index_bound = 0;  // exclusive bound on the element index
+  std::uint64_t elem_bytes = 0;   // element pitch
+  std::uint64_t word_bytes = 0;   // bytes touched per access
+  std::size_t block = 0;          // index into FootprintSpec::blocks
+  std::string what;               // label for findings ("csr offsets", ...)
+};
+
+/// How the kernel maps workers onto the flat work-item space.
+enum class WorkDivision {
+  /// combi::divide_work(total_tests, workers) ranges — proven to tile.
+  kDivideWork,
+  /// One worker per item (BFS: thread v owns vertex v) — proven to cover:
+  /// workers >= total_tests.
+  kThreadPerItem,
+  /// Cyclic: worker t takes items t, t + workers, ... (hybrid chunk
+  /// kernel) — covers by construction whenever workers > 0.
+  kCyclic,
 };
 
 struct FootprintSpec {
+  /// Kernel name, used in findings and reports ("gpu/intersect", ...).
+  std::string name;
   std::uint64_t total_tests = 0;
-  /// Number of ranges divide_work hands out: warps for the interleaved
-  /// layouts, threads for the naive one.
+  /// Number of ranges the work division hands out: warps for the
+  /// interleaved layouts, threads for the naive one and for BFS.
   std::uint64_t workers = 0;
   std::uint32_t warp_size = 32;
   bool warp_interleaved = true;
+  WorkDivision division = WorkDivision::kDivideWork;
   std::vector<FootprintBlock> blocks;
   std::vector<FootprintJob> jobs;
+  std::vector<LinearAccess> accesses;
   /// Output slot written by each worker's warp; empty means the identity
   /// map (warp w writes slot w), which is trivially disjoint.
   std::vector<std::uint64_t> warp_slot;

@@ -1,0 +1,16 @@
+// Clean fixture: sanctioned constructs only.  Banned names appear solely
+// in comments and string literals — rand(), steady_clock::now(),
+// this_thread::get_id() — where the token scanner must never look.
+#include <cstdint>
+#include <map>
+#include <random>
+#include <string>
+
+std::uint64_t fixture_draw(std::uint64_t seed) {
+  std::mt19937_64 engine(seed);  // seeded engine: allowed
+  std::map<std::string, std::uint64_t> counts;  // ordered: allowed
+  counts["rand() and random_device stay banned"] = engine();
+  std::uint64_t sum = 0;
+  for (const auto& [key, value] : counts) sum += value + key.size();
+  return sum;
+}

@@ -1,0 +1,9 @@
+// Seeded det-pointer-hash fixture: lines pinned by lint_test.cpp.
+#include <cstdint>
+#include <functional>
+
+std::size_t fixture_addr_hash(const int* p) {
+  const std::hash<const int*> hasher;  // line 6
+  const auto raw = reinterpret_cast<std::uintptr_t>(p);  // line 7
+  return hasher(p) ^ static_cast<std::size_t>(raw);
+}

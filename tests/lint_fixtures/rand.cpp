@@ -1,0 +1,9 @@
+// Seeded det-rand fixture: lines pinned by lint_test.cpp.
+#include <cstdlib>
+#include <random>
+
+int fixture_noise() {
+  std::random_device entropy;  // line 6
+  (void)entropy;
+  return rand();  // line 8
+}

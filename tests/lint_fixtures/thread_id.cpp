@@ -1,0 +1,6 @@
+// Seeded det-thread-id fixture: lines pinned by lint_test.cpp.
+#include <thread>
+
+bool fixture_on_thread(std::thread::id expected) {  // line 4
+  return std::this_thread::get_id() == expected;  // line 5
+}

@@ -1,0 +1,13 @@
+// Seeded det-unordered-iter fixture: lines pinned by lint_test.cpp.
+#include <unordered_map>
+#include <vector>
+
+std::vector<int> fixture_dump(const std::unordered_map<int, int>& counts) {
+  std::vector<int> out;
+  for (const auto& [key, value] : counts) {  // line 7
+    out.push_back(key + value);
+  }
+  auto it = counts.begin();  // line 10
+  (void)it;
+  return out;
+}

@@ -1,0 +1,10 @@
+// Seeded det-wall-clock fixture: one violation per flavour, lines pinned
+// by lint_test.cpp — renumbering this file breaks the exact-line asserts.
+#include <chrono>
+#include <ctime>
+
+double fixture_stamp() {
+  const auto tick = std::chrono::steady_clock::now();  // line 7
+  (void)tick;
+  return static_cast<double>(time(nullptr));  // line 9
+}

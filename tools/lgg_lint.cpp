@@ -1,0 +1,121 @@
+// lgg_lint — static determinism & plan-safety analyzer (DESIGN.md §14).
+//
+//   lgg_lint [--allowlist=FILE] PATH...   lint sources (files or dirs)
+//   lgg_lint --list-rules                 print the rule catalog
+//   lgg_lint --verify-plans [--loss-k=N]  whole-pipeline footprint +
+//                                         schedule-repair proofs
+//
+// Exit codes: 0 clean, 1 violations/refuted proofs, 2 usage error.
+// Output is deterministic: sources lint in sorted path order, plan checks
+// run in a fixed suite order, and diagnostics print as
+// `file:line: [rule] message` so CI diffs stay stable.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/plan_verify.hpp"
+#include "lint/source_lint.hpp"
+
+namespace {
+
+int usage(std::ostream& os) {
+  os << "usage: lgg_lint [--allowlist=FILE] PATH...\n"
+        "       lgg_lint --list-rules\n"
+        "       lgg_lint --verify-plans [--loss-k=N]\n"
+        "exit codes: 0 clean, 1 violations found, 2 usage error\n";
+  return 2;
+}
+
+void print(const lgg::lint::Violation& v) {
+  std::cout << v.file << ':' << v.line << ": [" << v.rule << "] " << v.message
+            << '\n';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool list_rules = false;
+  bool verify_plans = false;
+  std::uint32_t loss_k = 1;
+  std::string allowlist_path;
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      list_rules = true;
+    } else if (arg == "--verify-plans") {
+      verify_plans = true;
+    } else if (arg.rfind("--loss-k=", 0) == 0) {
+      try {
+        const int k = std::stoi(arg.substr(9));
+        if (k < 1 || k > 6) throw std::out_of_range("loss-k");
+        loss_k = static_cast<std::uint32_t>(k);
+      } catch (const std::exception&) {
+        std::cerr << "lgg_lint: --loss-k wants an integer in [1, 6]\n";
+        return usage(std::cerr);
+      }
+    } else if (arg.rfind("--allowlist=", 0) == 0) {
+      allowlist_path = arg.substr(12);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "lgg_lint: unknown option '" << arg << "'\n";
+      return usage(std::cerr);
+    } else {
+      paths.push_back(arg);
+    }
+  }
+
+  if (list_rules) {
+    for (const lgg::lint::Rule& rule : lgg::lint::source_rules())
+      std::cout << rule.id << "  " << rule.summary << '\n';
+    return 0;
+  }
+  if (paths.empty() && !verify_plans) return usage(std::cerr);
+
+  std::size_t violations = 0;
+
+  if (!paths.empty()) {
+    lgg::lint::Allowlist allow;
+    if (!allowlist_path.empty()) {
+      std::ifstream in(allowlist_path, std::ios::binary);
+      if (!in) {
+        std::cerr << "lgg_lint: cannot read allowlist '" << allowlist_path
+                  << "'\n";
+        return 2;
+      }
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      allow = lgg::lint::Allowlist::parse(buf.str(), allowlist_path);
+      for (const std::string& err : allow.parse_errors())
+        std::cerr << "lgg_lint: " << err << '\n';
+      if (!allow.parse_errors().empty()) return 2;
+    }
+
+    const std::vector<std::string> files = lgg::lint::collect_sources(paths);
+    if (files.empty()) {
+      std::cerr << "lgg_lint: no sources under the given paths\n";
+      return 2;
+    }
+    std::vector<lgg::lint::Violation> found =
+        lgg::lint::lint_files(files, allowlist_path.empty() ? nullptr : &allow);
+    if (!allowlist_path.empty()) {
+      for (lgg::lint::Violation& v : allow.stale())
+        found.push_back(std::move(v));
+    }
+    for (const lgg::lint::Violation& v : found) print(v);
+    violations += found.size();
+    std::cout << "lgg_lint: " << files.size() << " file(s), " << found.size()
+              << " violation(s)\n";
+  }
+
+  if (verify_plans) {
+    const lgg::lint::PlanReport report =
+        lgg::lint::verify_default_pipelines(loss_k);
+    std::cout << report << '\n';
+    violations += report.total_findings();
+  }
+
+  return violations == 0 ? 0 : 1;
+}
