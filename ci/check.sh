@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # One-command local CI: configure/build/test the default preset, a
-# time-boxed deterministic fuzz smoke campaign, the address+UB-sanitized
+# time-boxed deterministic fuzz smoke campaign, the serve stage (serving
+# suites + golden + thread-count byte-identity), the address+UB-sanitized
 # preset, the thread-sanitized preset (concurrency label only -- TSan is
 # too slow for the full suite), and finally the lint stage: lgg_lint's
 # determinism source lint + whole-pipeline plan verification (always), and
@@ -89,6 +90,51 @@ for T in 1 8; do
   fi
 done
 echo "digest $SERIAL_DIGEST identical for --serial, --threads 1, --threads 8"
+
+step "serve: serving-layer suites"
+# The serve-labelled tests (ctest -L serve) pin the DESIGN.md section 15
+# contract: concurrent submission byte-identical to serial, exact-match
+# result cache transparent under eviction, batching that never changes
+# per-query results, and cache hits that bypass the device entirely.
+ctest --test-dir build -L serve --output-on-failure \
+      "${CTEST_ARGS[@]+"${CTEST_ARGS[@]}"}"
+
+step "serve: golden responses + span tree + metrics (batching + cache)"
+build/tools/lgg_serve run ci/serve-single-triangle.script \
+      --trace-tree - --metrics - > "$OBS_TMP/serve-golden.txt"
+diff -u ci/golden/serve-single-triangle.txt "$OBS_TMP/serve-golden.txt"
+# The golden run must have actually merged a pass and hit the cache.
+grep -q '^lgg_serve_batch_merges_total 1$' "$OBS_TMP/serve-golden.txt"
+grep -q '^lgg_serve_cache_hits_total 1$' "$OBS_TMP/serve-golden.txt"
+
+step "serve: threads-1-vs-8 byte-identity on a 100k-edge catalog"
+# The full serving determinism contract at a size where device passes,
+# the DODG counter and the estimate backends all fan out on the host.
+cat > "$OBS_TMP/serve-big.script" <<'EOF'
+gen big gnm 20000 100000 7
+gen small gnm 200 600 9
+alice big triangles
+bob small triangles
+carol big doulion 0.25 3
+alice small wedges 500 4
+bob big bfs 0
+carol small cc 7
+alice big triangles
+drain
+bob big triangles
+alice small kclique 4
+drain
+EOF
+build/tools/lgg_serve run "$OBS_TMP/serve-big.script" --threads 1 \
+      --log "$OBS_TMP/serve-big-t1.log" --metrics "$OBS_TMP/serve-big-t1.prom" \
+      > "$OBS_TMP/serve-big-t1.out"
+build/tools/lgg_serve run "$OBS_TMP/serve-big.script" --threads 8 \
+      --log "$OBS_TMP/serve-big-t8.log" --metrics "$OBS_TMP/serve-big-t8.prom" \
+      > "$OBS_TMP/serve-big-t8.out"
+cmp "$OBS_TMP/serve-big-t1.out" "$OBS_TMP/serve-big-t8.out"
+cmp "$OBS_TMP/serve-big-t1.log" "$OBS_TMP/serve-big-t8.log"
+cmp "$OBS_TMP/serve-big-t1.prom" "$OBS_TMP/serve-big-t8.prom"
+echo "serve responses, log and metrics identical at --threads 1 and 8"
 
 step "asan: configure + build (LGG_SANITIZE=address, LGG_WERROR=ON)"
 cmake --preset asan

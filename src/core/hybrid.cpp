@@ -278,6 +278,34 @@ ChunkLaunch run_chunk_kernel(const graph::Graph& g, const graph::Chunk& chunk,
   return out;
 }
 
+AlsPrecomputed precompute_als(const graph::Graph& g,
+                              const HybridOptions& opts) {
+  const gpusim::DeviceSpec& dev =
+      opts.device ? *opts.device : gpusim::tesla_c1060();
+  AlsPrecomputed plan;
+  plan.shared_mem_bits = dev.shared_mem_bits();
+  plan.metric = opts.metric;
+
+  graph::ChunkingOptions copts;
+  copts.shared_mem_bits = plan.shared_mem_bits;
+  copts.metric = opts.metric;
+  plan.chunking = graph::split_into_chunks(g, copts);
+  plan.levels.reserve(plan.chunking.trees.size());
+  for (const auto& tree : plan.chunking.trees) plan.levels.emplace_back(tree);
+
+  plan.works.reserve(plan.chunking.chunks.size());
+  plan.chunk_tests.reserve(plan.chunking.chunks.size());
+  for (const graph::Chunk& chunk : plan.chunking.chunks) {
+    plan.works.push_back(build_chunk_work(chunk, plan.levels[chunk.component]));
+    plan.chunk_tests.push_back(plan.works.back().tests);
+    plan.total_tests += plan.works.back().tests;
+  }
+  plan.preprocessing_s = 2.0 * static_cast<double>(g.num_edges()) *
+                         cal::kCpuCyclesPerBfsEdge /
+                         (cal::kCpuClockGhz * 1e9);
+  return plan;
+}
+
 HybridFootprint hybrid_footprint_spec(const graph::Graph& g,
                                       const HybridOptions& opts) {
   const gpusim::DeviceSpec& dev =
@@ -363,26 +391,26 @@ HybridResult count_triangles_hybrid(const graph::Graph& g,
     driver.arg("scheduler", scheduler_name(opts.scheduler));
     driver.arg("threads_per_block", static_cast<std::uint64_t>(tpb));
   }
-  const double preprocessing =
-      2.0 * static_cast<double>(g.num_edges()) * cal::kCpuCyclesPerBfsEdge /
-      (cal::kCpuClockGhz * 1e9);
-
-  // --- Algorithm 1 ---
-  graph::ChunkingOptions copts;
-  copts.shared_mem_bits = dev.shared_mem_bits();
-  copts.metric = opts.metric;
+  // --- Algorithm 1 (or a catalog-resident plan of it) ---
+  AlsPrecomputed local_plan;
   obs::Scope plan_span(opts.obs, "plan/chunking", "plan");
-  const graph::ChunkingResult chunking = graph::split_into_chunks(g, copts);
-
-  // Level decompositions per component, from the chunker's own trees.
-  std::vector<graph::LevelDecomposition> levels;
-  levels.reserve(chunking.trees.size());
-  for (const auto& tree : chunking.trees) levels.emplace_back(tree);
+  if (opts.prepared == nullptr) local_plan = precompute_als(g, opts);
+  const AlsPrecomputed& plan =
+      opts.prepared != nullptr ? *opts.prepared : local_plan;
+  LGG_CHECK(plan.shared_mem_bits == dev.shared_mem_bits() &&
+                plan.metric == opts.metric,
+            "prepared ALS plan was built for a different device budget or "
+            "size metric");
+  const graph::ChunkingResult& chunking = plan.chunking;
+  // Resident plans amortize Algorithm 1: charge zero preprocessing.
+  const double preprocessing =
+      opts.prepared != nullptr ? 0.0 : plan.preprocessing_s;
   plan_span.model_s(preprocessing);
   if (plan_span) {
     plan_span.arg("chunks", static_cast<std::uint64_t>(chunking.chunks.size()));
     plan_span.arg("components",
                   static_cast<std::uint64_t>(chunking.trees.size()));
+    if (opts.prepared != nullptr) plan_span.arg("prepared", true);
   }
   plan_span.close();
 
@@ -396,7 +424,7 @@ HybridResult count_triangles_hybrid(const graph::Graph& g,
 
   for (std::size_t ci = 0; ci < chunking.chunks.size(); ++ci) {
     const graph::Chunk& chunk = chunking.chunks[ci];
-    const ChunkWork work = build_chunk_work(chunk, levels[chunk.component]);
+    const ChunkWork& work = plan.works[ci];
 
     ChunkExecution exec;
     exec.chunk = static_cast<std::uint32_t>(ci);

@@ -34,6 +34,8 @@ enum class SchedulerKind : int { kList = 0, kLpt = 1, kMultifit = 2 };
 
 [[nodiscard]] const char* scheduler_name(SchedulerKind kind) noexcept;
 
+struct AlsPrecomputed;
+
 struct HybridOptions {
   /// Device to simulate; nullptr selects the paper's C1060.
   const gpusim::DeviceSpec* device = nullptr;
@@ -58,6 +60,14 @@ struct HybridOptions {
   /// gpusim counters (DESIGN.md §12).  run_chunk_kernel reads it too, so
   /// the resilient runner inherits launch spans by forwarding it here.
   obs::Session* obs = nullptr;
+  /// Optional precomputed Algorithm 1 plan (non-owning; see
+  /// precompute_als).  When set, the pipeline skips chunking / level
+  /// decomposition / per-chunk ALS work and charges ZERO modelled
+  /// preprocessing — the amortization a resident-graph catalog buys
+  /// (DESIGN.md §15).  The plan must have been built for the same graph,
+  /// shared-memory budget and metric (budget/metric are checked; the
+  /// graph is the caller's contract).
+  const AlsPrecomputed* prepared = nullptr;
 };
 
 /// Per-chunk execution record.
@@ -114,6 +124,34 @@ struct ChunkWork {
 /// Build the chunk's ALS jobs from its component's level decomposition.
 ChunkWork build_chunk_work(const graph::Chunk& chunk,
                            const graph::LevelDecomposition& levels);
+
+/// Everything Algorithm 1 produces for one graph, computed once and
+/// reusable across any number of hybrid / resilient runs: the chunk
+/// decomposition, per-component BFS level decompositions, and each
+/// chunk's ALS work (the chunk schedule's job weights are
+/// works[i].tests).  A pure function of (graph, shared-memory budget,
+/// metric), so reusing it is unobservable in results — only the
+/// preprocessing cost disappears.  This is the artifact the serving
+/// catalog keeps resident per graph (DESIGN.md §15).
+struct AlsPrecomputed {
+  graph::ChunkingResult chunking;
+  std::vector<graph::LevelDecomposition> levels;  // per component
+  std::vector<ChunkWork> works;                   // per chunk
+  std::vector<std::uint64_t> chunk_tests;         // works[i].tests
+  std::uint64_t total_tests = 0;
+  /// Plan inputs, recorded so consumers can check compatibility.
+  std::uint64_t shared_mem_bits = 0;
+  graph::SizeMetric metric = graph::SizeMetric::kSutm;
+  /// Modelled BFS/levelling cost the plan amortizes (charged by cold
+  /// runs, skipped by prepared ones).
+  double preprocessing_s = 0.0;
+};
+
+/// Run Algorithm 1 once: chunking, level decompositions and per-chunk ALS
+/// work for the device/metric named by `opts` (device and metric are the
+/// only fields read).
+AlsPrecomputed precompute_als(const graph::Graph& g,
+                              const HybridOptions& opts = {});
 
 /// Simulated-device footprint of one chunk's packed local adjacency
 /// matrix (what a global-resident chunk allocates; what either kind ships

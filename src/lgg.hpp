@@ -21,6 +21,9 @@
 //              registry, Chrome-trace / span-tree / Prometheus exporters
 //   resilience/ — seed-driven device fault injection + resilient chunked
 //              execution with retry, failover and recovery accounting
+//   serve/   — resident-graph analytics serving: catalog with cached
+//              preprocessing, result cache, request batching and a
+//              tenant-fair deterministic drain loop
 //   fuzz/    — differential fuzzing engine over every counting path, with
 //              a delta-debugging shrinker and the regression corpus format
 #pragma once
@@ -76,6 +79,10 @@
 #include "sancheck/footprint.hpp"    // IWYU pragma: export
 #include "sancheck/sancheck.hpp"     // IWYU pragma: export
 #include "sched/makespan.hpp"        // IWYU pragma: export
+#include "serve/cache.hpp"           // IWYU pragma: export
+#include "serve/catalog.hpp"         // IWYU pragma: export
+#include "serve/request.hpp"         // IWYU pragma: export
+#include "serve/service.hpp"         // IWYU pragma: export
 #include "stream/edge_stream.hpp"    // IWYU pragma: export
 #include "stream/streaming_triangles.hpp"  // IWYU pragma: export
 #include "util/bits.hpp"             // IWYU pragma: export

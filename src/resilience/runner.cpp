@@ -103,32 +103,33 @@ RunnerReport run_resilient(const graph::Graph& g, const RunnerOptions& opts) {
                static_cast<std::uint64_t>(opts.retry.max_retries));
     driver.arg("verify", opts.verify);
   }
-  const double preprocessing =
-      2.0 * static_cast<double>(g.num_edges()) * cal::kCpuCyclesPerBfsEdge /
-      (cal::kCpuClockGhz * 1e9);
-
-  // --- Algorithm 1: chunk the graph, rebuild each chunk's ALS work ---
-  graph::ChunkingOptions copts;
-  copts.shared_mem_bits = dev.shared_mem_bits();
-  copts.metric = opts.metric;
+  // --- Algorithm 1 (or a catalog-resident plan of it) ---
+  core::AlsPrecomputed local_plan;
   obs::Scope plan_span(opts.obs, "plan/chunking", "plan");
-  const graph::ChunkingResult chunking = graph::split_into_chunks(g, copts);
-  std::vector<graph::LevelDecomposition> levels;
-  levels.reserve(chunking.trees.size());
-  for (const auto& tree : chunking.trees) levels.emplace_back(tree);
-
-  const std::size_t n_chunks = chunking.chunks.size();
-  std::vector<core::ChunkWork> works;
-  works.reserve(n_chunks);
-  std::vector<std::uint64_t> test_sizes(n_chunks, 0);
-  for (std::size_t ci = 0; ci < n_chunks; ++ci) {
-    works.push_back(core::build_chunk_work(
-        chunking.chunks[ci], levels[chunking.chunks[ci].component]));
-    test_sizes[ci] = works.back().tests;
+  if (opts.prepared == nullptr) {
+    core::HybridOptions popts;
+    popts.device = &dev;
+    popts.metric = opts.metric;
+    local_plan = core::precompute_als(g, popts);
   }
+  const core::AlsPrecomputed& plan =
+      opts.prepared != nullptr ? *opts.prepared : local_plan;
+  LGG_CHECK(plan.shared_mem_bits == dev.shared_mem_bits() &&
+                plan.metric == opts.metric,
+            "prepared ALS plan was built for a different device budget or "
+            "size metric");
+  const graph::ChunkingResult& chunking = plan.chunking;
+  const std::size_t n_chunks = chunking.chunks.size();
+  const std::vector<core::ChunkWork>& works = plan.works;
+  const std::vector<std::uint64_t>& test_sizes = plan.chunk_tests;
+  // Resident plans amortize Algorithm 1: charge zero preprocessing.
+  const double preprocessing =
+      opts.prepared != nullptr ? 0.0 : plan.preprocessing_s;
   plan_span.model_s(preprocessing);
-  if (plan_span)
+  if (plan_span) {
     plan_span.arg("chunks", static_cast<std::uint64_t>(n_chunks));
+    if (opts.prepared != nullptr) plan_span.arg("prepared", true);
+  }
   plan_span.close();
 
   // Always-present record of the retry controller's configuration (so a

@@ -101,6 +101,11 @@ struct RunnerOptions {
   /// counters.  Spans and metrics are byte-identical across ExecPolicies,
   /// like the log.
   obs::Session* obs = nullptr;
+  /// Optional precomputed Algorithm 1 plan (non-owning; see
+  /// core::precompute_als).  When set, the runner skips chunking / level
+  /// decomposition / per-chunk ALS work and charges ZERO modelled
+  /// preprocessing — the resident-graph amortization (DESIGN.md §15).
+  const core::AlsPrecomputed* prepared = nullptr;
 };
 
 /// Per-chunk accounting.

@@ -1,0 +1,32 @@
+#include "serve/cache.hpp"
+
+#include "util/error.hpp"
+
+namespace lgg::serve {
+
+std::optional<std::string> ResultCache::lookup(const CacheKey& key) {
+  if (capacity_ == 0) return std::nullopt;
+  const auto it = map_.find(key);
+  if (it == map_.end()) return std::nullopt;
+  it->second.tick = ++tick_;
+  return it->second.body;
+}
+
+void ResultCache::insert(const CacheKey& key, const std::string& body) {
+  if (capacity_ == 0) return;
+  auto [it, inserted] = map_.try_emplace(key);
+  it->second.body = body;
+  it->second.tick = ++tick_;
+  if (map_.size() <= capacity_) return;
+  // Evict the least recently touched entry.  Ticks are unique, so the
+  // victim — like everything else here — is a pure function of the
+  // request sequence.
+  auto victim = map_.begin();
+  for (auto cur = map_.begin(); cur != map_.end(); ++cur)
+    if (cur->second.tick < victim->second.tick) victim = cur;
+  LGG_ASSERT(victim != it);
+  map_.erase(victim);
+  ++evictions_;
+}
+
+}  // namespace lgg::serve

@@ -1,0 +1,66 @@
+// Serving-layer result cache (DESIGN.md §15).
+//
+// Responses are cached under the exact triple
+//   (graph digest, canonical query, seed)
+// — a hit requires all three to match, so two estimate queries that
+// differ only in seed can never alias, and a reloaded graph with
+// different content (new digest) never serves stale results.
+//
+// Eviction is LRU over a deterministic logical tick that advances once
+// per lookup/insert — never wall-clock — so for a fixed request sequence
+// the eviction pattern, and therefore every downstream artifact, is
+// byte-identical across runs and host thread counts.  The backing store
+// is std::map (ordered; the determinism lint forbids iterating unordered
+// containers) and all methods are called from the single-threaded
+// Service::drain path, so the cache itself needs no locking.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <tuple>
+
+namespace lgg::serve {
+
+struct CacheKey {
+  std::uint64_t digest = 0;  // graph::loaded_graph_digest of the graph
+  std::string canonical;     // canonical_query(request)
+  std::uint64_t seed = 0;    // request seed (0 for exact queries)
+
+  friend bool operator<(const CacheKey& a, const CacheKey& b) {
+    return std::tie(a.digest, a.canonical, a.seed) <
+           std::tie(b.digest, b.canonical, b.seed);
+  }
+};
+
+class ResultCache {
+ public:
+  /// capacity 0 disables the cache (every lookup misses, inserts drop).
+  explicit ResultCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Cached response body for the key, bumping its recency.
+  [[nodiscard]] std::optional<std::string> lookup(const CacheKey& key);
+
+  /// Insert (or refresh) the key's response body, evicting the least
+  /// recently used entry when over capacity.
+  void insert(const CacheKey& key, const std::string& body);
+
+  [[nodiscard]] std::size_t size() const noexcept { return map_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::uint64_t evictions() const noexcept {
+    return evictions_;
+  }
+
+ private:
+  struct Entry {
+    std::string body;
+    std::uint64_t tick = 0;  // last-touched logical time
+  };
+  std::map<CacheKey, Entry> map_;
+  std::size_t capacity_;
+  std::uint64_t tick_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace lgg::serve

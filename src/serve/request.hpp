@@ -1,0 +1,94 @@
+// Serving-layer request model (DESIGN.md §15).
+//
+// A request names a tenant, a resident graph and one analytics query.
+// Requests arrive as script lines (one per line, '#' comments skipped):
+//
+//   <tenant> <graph> triangles
+//   <tenant> <graph> kclique <k>
+//   <tenant> <graph> doulion <p> <seed>
+//   <tenant> <graph> wedges <samples> <seed>
+//   <tenant> <graph> bfs <source>
+//   <tenant> <graph> cc <vertex>
+//
+// Each request carries a caller-assigned id (its script line rank).  The
+// id — never arrival order — keys every serving decision: admission,
+// fair ordering, cache lookups and batching all happen in id order inside
+// Service::drain, which is what makes the whole layer byte-identical
+// across submitting thread counts.
+//
+// canonical_query() renders the query in a normalized spelling; the
+// triple (graph digest, canonical query, seed) is the result-cache key.
+// pass_key() names the device/host pass a query needs; same-graph
+// requests with equal pass keys merge into one pass (batching).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace lgg::serve {
+
+enum class QueryKind : int {
+  kTriangles = 0,  // exact triangle count
+  kKClique = 1,    // k-clique count
+  kDoulion = 2,    // DOULION estimate (p, seed)
+  kWedges = 3,     // wedge-sampling estimate (samples, seed)
+  kBfs = 4,        // BFS depth/reached from a source
+  kCc = 5,         // per-vertex local clustering coefficient
+};
+
+[[nodiscard]] const char* query_kind_name(QueryKind k) noexcept;
+
+struct Request {
+  std::uint64_t id = 0;  // caller-assigned; unique per drain
+  std::string tenant;
+  std::string graph;
+  QueryKind kind = QueryKind::kTriangles;
+  std::uint32_t k = 3;         // kclique
+  double p = 0.1;              // doulion keep probability
+  std::uint64_t samples = 0;   // wedges
+  std::uint64_t seed = 0;      // doulion / wedges (0 for exact queries)
+  graph::Vertex vertex = 0;    // bfs source / cc vertex
+};
+
+/// Normalized query spelling, e.g. "triangles", "kclique k=4",
+/// "doulion p=0.25 seed=7".  Part of the result-cache key and of every
+/// response line.
+[[nodiscard]] std::string canonical_query(const Request& r);
+
+/// Name of the execution pass the query needs.  Same-graph requests with
+/// equal pass keys are answered by ONE backend pass: all cc queries share
+/// one clustering_coefficients sweep, all triangle queries one device
+/// pass, estimate queries merge only when their full canonical matches.
+[[nodiscard]] std::string pass_key(const Request& r);
+
+enum class Status : int { kOk = 0, kRejected = 1, kError = 2 };
+
+[[nodiscard]] const char* status_name(Status s) noexcept;
+
+struct Response {
+  std::uint64_t id = 0;
+  std::string tenant;
+  std::string graph;
+  std::string canonical;
+  Status status = Status::kOk;
+  /// Result payload ("triangles=5 backend=resilient") or, for rejected /
+  /// error responses, a reason ("reason=\"admission quota exceeded\"").
+  /// A pure function of (graph content, canonical query, seed): cache
+  /// and batching markers live in the request log, never here.
+  std::string body;
+
+  /// One-line rendering (the unit the golden / determinism tests diff).
+  [[nodiscard]] std::string line() const;
+};
+
+/// Parse one "tenant graph query args..." line.  Throws lgg::Error with
+/// the offending line text on malformed input.  The id is left 0 — script
+/// parsers assign it.
+[[nodiscard]] Request parse_request_line(std::string_view line);
+
+}  // namespace lgg::serve

@@ -1,0 +1,321 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "core/approx.hpp"
+#include "core/kcount.hpp"
+#include "core/triangle_cpu.hpp"
+#include "graph/bfs.hpp"
+#include "ingest/orient.hpp"
+#include "obs/trace.hpp"
+#include "resilience/runner.hpp"
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace lgg::serve {
+
+/// One batched backend pass: the same-graph requests (by index into the
+/// drain's id-sorted request vector) that share a pass key.
+struct Service::Group {
+  std::string graph;
+  std::string key;
+  std::vector<std::size_t> members;  // in fair order
+};
+
+Service::Service(Catalog& catalog, const ServeOptions& opts)
+    : catalog_(catalog), opts_(opts), cache_(opts.cache_capacity) {}
+
+void Service::submit(Request req) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  pending_.push_back(std::move(req));
+}
+
+std::string Service::execute_group(ResidentGraph& rg, const Group& group,
+                                   const std::vector<Request>& reqs,
+                                   const std::vector<std::string>& canon,
+                                   std::vector<Response>& responses) {
+  const graph::Graph& g = rg.loaded.graph;
+  const Request& head = reqs[group.members.front()];
+  std::string backend = "host";
+
+  const auto ok_all = [&](const std::string& body) {
+    for (const std::size_t idx : group.members) {
+      responses[idx].status = Status::kOk;
+      responses[idx].body = body;
+      cache_.insert(CacheKey{rg.digest, canon[idx], reqs[idx].seed}, body);
+    }
+  };
+  const auto error_all = [&](const std::string& reason) {
+    for (const std::size_t idx : group.members) {
+      responses[idx].status = Status::kError;
+      responses[idx].body = "reason=\"" + reason + "\"";
+    }
+  };
+
+  switch (head.kind) {
+    case QueryKind::kTriangles: {
+      std::uint64_t count = 0;
+      if (rg.plan.total_tests <= opts_.device_test_budget) {
+        // Device pass with the catalog's prepared plan: zero modelled
+        // preprocessing, certified by the resilient runner.
+        resilience::RunnerOptions ropts;
+        ropts.device = catalog_.options().device;
+        ropts.metric = catalog_.options().metric;
+        ropts.exec = opts_.exec;
+        ropts.obs = opts_.obs;
+        ropts.prepared = &rg.plan;
+        count = resilience::run_resilient(g, ropts).triangles;
+        backend = "resilient";
+      } else {
+        // Test space too large to simulate per query: the cached DODG
+        // intersection counter answers exactly on the host.
+        count = ingest::count_triangles_oriented(rg.dodg,
+                                                 &ThreadPool::shared());
+        backend = "dodg";
+      }
+      ok_all("triangles=" + std::to_string(count) + " backend=" + backend);
+      break;
+    }
+    case QueryKind::kKClique: {
+      const std::uint64_t count = core::count_kcliques(g, head.k);
+      ok_all("cliques=" + std::to_string(count) + " backend=" + backend);
+      break;
+    }
+    case QueryKind::kDoulion: {
+      const core::DoulionResult res =
+          core::doulion_estimate(g, head.p, head.seed);
+      ok_all("estimate=" + obs::format_number(res.estimate) +
+             " sparsified=" + std::to_string(res.sparsified_count) +
+             " kept_edges=" + std::to_string(res.kept_edges) +
+             " backend=" + backend);
+      break;
+    }
+    case QueryKind::kWedges: {
+      const core::WedgeSampleResult res =
+          core::wedge_sampling_estimate(g, head.samples, head.seed);
+      ok_all("estimate=" + obs::format_number(res.estimate) +
+             " closed_fraction=" + obs::format_number(res.closed_fraction) +
+             " wedges=" + std::to_string(res.total_wedges) +
+             " backend=" + backend);
+      break;
+    }
+    case QueryKind::kBfs: {
+      if (head.vertex >= g.num_vertices()) {
+        error_all("vertex out of range");
+        backend = "none";
+        break;
+      }
+      auto it = rg.bfs_memo.find(head.vertex);
+      if (it == rg.bfs_memo.end())
+        it = rg.bfs_memo.emplace(head.vertex, graph::bfs(g, head.vertex))
+                 .first;
+      const graph::BfsTree& tree = it->second;
+      std::uint64_t reached = 0;
+      for (const std::uint32_t lvl : tree.level)
+        if (lvl != graph::kUnreached) ++reached;
+      ok_all("depth=" + std::to_string(tree.depth) +
+             " reached=" + std::to_string(reached) + " backend=" + backend);
+      break;
+    }
+    case QueryKind::kCc: {
+      if (!rg.cc_memo.has_value())
+        rg.cc_memo = core::clustering_coefficients(g);
+      bool any_ok = false;
+      for (const std::size_t idx : group.members) {
+        const Request& r = reqs[idx];
+        if (r.vertex >= g.num_vertices()) {
+          responses[idx].status = Status::kError;
+          responses[idx].body = "reason=\"vertex out of range\"";
+          continue;
+        }
+        any_ok = true;
+        responses[idx].status = Status::kOk;
+        responses[idx].body =
+            "cc=" + obs::format_number((*rg.cc_memo)[r.vertex]) +
+            " backend=host";
+        cache_.insert(CacheKey{rg.digest, canon[idx], r.seed},
+                      responses[idx].body);
+      }
+      if (!any_ok) backend = "none";
+      break;
+    }
+  }
+  return backend;
+}
+
+std::vector<Response> Service::drain() {
+  std::vector<Request> reqs;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    reqs.swap(pending_);
+  }
+  std::sort(reqs.begin(), reqs.end(),
+            [](const Request& a, const Request& b) { return a.id < b.id; });
+  for (std::size_t i = 1; i < reqs.size(); ++i)
+    LGG_CHECK(reqs[i - 1].id != reqs[i].id,
+              "serve: duplicate request id " << reqs[i].id);
+
+  obs::Scope drain_span(
+      opts_.obs, "serve/drain[" + std::to_string(drain_seq_) + "]", "serve");
+
+  std::vector<std::string> canon;
+  canon.reserve(reqs.size());
+  for (const Request& r : reqs) canon.push_back(canonical_query(r));
+
+  std::vector<Response> responses(reqs.size());
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    responses[i].id = reqs[i].id;
+    responses[i].tenant = reqs[i].tenant;
+    responses[i].graph = reqs[i].graph;
+    responses[i].canonical = canon[i];
+  }
+
+  std::ostringstream log;
+
+  // 1. Admission: per-tenant quota, applied in id order.
+  std::uint64_t rejected = 0;
+  std::map<std::string, std::vector<std::size_t>> by_tenant;
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    const Request& r = reqs[i];
+    auto& queue = by_tenant[r.tenant];
+    if (opts_.tenant_quota != 0 && queue.size() >= opts_.tenant_quota) {
+      responses[i].status = Status::kRejected;
+      responses[i].body = "reason=\"admission quota exceeded\"";
+      ++rejected;
+      log << "req id=" << r.id << " tenant=" << r.tenant
+          << " graph=" << r.graph << " query=\"" << canon[i]
+          << "\" admit=rejected\n";
+      if (opts_.obs != nullptr)
+        opts_.obs->metrics.count("lgg_serve_admission_rejected_total", 1,
+                                 "tenant=\"" + r.tenant + "\"");
+      continue;
+    }
+    queue.push_back(i);
+  }
+
+  // 2. Fair order: round-robin across tenants (sorted by name), each
+  // tenant's queue in id order.
+  std::vector<std::size_t> fair;
+  std::size_t admitted = 0;
+  for (const auto& [tenant, queue] : by_tenant) admitted += queue.size();
+  fair.reserve(admitted);
+  std::map<std::string, std::size_t> cursor;
+  while (fair.size() < admitted) {
+    for (const auto& [tenant, queue] : by_tenant) {
+      std::size_t& c = cursor[tenant];
+      if (c < queue.size()) fair.push_back(queue[c++]);
+    }
+  }
+
+  // 3+4. Cache lookups and batching, in fair order.
+  std::vector<Group> groups;
+  std::map<std::pair<std::string, std::string>, std::size_t> group_index;
+  std::uint64_t hits = 0, misses = 0, errors = 0;
+  for (const std::size_t idx : fair) {
+    const Request& r = reqs[idx];
+    if (opts_.obs != nullptr)
+      opts_.obs->metrics.count("lgg_serve_requests_total", 1,
+                               "tenant=\"" + r.tenant + "\"");
+    obs::Scope span(opts_.obs, "serve/req[" + std::to_string(r.id) + "]",
+                    "serve");
+    if (span) {
+      span.arg("tenant", r.tenant);
+      span.arg("graph", r.graph);
+      span.arg("query", canon[idx]);
+    }
+    ResidentGraph* rg = catalog_.find(r.graph);
+    if (rg == nullptr) {
+      responses[idx].status = Status::kError;
+      responses[idx].body = "reason=\"unknown graph\"";
+      ++errors;
+      log << "req id=" << r.id << " tenant=" << r.tenant
+          << " graph=" << r.graph << " query=\"" << canon[idx]
+          << "\" error=unknown-graph\n";
+      if (span) span.arg("error", "unknown graph");
+      if (opts_.obs != nullptr)
+        opts_.obs->metrics.count("lgg_serve_errors_total");
+      continue;
+    }
+    const CacheKey key{rg->digest, canon[idx], r.seed};
+    if (const auto cached = cache_.lookup(key)) {
+      responses[idx].status = Status::kOk;
+      responses[idx].body = *cached;
+      ++hits;
+      log << "req id=" << r.id << " tenant=" << r.tenant
+          << " graph=" << r.graph << " query=\"" << canon[idx]
+          << "\" cache=hit\n";
+      if (span) span.arg("cache", "hit");
+      if (opts_.obs != nullptr)
+        opts_.obs->metrics.count("lgg_serve_cache_hits_total");
+      continue;
+    }
+    ++misses;
+    if (opts_.obs != nullptr)
+      opts_.obs->metrics.count("lgg_serve_cache_misses_total");
+    // Batching off: every miss is its own single-request pass.
+    const std::pair<std::string, std::string> gkey{
+        r.graph,
+        opts_.batching ? pass_key(r) : "req/" + std::to_string(r.id)};
+    const auto [it, inserted] = group_index.try_emplace(gkey, groups.size());
+    if (inserted) groups.push_back(Group{gkey.first, gkey.second, {}});
+    groups[it->second].members.push_back(idx);
+    log << "req id=" << r.id << " tenant=" << r.tenant
+        << " graph=" << r.graph << " query=\"" << canon[idx]
+        << "\" cache=miss pass=" << it->second << "\n";
+    if (span) {
+      span.arg("cache", "miss");
+      span.arg("pass", static_cast<std::uint64_t>(it->second));
+    }
+  }
+
+  // 5. Execute passes in first-appearance order.
+  const std::uint64_t evictions_before = cache_.evictions();
+  std::uint64_t merges = 0;
+  for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+    const Group& group = groups[gi];
+    ResidentGraph* rg = catalog_.find(group.graph);
+    LGG_ASSERT(rg != nullptr);
+    obs::Scope pass_span(opts_.obs, "serve/pass[" + std::to_string(gi) + "]",
+                         "serve");
+    if (pass_span) {
+      pass_span.arg("graph", group.graph);
+      pass_span.arg("key", group.key);
+      pass_span.arg("size",
+                    static_cast<std::uint64_t>(group.members.size()));
+    }
+    merges += group.members.size() - 1;
+    if (opts_.obs != nullptr) {
+      opts_.obs->metrics.count("lgg_serve_passes_total");
+      if (group.members.size() > 1)
+        opts_.obs->metrics.count("lgg_serve_batch_merges_total",
+                                 group.members.size() - 1);
+    }
+    const std::string backend =
+        execute_group(*rg, group, reqs, canon, responses);
+    if (pass_span) pass_span.arg("backend", backend);
+    log << "pass " << gi << ": graph=" << group.graph
+        << " key=" << group.key << " size=" << group.members.size()
+        << " backend=" << backend << "\n";
+  }
+  if (opts_.obs != nullptr && cache_.evictions() > evictions_before)
+    opts_.obs->metrics.count("lgg_serve_cache_evictions_total",
+                             cache_.evictions() - evictions_before);
+
+  log << "drain seq=" << drain_seq_ << " requests=" << reqs.size()
+      << " rejected=" << rejected << " hits=" << hits
+      << " misses=" << misses << " errors=" << errors
+      << " passes=" << groups.size() << " merges=" << merges << "\n";
+  if (drain_span) {
+    drain_span.arg("requests", static_cast<std::uint64_t>(reqs.size()));
+    drain_span.arg("passes", static_cast<std::uint64_t>(groups.size()));
+    drain_span.arg("hits", hits);
+  }
+  ++drain_seq_;
+  log_ += log.str();
+  return responses;
+}
+
+}  // namespace lgg::serve

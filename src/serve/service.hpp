@@ -1,0 +1,111 @@
+// The serving session: admission, fair ordering, batching, result cache
+// and backend execution over a catalog of resident graphs (DESIGN.md §15).
+//
+// Concurrency model: submit() is thread-safe and does nothing but append
+// the request to the pending set; ALL serving decisions happen inside
+// drain(), which runs on one thread and processes requests in caller-
+// assigned id order — so the responses, the request log, the span tree
+// and the metrics are pure functions of the request set, byte-identical
+// no matter how many client threads submitted or in what arrival order.
+// Parallelism lives INSIDE a pass (the simulator's ExecPolicy sharding,
+// the DODG counter's ThreadPool), where the determinism contract of
+// PRs 1-7 already guarantees bit-identical results.
+//
+// drain() pipeline, in order:
+//   1. admission  — per-tenant quota applied in id order; rejected
+//                   requests get a Status::kRejected response,
+//   2. fair order — round-robin across tenants (sorted by name, each
+//                   tenant's queue in id order): no tenant waits behind
+//                   another tenant's burst,
+//   3. cache      — lookup under (graph digest, canonical query, seed);
+//                   hits answer WITHOUT touching any backend (zero new
+//                   kernel launches),
+//   4. batching   — misses grouped by (graph, pass key) in first-
+//                   appearance order; one backend pass answers the whole
+//                   group (all cc queries share one sweep, all triangle
+//                   queries one device run),
+//   5. execution  — ResilientRunner (with the catalog's prepared ALS
+//                   plan, zero modelled preprocessing) when the graph's
+//                   test space fits the device budget, the DODG host
+//                   counter beyond it; estimates/bfs/kclique on their
+//                   host backends.
+//
+// Response bodies are pure functions of (graph content, canonical query,
+// seed): cache/batch markers appear only in the log, so cached and
+// uncached runs produce identical responses.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "gpusim/executor.hpp"
+#include "obs/obs.hpp"
+#include "serve/cache.hpp"
+#include "serve/catalog.hpp"
+#include "serve/request.hpp"
+
+namespace lgg::serve {
+
+struct ServeOptions {
+  /// Result-cache capacity in entries (0 disables caching).
+  std::size_t cache_capacity = 64;
+  /// Merge same-graph same-pass-key requests into one backend pass.
+  bool batching = true;
+  /// Per-tenant admission quota per drain (0 = unlimited).  Applied in
+  /// request-id order, so which requests are rejected is deterministic.
+  std::uint64_t tenant_quota = 0;
+  /// Triangle backend resolution: the resilient device pipeline runs
+  /// when the graph's ALS test space is at most this many candidate
+  /// triples; larger graphs use the DODG host counter (simulating every
+  /// test of a huge graph is exactly what the serving layer must not do).
+  std::uint64_t device_test_budget = 1u << 22;
+  /// Host-side execution policy for simulated device passes (results are
+  /// bit-identical across settings).
+  gpusim::ExecPolicy exec;
+  /// Optional observability session: per-request + per-pass spans and
+  /// lgg_serve_* counters.  Must be the catalog's session (or null).
+  obs::Session* obs = nullptr;
+};
+
+class Service {
+ public:
+  Service(Catalog& catalog, const ServeOptions& opts = {});
+
+  /// Enqueue a request (thread-safe; any client thread).  Ids must be
+  /// unique within a drain — they key every serving decision.
+  void submit(Request req);
+
+  /// Serve every pending request (single caller at a time): admission,
+  /// fair ordering, cache, batching, execution.  Returns responses
+  /// sorted by id and appends to the request log.
+  std::vector<Response> drain();
+
+  /// Deterministic request log (one line per request and per pass, plus
+  /// a summary line per drain).
+  [[nodiscard]] const std::string& log() const noexcept { return log_; }
+
+  [[nodiscard]] const ServeOptions& options() const noexcept {
+    return opts_;
+  }
+  [[nodiscard]] const ResultCache& cache() const noexcept { return cache_; }
+
+ private:
+  struct Group;  // one batched backend pass
+
+  std::string execute_group(ResidentGraph& rg, const Group& group,
+                            const std::vector<Request>& reqs,
+                            const std::vector<std::string>& canon,
+                            std::vector<Response>& responses);
+
+  Catalog& catalog_;
+  ServeOptions opts_;
+  ResultCache cache_;
+  std::mutex mutex_;
+  std::vector<Request> pending_;
+  std::string log_;
+  std::uint64_t drain_seq_ = 0;
+};
+
+}  // namespace lgg::serve

@@ -1,0 +1,416 @@
+// Serving-layer contract (DESIGN.md §15): concurrent submission is
+// byte-identical to serial, the result cache is exact-match-only and
+// eviction-transparent, batching merges same-graph passes without
+// changing per-query results, admission and fairness are deterministic,
+// and cache hits bypass the device entirely.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/hybrid.hpp"
+#include "core/triangle_cpu.hpp"
+#include "graph/generators.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
+#include "resilience/runner.hpp"
+#include "serve/cache.hpp"
+#include "serve/catalog.hpp"
+#include "serve/request.hpp"
+#include "serve/service.hpp"
+#include "util/prng.hpp"
+
+namespace lgg {
+namespace {
+
+/// The mixed 200-request script over three resident graphs the stress
+/// and determinism tests share.  Pure function of nothing — every call
+/// builds the same requests with ids 0..n-1.
+std::vector<serve::Request> mixed_script() {
+  const std::vector<std::string> graphs = {"g0", "g1", "g2"};
+  const std::vector<std::string> tenants = {"alice", "bob", "carol"};
+  std::vector<serve::Request> reqs;
+  SplitMix64 rng(20130520);
+  for (std::uint64_t id = 0; id < 200; ++id) {
+    serve::Request r;
+    r.id = id;
+    r.tenant = tenants[rng.next() % tenants.size()];
+    r.graph = graphs[rng.next() % graphs.size()];
+    switch (rng.next() % 6) {
+      case 0:
+        r.kind = serve::QueryKind::kTriangles;
+        break;
+      case 1:
+        r.kind = serve::QueryKind::kKClique;
+        r.k = 3 + static_cast<std::uint32_t>(rng.next() % 2);
+        break;
+      case 2:
+        r.kind = serve::QueryKind::kDoulion;
+        r.p = 0.5;
+        r.seed = rng.next() % 4;
+        break;
+      case 3:
+        r.kind = serve::QueryKind::kWedges;
+        r.samples = 100 + rng.next() % 100;
+        r.seed = rng.next() % 4;
+        break;
+      case 4:
+        r.kind = serve::QueryKind::kBfs;
+        r.vertex = static_cast<graph::Vertex>(rng.next() % 40);
+        break;
+      default:
+        r.kind = serve::QueryKind::kCc;
+        r.vertex = static_cast<graph::Vertex>(rng.next() % 40);
+        break;
+    }
+    reqs.push_back(std::move(r));
+  }
+  return reqs;
+}
+
+serve::Catalog make_catalog(obs::Session* obs = nullptr) {
+  serve::CatalogOptions copts;
+  copts.obs = obs;
+  serve::Catalog catalog(copts);
+  catalog.add("g0", graph::gnm(40, 120, 7));
+  catalog.add("g1", graph::gnm(36, 90, 9));
+  catalog.add("g2", graph::gnm(44, 140, 11));
+  return catalog;
+}
+
+std::string render(const std::vector<serve::Response>& responses) {
+  std::string out;
+  for (const auto& r : responses) out += r.line() + "\n";
+  return out;
+}
+
+/// Serial reference: submit the whole script from this thread, drain.
+std::pair<std::string, std::string> serial_run(
+    const serve::ServeOptions& sopts) {
+  serve::Catalog catalog = make_catalog();
+  serve::Service service(catalog, sopts);
+  for (auto& r : mixed_script()) service.submit(std::move(r));
+  const std::string responses = render(service.drain());
+  return {responses, service.log()};
+}
+
+TEST(ServeStress, ConcurrentSubmissionMatchesSerial) {
+  serve::ServeOptions sopts;  // batching + cache on (the defaults)
+  const auto [want_responses, want_log] = serial_run(sopts);
+  EXPECT_FALSE(want_responses.empty());
+
+  for (const std::size_t n_clients : {2, 4, 8}) {
+    serve::Catalog catalog = make_catalog();
+    serve::Service service(catalog, sopts);
+    const std::vector<serve::Request> script = mixed_script();
+    std::vector<std::thread> clients;
+    clients.reserve(n_clients);
+    for (std::size_t c = 0; c < n_clients; ++c) {
+      clients.emplace_back([&service, &script, c, n_clients] {
+        // Client c submits the c-th stripe, so submissions interleave.
+        for (std::size_t i = c; i < script.size(); i += n_clients)
+          service.submit(script[i]);
+      });
+    }
+    for (auto& t : clients) t.join();
+    EXPECT_EQ(render(service.drain()), want_responses)
+        << n_clients << " clients";
+    EXPECT_EQ(service.log(), want_log) << n_clients << " clients";
+  }
+}
+
+TEST(ServeStress, RepeatedDrainsHitTheCache) {
+  serve::ServeOptions sopts;
+  serve::Catalog catalog = make_catalog();
+  serve::Service service(catalog, sopts);
+  for (auto& r : mixed_script()) service.submit(std::move(r));
+  const std::string first = render(service.drain());
+
+  // Same script again (fresh ids): responses identical, all hits.
+  for (auto& r : mixed_script()) {
+    r.id += 1000;
+    service.submit(std::move(r));
+  }
+  std::string second = render(service.drain());
+  // Only the ids differ; normalise them away line by line.
+  auto strip_id = [](const std::string& text) {
+    std::string out;
+    for (std::size_t pos = 0; pos < text.size();) {
+      const std::size_t eol = text.find('\n', pos);
+      const std::string line = text.substr(pos, eol - pos);
+      out += line.substr(line.find(' ') + 1) + "\n";
+      pos = eol + 1;
+    }
+    return out;
+  };
+  EXPECT_EQ(strip_id(second), strip_id(first));
+}
+
+TEST(ServeCache, HitsRequireExactTripleMatch) {
+  serve::ResultCache cache(16);
+  const serve::CacheKey key{0x1234, "doulion p=0.5 seed=7", 7};
+  cache.insert(key, "estimate=42");
+  EXPECT_EQ(cache.lookup(key), "estimate=42");
+  // Any component off by one misses.
+  EXPECT_FALSE(cache.lookup({0x1235, key.canonical, key.seed}).has_value());
+  EXPECT_FALSE(cache.lookup({key.digest, "doulion p=0.5 seed=8", 8})
+                   .has_value());
+  EXPECT_FALSE(cache.lookup({key.digest, key.canonical, 8}).has_value());
+}
+
+TEST(ServeCache, SeedsNeverAlias) {
+  // Two estimate queries differing only in seed must never share a
+  // cache entry — and their canonical forms must differ.
+  serve::Request a;
+  a.kind = serve::QueryKind::kWedges;
+  a.samples = 100;
+  a.seed = 1;
+  serve::Request b = a;
+  b.seed = 2;
+  EXPECT_NE(serve::canonical_query(a), serve::canonical_query(b));
+
+  serve::ResultCache cache(16);
+  cache.insert({9, serve::canonical_query(a), a.seed}, "estimate=1");
+  cache.insert({9, serve::canonical_query(b), b.seed}, "estimate=2");
+  EXPECT_EQ(cache.lookup({9, serve::canonical_query(a), a.seed}),
+            "estimate=1");
+  EXPECT_EQ(cache.lookup({9, serve::canonical_query(b), b.seed}),
+            "estimate=2");
+}
+
+TEST(ServeCache, RandomizedEvictionNeverChangesResponses) {
+  // Reference: caching disabled entirely.
+  serve::ServeOptions uncached;
+  uncached.cache_capacity = 0;
+  const auto [want, _] = serial_run(uncached);
+
+  // Any capacity from 1..16 (plenty of forced evictions at 200 requests)
+  // must produce byte-identical responses.
+  for (std::size_t cap = 1; cap <= 16; ++cap) {
+    serve::ServeOptions sopts;
+    sopts.cache_capacity = cap;
+    serve::Catalog catalog = make_catalog();
+    serve::Service service(catalog, sopts);
+    for (auto& r : mixed_script()) service.submit(std::move(r));
+    EXPECT_EQ(render(service.drain()), want) << "capacity " << cap;
+  }
+}
+
+TEST(ServeCache, EvictionEvictsLeastRecentlyUsed) {
+  serve::ResultCache cache(2);
+  cache.insert({1, "a", 0}, "A");
+  cache.insert({2, "b", 0}, "B");
+  EXPECT_TRUE(cache.lookup({1, "a", 0}).has_value());  // touch A
+  cache.insert({3, "c", 0}, "C");                      // evicts B
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_TRUE(cache.lookup({1, "a", 0}).has_value());
+  EXPECT_FALSE(cache.lookup({2, "b", 0}).has_value());
+  EXPECT_TRUE(cache.lookup({3, "c", 0}).has_value());
+}
+
+TEST(ServeBatching, MergesSameGraphPassesWithoutChangingResults) {
+  obs::Session obs;
+  serve::CatalogOptions copts;
+  copts.obs = &obs;
+  serve::Catalog catalog(copts);
+  const graph::Graph g = graph::gnm(40, 120, 7);
+  catalog.add("g", g);
+
+  serve::ServeOptions sopts;
+  sopts.obs = &obs;
+  serve::Service service(catalog, sopts);
+  // Three triangle queries and four cc queries: 2 passes, 5 merges.
+  for (std::uint64_t id = 0; id < 3; ++id) {
+    serve::Request r;
+    r.id = id;
+    r.tenant = "t" + std::to_string(id);
+    r.graph = "g";
+    r.kind = serve::QueryKind::kTriangles;
+    service.submit(std::move(r));
+  }
+  for (std::uint64_t id = 3; id < 7; ++id) {
+    serve::Request r;
+    r.id = id;
+    r.tenant = "t" + std::to_string(id % 2);
+    r.graph = "g";
+    r.kind = serve::QueryKind::kCc;
+    r.vertex = static_cast<graph::Vertex>(id);
+    service.submit(std::move(r));
+  }
+  const auto responses = service.drain();
+
+  EXPECT_EQ(obs.metrics.counter_value("lgg_serve_passes_total"), 2u);
+  EXPECT_EQ(obs.metrics.counter_value("lgg_serve_batch_merges_total"), 5u);
+
+  // Merged-pass results equal the per-query ground truth.
+  const std::uint64_t want_tri = core::count_triangles_forward(g);
+  const std::vector<double> want_cc = core::clustering_coefficients(g);
+  for (const auto& resp : responses) {
+    ASSERT_EQ(resp.status, serve::Status::kOk) << resp.line();
+    if (resp.canonical == "triangles") {
+      EXPECT_EQ(resp.body, "triangles=" + std::to_string(want_tri) +
+                               " backend=resilient");
+    }
+  }
+  EXPECT_NE(responses[3].body.find("cc="), std::string::npos);
+  for (std::uint64_t id = 3; id < 7; ++id)
+    EXPECT_EQ(responses[id].body,
+              "cc=" + obs::format_number(want_cc[id]) + " backend=host");
+
+  // Unbatched run: same responses, one pass per request.
+  serve::Catalog cat2;
+  cat2.add("g", graph::gnm(40, 120, 7));
+  serve::ServeOptions unbatched;
+  unbatched.batching = false;
+  serve::Service service2(cat2, unbatched);
+  for (std::uint64_t id = 0; id < 3; ++id) {
+    serve::Request r;
+    r.id = id;
+    r.tenant = "t" + std::to_string(id);
+    r.graph = "g";
+    r.kind = serve::QueryKind::kTriangles;
+    service2.submit(std::move(r));
+  }
+  for (std::uint64_t id = 3; id < 7; ++id) {
+    serve::Request r;
+    r.id = id;
+    r.tenant = "t" + std::to_string(id % 2);
+    r.graph = "g";
+    r.kind = serve::QueryKind::kCc;
+    r.vertex = static_cast<graph::Vertex>(id);
+    service2.submit(std::move(r));
+  }
+  const auto responses2 = service2.drain();
+  ASSERT_EQ(responses2.size(), responses.size());
+  for (std::size_t i = 0; i < responses.size(); ++i)
+    EXPECT_EQ(responses2[i].line(), responses[i].line());
+}
+
+TEST(ServeAdmission, QuotaRejectsDeterministicallyInIdOrder) {
+  serve::Catalog catalog = make_catalog();
+  serve::ServeOptions sopts;
+  sopts.tenant_quota = 2;
+  serve::Service service(catalog, sopts);
+  // alice submits 4, bob 1: alice's ids 0,1 admitted, 2,3 rejected.
+  for (std::uint64_t id = 0; id < 4; ++id) {
+    serve::Request r;
+    r.id = id;
+    r.tenant = "alice";
+    r.graph = "g0";
+    r.kind = serve::QueryKind::kBfs;
+    r.vertex = static_cast<graph::Vertex>(id);
+    service.submit(std::move(r));
+  }
+  serve::Request rb;
+  rb.id = 4;
+  rb.tenant = "bob";
+  rb.graph = "g0";
+  rb.kind = serve::QueryKind::kTriangles;
+  service.submit(std::move(rb));
+
+  const auto responses = service.drain();
+  EXPECT_EQ(responses[0].status, serve::Status::kOk);
+  EXPECT_EQ(responses[1].status, serve::Status::kOk);
+  EXPECT_EQ(responses[2].status, serve::Status::kRejected);
+  EXPECT_EQ(responses[3].status, serve::Status::kRejected);
+  EXPECT_EQ(responses[4].status, serve::Status::kOk);
+}
+
+TEST(ServeErrors, UnknownGraphAndBadVertexAreDeterministicErrors) {
+  serve::Catalog catalog = make_catalog();
+  serve::Service service(catalog, {});
+  serve::Request a;
+  a.id = 0;
+  a.tenant = "t";
+  a.graph = "nope";
+  a.kind = serve::QueryKind::kTriangles;
+  service.submit(std::move(a));
+  serve::Request b;
+  b.id = 1;
+  b.tenant = "t";
+  b.graph = "g0";
+  b.kind = serve::QueryKind::kCc;
+  b.vertex = 1000;  // out of range
+  service.submit(std::move(b));
+  const auto responses = service.drain();
+  EXPECT_EQ(responses[0].status, serve::Status::kError);
+  EXPECT_EQ(responses[0].body, "reason=\"unknown graph\"");
+  EXPECT_EQ(responses[1].status, serve::Status::kError);
+  EXPECT_EQ(responses[1].body, "reason=\"vertex out of range\"");
+}
+
+TEST(ServeDevice, CacheHitsBypassTheDeviceEntirely) {
+  obs::Session obs;
+  serve::CatalogOptions copts;
+  copts.obs = &obs;
+  serve::Catalog catalog(copts);
+  catalog.add("g", graph::gnm(40, 120, 7));
+  serve::ServeOptions sopts;
+  sopts.obs = &obs;
+  serve::Service service(catalog, sopts);
+
+  serve::Request r;
+  r.id = 0;
+  r.tenant = "t";
+  r.graph = "g";
+  r.kind = serve::QueryKind::kTriangles;
+  service.submit(r);
+  const auto first = service.drain();
+  const std::uint64_t launches =
+      obs.metrics.counter_value("lgg_gpusim_launches_total");
+  EXPECT_GT(launches, 0u);  // the miss ran the device pipeline
+
+  r.id = 1;
+  service.submit(r);
+  const auto second = service.drain();
+  // Zero new kernel launches on the hit, identical body.
+  EXPECT_EQ(obs.metrics.counter_value("lgg_gpusim_launches_total"),
+            launches);
+  EXPECT_EQ(obs.metrics.counter_value("lgg_serve_cache_hits_total"), 1u);
+  EXPECT_EQ(second[0].body, first[0].body);
+}
+
+TEST(ServePlan, PreparedPlanMatchesColdRunsAndChargesNoPreprocessing) {
+  const graph::Graph g = graph::gnm(48, 160, 5);
+  const core::AlsPrecomputed plan = core::precompute_als(g);
+
+  core::HybridOptions cold;
+  const core::HybridResult cold_run = core::count_triangles_hybrid(g, cold);
+  core::HybridOptions warm;
+  warm.prepared = &plan;
+  const core::HybridResult warm_run = core::count_triangles_hybrid(g, warm);
+  EXPECT_EQ(warm_run.triangles, cold_run.triangles);
+  EXPECT_EQ(warm_run.total_tests, cold_run.total_tests);
+  EXPECT_LT(warm_run.total_time_s, cold_run.total_time_s);
+  EXPECT_GT(plan.preprocessing_s, 0.0);
+
+  resilience::RunnerOptions rcold;
+  const resilience::RunnerReport rep_cold = resilience::run_resilient(g, rcold);
+  resilience::RunnerOptions rwarm;
+  rwarm.prepared = &plan;
+  const resilience::RunnerReport rep_warm = resilience::run_resilient(g, rwarm);
+  EXPECT_EQ(rep_warm.triangles, rep_cold.triangles);
+  EXPECT_TRUE(rep_warm.certified);
+  EXPECT_EQ(rep_warm.log, rep_cold.log);
+  EXPECT_LT(rep_warm.total_time_s, rep_cold.total_time_s);
+}
+
+TEST(ServeRequest, ParseAndCanonicalRoundTrip) {
+  const serve::Request r =
+      serve::parse_request_line("alice g1 doulion 0.25 42");
+  EXPECT_EQ(r.tenant, "alice");
+  EXPECT_EQ(r.graph, "g1");
+  EXPECT_EQ(r.kind, serve::QueryKind::kDoulion);
+  EXPECT_EQ(r.seed, 42u);
+  EXPECT_EQ(serve::canonical_query(r), "doulion p=0.25 seed=42");
+
+  EXPECT_THROW(serve::parse_request_line("just two"), Error);
+  EXPECT_THROW(serve::parse_request_line("a g frobnicate"), Error);
+  EXPECT_THROW(serve::parse_request_line("a g kclique 99"), Error);
+  EXPECT_THROW(serve::parse_request_line("a g doulion 1.5 2"), Error);
+}
+
+}  // namespace
+}  // namespace lgg

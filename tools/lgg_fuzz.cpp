@@ -32,8 +32,10 @@ using namespace lgg;
       "                    [--max-findings N] [--no-shrink] [--serial-only]\n"
       "                    [--faults RATE[,SEED]] [--max-retries N]\n"
       "                    [--failover cpu|stream|off] [--trace-dir DIR]\n"
-      "  lgg_fuzz replay <repro.txt> [...]\n"
-      "  lgg_fuzz corpus <dir>\n"
+      "  lgg_fuzz replay <repro.txt> [...] [--trace FILE]\n"
+      "                  [--trace-tree FILE] [--metrics FILE] [--threads T]\n"
+      "  lgg_fuzz corpus <dir> [--trace FILE] [--trace-tree FILE]\n"
+      "                  [--metrics FILE] [--threads T]\n"
       "  lgg_fuzz shrink <repro.txt>\n";
   std::exit(2);
 }
@@ -86,10 +88,17 @@ std::uint64_t take_u64(std::vector<std::string>& args, const std::string& flag,
 
 /// Replay one repro through the full cross-product; prints findings.
 /// Returns the number of findings.
-std::size_t replay_file(const std::string& path) {
+std::size_t replay_file(const std::string& path,
+                        const fuzz::EngineOptions& opts) {
   const fuzz::Repro repro = fuzz::read_repro_file(path);
-  fuzz::EngineOptions opts;
   std::size_t findings = 0;
+
+  // Span name from the repro's own slug (file content, not file path),
+  // so traces stay byte-identical wherever the corpus is checked out.
+  obs::Scope span(opts.obs,
+                  opts.obs != nullptr ? "fuzz/replay[" + repro.name + "]"
+                                      : std::string(),
+                  "replay");
 
   const std::uint64_t oracle = fuzz::oracle_triangles(repro.graph);
   if (oracle != repro.oracle) {
@@ -104,11 +113,73 @@ std::size_t replay_file(const std::string& path) {
   for (const auto& f : found) std::cout << path << ": " << describe(f) << "\n";
   findings += found.size();
 
+  if (span) {
+    span.arg("vertices",
+             static_cast<std::uint64_t>(repro.graph.num_vertices()));
+    span.arg("edges", static_cast<std::uint64_t>(repro.graph.num_edges()));
+    span.arg("oracle", oracle);
+    span.arg("findings", static_cast<std::uint64_t>(findings));
+  }
+  if (opts.obs != nullptr) {
+    opts.obs->metrics.count("lgg_fuzz_replays_total");
+    if (findings > 0)
+      opts.obs->metrics.count("lgg_fuzz_replay_findings_total",
+                              findings);
+  }
+
   std::cout << path << ": " << repro.graph.num_vertices() << "v/"
             << repro.graph.num_edges() << "e oracle=" << oracle << " "
             << (findings ? "FINDINGS" : "ok") << "\n";
   return findings;
 }
+
+/// Shared --trace/--trace-tree/--metrics/--threads handling for replay
+/// and corpus (the carried-over obs item: DESIGN.md §12).  The exported
+/// artifacts are byte-identical across --threads settings: policy labels
+/// omit thread counts and every span arg is repro-content-derived.
+struct ReplayObs {
+  obs::Session session;
+  std::string trace_path, tree_path, metrics_path;
+
+  void extract(std::vector<std::string>& args, fuzz::EngineOptions& opts) {
+    bool enabled = false;
+    std::string v;
+    if (take_value(args, "--trace", v)) {
+      trace_path = v;
+      enabled = true;
+    }
+    if (take_value(args, "--trace-tree", v)) {
+      tree_path = v;
+      enabled = true;
+    }
+    if (take_value(args, "--metrics", v)) {
+      metrics_path = v;
+      enabled = true;
+    }
+    std::string threads;
+    if (take_value(args, "--threads", threads)) {
+      const auto n = std::strtoull(threads.c_str(), nullptr, 10);
+      opts.policies = {gpusim::ExecPolicy::serial(),
+                       gpusim::ExecPolicy::parallel(
+                           n == 0 ? 1 : static_cast<std::size_t>(n))};
+    }
+    if (enabled) opts.obs = &session;
+  }
+
+  void finish() {
+    const auto write = [](const std::string& path, const std::string& text) {
+      std::ofstream out(path, std::ios::binary);
+      if (!out) usage(("cannot write " + path).c_str());
+      out << text;
+    };
+    if (!trace_path.empty())
+      write(trace_path, obs::chrome_trace_json(session.tracer));
+    if (!tree_path.empty())
+      write(tree_path, obs::span_tree_text(session.tracer));
+    if (!metrics_path.empty())
+      write(metrics_path, session.metrics.prometheus_text());
+  }
+};
 
 int cmd_campaign(std::vector<std::string> args) {
   fuzz::EngineOptions opts;
@@ -180,24 +251,38 @@ int cmd_campaign(std::vector<std::string> args) {
   return result.findings_count == 0 ? 0 : 1;
 }
 
-int cmd_replay(const std::vector<std::string>& args) {
+int cmd_replay(std::vector<std::string> args) {
+  fuzz::EngineOptions opts;
+  ReplayObs robs;
+  robs.extract(args, opts);
   if (args.empty()) usage("replay needs at least one repro file");
   std::size_t findings = 0;
-  for (const auto& path : args) findings += replay_file(path);
+  for (const auto& path : args) findings += replay_file(path, opts);
+  robs.finish();
   return findings == 0 ? 0 : 1;
 }
 
-int cmd_corpus(const std::vector<std::string>& args) {
+int cmd_corpus(std::vector<std::string> args) {
+  fuzz::EngineOptions opts;
+  ReplayObs robs;
+  robs.extract(args, opts);
   if (args.size() != 1) usage("corpus needs exactly one directory");
   const auto files = fuzz::list_repro_files(args[0]);
   if (files.empty()) {
     std::cerr << "warning: no repro files in " << args[0] << "\n";
     return 0;
   }
+  obs::Scope corpus_span(opts.obs, "fuzz/corpus", "replay");
   std::size_t findings = 0;
-  for (const auto& path : files) findings += replay_file(path);
+  for (const auto& path : files) findings += replay_file(path, opts);
+  if (corpus_span) {
+    corpus_span.arg("repros", static_cast<std::uint64_t>(files.size()));
+    corpus_span.arg("findings", static_cast<std::uint64_t>(findings));
+  }
+  corpus_span.close();
   std::cout << files.size() << " repros, "
             << (findings ? "FINDINGS" : "all ok") << "\n";
+  robs.finish();
   return findings == 0 ? 0 : 1;
 }
 

@@ -1,0 +1,239 @@
+// lgg_serve — resident-graph analytics serving loop (DESIGN.md §15).
+//
+//   lgg_serve run <script|-> [options]
+//
+// The script mixes catalog directives and requests, one per line
+// ('#' comments and blank lines skipped):
+//
+//   load <name> <path>            make a SNAP file resident
+//   gen <name> gnm <n> <m> <seed> make a synthetic G(n,m) graph resident
+//   drain                         serve everything submitted so far
+//   <tenant> <graph> <query> ...  submit a request (serve/request.hpp)
+//
+// Pending requests are drained at end of script.  Responses print to
+// stdout in request-id (= script line) order; the deterministic request
+// log, Chrome trace, span tree and Prometheus dump are available behind
+// flags.  For a fixed script, every one of those artifacts is
+// byte-identical at any --threads setting — the serving determinism
+// contract the serve CI stage pins.
+//
+// Options:
+//   --threads N      host ExecPolicy for device passes + ingest loader
+//   --cache N        result-cache capacity in entries (default 64, 0 off)
+//   --no-batching    one backend pass per request (no merging)
+//   --quota N        per-tenant admission quota per drain (0 = unlimited)
+//   --device-budget N  max ALS tests a graph may have for the resilient
+//                      device triangle backend (larger graphs use DODG)
+//   --log FILE       write the request log ("-" = stdout)
+//   --trace FILE     Chrome trace JSON
+//   --trace-tree FILE  indented span tree ("-" = stdout)
+//   --metrics FILE   Prometheus text ("-" = stdout)
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lgg.hpp"
+
+namespace {
+
+using namespace lgg;
+
+[[noreturn]] void usage(const char* message = nullptr) {
+  if (message) std::cerr << "error: " << message << "\n\n";
+  std::cerr <<
+      "usage:\n"
+      "  lgg_serve run <script|-> [--threads N] [--cache N]\n"
+      "            [--no-batching] [--quota N] [--device-budget N]\n"
+      "            [--log FILE] [--trace FILE] [--trace-tree FILE]\n"
+      "            [--metrics FILE]\n"
+      "\n"
+      "script lines:\n"
+      "  load <name> <path>             resident SNAP file\n"
+      "  gen <name> gnm <n> <m> <seed>  resident synthetic graph\n"
+      "  drain                          serve pending requests\n"
+      "  <tenant> <graph> triangles\n"
+      "  <tenant> <graph> kclique <k>\n"
+      "  <tenant> <graph> doulion <p> <seed>\n"
+      "  <tenant> <graph> wedges <samples> <seed>\n"
+      "  <tenant> <graph> bfs <source>\n"
+      "  <tenant> <graph> cc <vertex>\n";
+  std::exit(2);
+}
+
+bool take_flag(std::vector<std::string>& args, const std::string& flag) {
+  for (auto it = args.begin(); it != args.end(); ++it) {
+    if (*it == flag) {
+      args.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Accepts both "--flag value" and "--flag=value".
+bool take_value(std::vector<std::string>& args, const std::string& flag,
+                std::string& value) {
+  const std::string joined = flag + "=";
+  for (auto it = args.begin(); it != args.end(); ++it) {
+    if (*it == flag) {
+      if (it + 1 == args.end()) usage(("missing value for " + flag).c_str());
+      value = *(it + 1);
+      args.erase(it, it + 2);
+      return true;
+    }
+    if (it->compare(0, joined.size(), joined) == 0) {
+      value = it->substr(joined.size());
+      args.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::uint64_t take_u64(std::vector<std::string>& args,
+                       const std::string& flag, std::uint64_t fallback) {
+  std::string value;
+  if (!take_value(args, flag, value)) return fallback;
+  return std::strtoull(value.c_str(), nullptr, 10);
+}
+
+void write_or_die(const std::string& path, const std::string& text) {
+  if (path == "-") {
+    std::cout << text;
+    return;
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out) usage(("cannot write " + path).c_str());
+  out << text;
+}
+
+std::vector<std::string> split_ws(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream is(line);
+  std::string tok;
+  while (is >> tok) out.push_back(tok);
+  return out;
+}
+
+int cmd_run(std::vector<std::string> args) {
+  obs::Session session;
+  bool obs_enabled = false;
+  std::string trace_path, tree_path, metrics_path, log_path, value;
+  if (take_value(args, "--trace", value)) {
+    trace_path = value;
+    obs_enabled = true;
+  }
+  if (take_value(args, "--trace-tree", value)) {
+    tree_path = value;
+    obs_enabled = true;
+  }
+  if (take_value(args, "--metrics", value)) {
+    metrics_path = value;
+    obs_enabled = true;
+  }
+  take_value(args, "--log", log_path);
+
+  const std::uint64_t threads = take_u64(args, "--threads", 0);
+  serve::CatalogOptions copts;
+  copts.threads = static_cast<std::size_t>(threads);
+  copts.obs = obs_enabled ? &session : nullptr;
+
+  serve::ServeOptions sopts;
+  sopts.cache_capacity =
+      static_cast<std::size_t>(take_u64(args, "--cache", 64));
+  sopts.batching = !take_flag(args, "--no-batching");
+  sopts.tenant_quota = take_u64(args, "--quota", 0);
+  sopts.device_test_budget =
+      take_u64(args, "--device-budget", sopts.device_test_budget);
+  sopts.exec = threads <= 1
+                   ? gpusim::ExecPolicy::serial()
+                   : gpusim::ExecPolicy::parallel(
+                         static_cast<std::size_t>(threads));
+  sopts.obs = copts.obs;
+
+  if (args.empty()) usage("run needs a script path (or '-' for stdin)");
+  const std::string script_path = args.front();
+  args.erase(args.begin());
+  if (!args.empty()) usage(("unknown run option: " + args[0]).c_str());
+
+  std::ifstream file;
+  if (script_path != "-") {
+    file.open(script_path);
+    if (!file) usage(("cannot open script " + script_path).c_str());
+  }
+  std::istream& in = script_path == "-" ? std::cin : file;
+
+  serve::Catalog catalog(copts);
+  serve::Service service(catalog, sopts);
+  std::uint64_t next_id = 0;
+  std::size_t pending = 0;
+  const auto drain = [&] {
+    for (const serve::Response& resp : service.drain())
+      std::cout << resp.line() << "\n";
+    pending = 0;
+  };
+
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    const std::vector<std::string> tok = split_ws(line);
+    if (tok.empty()) continue;
+    try {
+      if (tok[0] == "load") {
+        if (tok.size() != 3) usage("load needs: load <name> <path>");
+        catalog.load_file(tok[1], tok[2]);
+      } else if (tok[0] == "gen") {
+        if (tok.size() != 6 || tok[2] != "gnm")
+          usage("gen needs: gen <name> gnm <n> <m> <seed>");
+        catalog.add(tok[1],
+                    graph::gnm(std::strtoull(tok[3].c_str(), nullptr, 10),
+                               std::strtoull(tok[4].c_str(), nullptr, 10),
+                               std::strtoull(tok[5].c_str(), nullptr, 10)));
+      } else if (tok[0] == "drain") {
+        if (tok.size() != 1) usage("drain takes no arguments");
+        drain();
+      } else {
+        serve::Request req = serve::parse_request_line(line);
+        req.id = next_id++;
+        service.submit(std::move(req));
+        ++pending;
+      }
+    } catch (const Error& e) {
+      std::cerr << "error: " << script_path << ":" << lineno << ": "
+                << e.what() << "\n";
+      return 2;
+    }
+  }
+  if (pending > 0) drain();
+
+  if (!log_path.empty()) write_or_die(log_path, service.log());
+  if (!trace_path.empty())
+    write_or_die(trace_path, obs::chrome_trace_json(session.tracer));
+  if (!tree_path.empty())
+    write_or_die(tree_path, obs::span_tree_text(session.tracer));
+  if (!metrics_path.empty())
+    write_or_die(metrics_path, session.metrics.prometheus_text());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string command = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  try {
+    if (command == "run") return cmd_run(std::move(args));
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+  usage(("unknown command: " + command).c_str());
+}
