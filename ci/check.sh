@@ -136,6 +136,24 @@ cmp "$OBS_TMP/serve-big-t1.log" "$OBS_TMP/serve-big-t8.log"
 cmp "$OBS_TMP/serve-big-t1.prom" "$OBS_TMP/serve-big-t8.prom"
 echo "serve responses, log and metrics identical at --threads 1 and 8"
 
+step "chaos: kill/resume suites (ctest -L chaos)"
+# The chaos-labelled tests really kill a process (_Exit) mid-run and
+# resume it from its checkpoint, then require every artifact — report,
+# log, trace, span tree, metrics — byte-identical to an uninterrupted
+# reference (DESIGN.md section 16).
+ctest --test-dir build -L chaos --output-on-failure \
+      "${CTEST_ARGS[@]+"${CTEST_ARGS[@]}"}"
+
+step "chaos: kill-after-2-chunks resume smoke (faults armed)"
+# Belt and braces outside ctest: one end-to-end kill/resume cycle with
+# fault injection on.  lgg_chaos byte-compares the artifact pairs
+# itself; prom_diff re-checks the metrics pair at zero tolerance, and
+# with --rtol demonstrates the tolerant mode used for cross-host runs.
+build/tools/lgg_chaos resilient --dir "$OBS_TMP/chaos" --faults 0.05,7 \
+      --kill-after 2
+ci/prom_diff "$OBS_TMP/chaos/ref.prom" "$OBS_TMP/chaos/run.prom"
+echo "resumed metrics identical to uninterrupted reference (prom_diff)"
+
 step "asan: configure + build (LGG_SANITIZE=address, LGG_WERROR=ON)"
 cmake --preset asan
 cmake --build --preset asan -j "$JOBS"

@@ -6,8 +6,10 @@
 # derived from the date, so each night explores a fresh deterministic
 # slice of the input space while any finding stays reproducible from the
 # printed seed alone.  Repro files land in tests/corpus/incoming/ for
-# triage — promote them into tests/corpus/ (the regression set replayed
-# by fuzz_corpus_replay) once the underlying bug is understood.
+# triage, where the fuzz_corpus_incoming_replay ctest entry keeps
+# replaying them — an unresolved finding fails CI until it is fixed and
+# promoted into tests/corpus/ (the permanent regression set replayed by
+# fuzz_corpus_replay).  See tests/corpus/incoming/README.md.
 #
 # Usage: ci/nightly_fuzz.sh [seconds] [fault-rate]
 set -euo pipefail

@@ -139,7 +139,8 @@ ChunkLaunch run_chunk_kernel(const graph::Graph& g, const graph::Chunk& chunk,
                              const ChunkWork& work,
                              const gpusim::Simulator& sim,
                              gpusim::DeviceMemory& mem,
-                             const HybridOptions& opts) {
+                             const HybridOptions& opts,
+                             ChunkSalvage* salvage) {
   const gpusim::DeviceSpec& dev = sim.spec();
   const std::uint32_t tpb = opts.threads_per_block;
   LGG_CHECK(tpb >= dev.warp_size && tpb % dev.warp_size == 0,
@@ -252,8 +253,33 @@ ChunkLaunch run_chunk_kernel(const graph::Graph& g, const graph::Chunk& chunk,
   ChunkLaunch out;
   {
     obs::Scope span(opts.obs, config.name, "launch");
-    out.report = sim.run(kernel, config, 1, opts.exec,
-                         analyzer ? &*analyzer : nullptr);
+    try {
+      out.report = sim.run(kernel, config, 1, opts.exec,
+                           analyzer ? &*analyzer : nullptr);
+    } catch (const gpusim::SmAbortFault& f) {
+      // Harvest the completed warps' output slots before rethrowing: the
+      // chunk runs as one block, so SM 0's abort boundary partitions the
+      // warps into completed (slots exact — warp replay is pure) and
+      // never-run.  Only untruncated chunks are salvageable: a sampled
+      // chunk's slots cover a subset of the owned tests.
+      if (salvage != nullptr && !f.aborts().empty() &&
+          opts.max_simulated_tests_per_chunk == 0) {
+        const gpusim::SmAbortInfo& info = f.aborts().front();
+        LGG_ASSERT(info.sm == 0);
+        salvage->warps_total = chunk_warps;
+        salvage->warps_completed =
+            std::min<std::uint64_t>(info.warps_completed, chunk_warps);
+        salvage->warp_done.assign(chunk_warps, 0);
+        salvage->simulated = 0;
+        salvage->triangles = 0;
+        for (std::uint64_t w = 0; w < salvage->warps_completed; ++w) {
+          salvage->warp_done[w] = 1;
+          salvage->simulated += warp_simulated[w];
+          salvage->triangles += warp_found[w];
+        }
+      }
+      throw;
+    }
 
     // Deterministic reduction: fold per-warp slots in warp order.
     for (std::uint64_t wid = 0; wid < chunk_warps; ++wid) {

@@ -165,15 +165,35 @@ struct ChunkLaunch {
   gpusim::KernelReport report;  // rescaled to the full chunk if truncated
 };
 
+/// What an SM abort left behind in one chunk launch: the per-warp output
+/// slots of the warps that completed before the abort boundary
+/// (gpusim::SmAbortFault::aborts).  Because each warp's replay is a pure
+/// function of (graph, chunk work, launch config), a completed warp's
+/// slots hold exactly what a fault-free launch writes — so `triangles`
+/// over `simulated` tests can be trusted, and only the tests owned by the
+/// warps past the boundary need a host recount (DESIGN.md §16).
+struct ChunkSalvage {
+  std::uint64_t warps_total = 0;      // warps in the chunk's single block
+  std::uint64_t warps_completed = 0;  // completed before the abort
+  std::uint64_t simulated = 0;        // tests run by completed warps
+  std::uint64_t triangles = 0;        // found by completed warps
+  /// warp_done[w] != 0 iff warp w completed (size warps_total).
+  std::vector<std::uint8_t> warp_done;
+};
+
 /// Launch one chunk's 1-block kernel on `sim`, allocating any
 /// global-resident matrix from `mem`.  Requires work.tests > 0.  Faults
-/// installed on sim/mem surface as gpusim::DeviceFault from here (and the
-/// outputs of a faulted launch are garbage — retry with a fresh attempt).
+/// installed on sim/mem surface as gpusim::DeviceFault from here.  When
+/// `salvage` is non-null and the launch dies with an SM abort (and the
+/// chunk is untruncated), the completed warps' outputs are harvested into
+/// it before the fault is rethrown; all other faulted launches leave
+/// outputs that must be treated as garbage — retry with a fresh attempt.
 ChunkLaunch run_chunk_kernel(const graph::Graph& g, const graph::Chunk& chunk,
                              const ChunkWork& work,
                              const gpusim::Simulator& sim,
                              gpusim::DeviceMemory& mem,
-                             const HybridOptions& opts);
+                             const HybridOptions& opts,
+                             ChunkSalvage* salvage = nullptr);
 
 /// Exact CPU recount of the chunk's test space (the oracle the resilient
 /// runner verifies device results against, and its CPU failover path).

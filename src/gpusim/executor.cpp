@@ -96,6 +96,16 @@ KernelReport Simulator::run(const KernelFn& kernel, const KernelConfig& config,
   // then partial per-warp outputs may exist, so callers must treat the
   // outputs of a faulted launch as garbage.
   std::vector<std::uint8_t> aborted(dev.sm_count, 0);
+  std::vector<std::uint64_t> shard_warp_count(dev.sm_count, 0);
+  for (std::uint32_t sm = 0; sm < dev.sm_count; ++sm) {
+    const std::uint64_t blocks_in_shard =
+        config.blocks > sm
+            ? (static_cast<std::uint64_t>(config.blocks) - 1 - sm) /
+                      dev.sm_count +
+                  1
+            : 0;
+    shard_warp_count[sm] = blocks_in_shard * warps_per_block;
+  }
   bool any_abort = false;
   if (faults_ != nullptr) {
     const std::uint32_t occupied = std::min(config.blocks, dev.sm_count);
@@ -124,15 +134,7 @@ KernelReport Simulator::run(const KernelFn& kernel, const KernelConfig& config,
     // counted before the sampling decision so serial and sampled runs die
     // at the same point in the warp stream).
     std::uint64_t warp_budget = ~std::uint64_t{0};
-    if (aborted[sm] != 0) {
-      const std::uint64_t blocks_in_shard =
-          config.blocks > sm
-              ? (static_cast<std::uint64_t>(config.blocks) - 1 - sm) /
-                        dev.sm_count +
-                    1
-              : 0;
-      warp_budget = blocks_in_shard * warps_per_block / 2;
-    }
+    if (aborted[sm] != 0) warp_budget = shard_warp_count[sm] / 2;
     std::uint64_t warps_visited = 0;
     for (std::uint32_t block = sm; block < config.blocks;
          block += dev.sm_count) {
@@ -237,18 +239,23 @@ KernelReport Simulator::run(const KernelFn& kernel, const KernelConfig& config,
 
   // A decided SM abort surfaces only after every shard has finished its
   // (possibly truncated) replay: the throw point is deterministic, and no
-  // host worker is ever interrupted mid-warp.
+  // host worker is ever interrupted mid-warp.  The fault carries each
+  // aborted SM's abort boundary (warps completed before the death) so a
+  // recovery layer can salvage the completed warps' output slots.
   if (any_abort) {
     std::string which;
+    std::vector<SmAbortInfo> infos;
     for (std::uint32_t sm = 0; sm < dev.sm_count; ++sm) {
       if (aborted[sm] != 0) {
         if (!which.empty()) which += ",";
         which += std::to_string(sm);
+        infos.push_back(
+            {sm, shard_warp_count[sm] / 2, shard_warp_count[sm]});
       }
     }
-    throw DeviceFault(FaultSite::kSmAbort, "injected fault: SM(s) " + which +
-                                               " aborted mid-kernel in '" +
-                                               config.name + "'");
+    throw SmAbortFault("injected fault: SM(s) " + which +
+                           " aborted mid-kernel in '" + config.name + "'",
+                       std::move(infos));
   }
 
   // Merge shards in fixed SM order (integer sums are order-free; the FP

@@ -20,6 +20,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "util/error.hpp"
 
@@ -55,6 +57,34 @@ class DeviceFault : public Error {
   FaultSite site_;
 };
 
+/// Abort boundary of one aborted SM: how many of the warps its shard
+/// visits (in program order — block sm, sm + sm_count, ..., warps in
+/// increasing index within each block) completed before the SM died.
+/// Warps before the boundary ran to completion, so their per-warp output
+/// slots hold exactly what a fault-free launch would have written; warps
+/// at or past it never ran.
+struct SmAbortInfo {
+  std::uint32_t sm = 0;
+  std::uint64_t warps_completed = 0;  // replayed before the abort
+  std::uint64_t warps_total = 0;      // the shard's full warp count
+};
+
+/// The SM-abort flavour of DeviceFault, carrying the per-SM abort
+/// boundaries so a recovery layer can salvage the completed warps'
+/// outputs instead of discarding the whole launch (DESIGN.md §16).
+class SmAbortFault : public DeviceFault {
+ public:
+  SmAbortFault(const std::string& what, std::vector<SmAbortInfo> aborts)
+      : DeviceFault(FaultSite::kSmAbort, what), aborts_(std::move(aborts)) {}
+  /// One entry per aborted SM, in SM order.
+  [[nodiscard]] const std::vector<SmAbortInfo>& aborts() const noexcept {
+    return aborts_;
+  }
+
+ private:
+  std::vector<SmAbortInfo> aborts_;
+};
+
 /// Decision interface consulted at each fault site.  Implementations may
 /// keep state (draw counters, event logs); all calls are host-serial (see
 /// the header comment), so no synchronisation is required.
@@ -67,9 +97,11 @@ class FaultHook {
   virtual bool on_launch(const KernelConfig& config) = 0;
   /// Called once per OCCUPIED SM (sm < min(blocks, sm_count)), in SM
   /// order, before the shards run.  true: that SM aborts after replaying
-  /// half its warps, and the launch throws DeviceFault after all shards
-  /// finish (partial per-warp outputs may have been written — callers
-  /// must treat outputs of a faulted launch as garbage).
+  /// half its warps, and the launch throws SmAbortFault after all shards
+  /// finish.  The fault carries each aborted SM's abort boundary: warps
+  /// before it completed (their output slots are exact), warps past it
+  /// never ran — callers either salvage against those boundaries or treat
+  /// the launch's outputs as garbage.
   virtual bool on_sm_abort(const KernelConfig& config, std::uint32_t sm) = 0;
   /// true: the transfer completes but its payload is corrupted; reported
   /// via TransferReport::corrupted, never thrown.

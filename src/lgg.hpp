@@ -74,6 +74,7 @@
 #include "obs/metrics.hpp"           // IWYU pragma: export
 #include "obs/obs.hpp"               // IWYU pragma: export
 #include "obs/trace.hpp"             // IWYU pragma: export
+#include "resilience/checkpoint.hpp"  // IWYU pragma: export
 #include "resilience/fault.hpp"      // IWYU pragma: export
 #include "resilience/runner.hpp"     // IWYU pragma: export
 #include "sancheck/footprint.hpp"    // IWYU pragma: export

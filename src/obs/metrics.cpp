@@ -165,4 +165,16 @@ std::string Metrics::prometheus_text() const {
   return os.str();
 }
 
+MetricsState Metrics::state() const {
+  return {counters_, counters_f_, gauges_, histograms_, help_};
+}
+
+void Metrics::restore(MetricsState s) {
+  counters_ = std::move(s.counters);
+  counters_f_ = std::move(s.counters_f);
+  gauges_ = std::move(s.gauges);
+  histograms_ = std::move(s.histograms);
+  help_ = std::move(s.help);
+}
+
 }  // namespace lgg::obs

@@ -33,6 +33,17 @@ struct Histogram {
   void observe(double value);
 };
 
+/// Complete serializable registry state for checkpoint/restart
+/// (DESIGN.md §16).  Doubles must round-trip exactly, so checkpoint
+/// encoders store them as bit patterns.
+struct MetricsState {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> counters_f;
+  std::map<std::string, double> gauges;
+  std::map<std::string, Histogram> histograms;
+  std::map<std::string, std::string> help;
+};
+
 class Metrics {
  public:
   /// Add `delta` to integer counter `name{labels}` (created at 0).
@@ -70,6 +81,11 @@ class Metrics {
 
   /// Prometheus text exposition (sorted by family, then series).
   [[nodiscard]] std::string prometheus_text() const;
+
+  /// Snapshot every series (checkpoints).
+  [[nodiscard]] MetricsState state() const;
+  /// Replace the registry's contents with a snapshot (checkpoint resume).
+  void restore(MetricsState s);
 
  private:
   std::map<std::string, std::uint64_t> counters_;

@@ -50,6 +50,29 @@ void record_hazards(Session* session, const gpusim::HazardReport& report) {
     m.count("lgg_sancheck_hazards_by_class_total", report.by_class[c],
             labels);
   }
+  // One zero-duration span event per recorded hazard (the recorded list
+  // is capped upstream, so this is bounded), localizing the hazard site
+  // on the modelled timeline next to the launch that produced it.
+  // Hazard-free runs emit nothing, so fault-free golden traces are
+  // untouched.
+  for (const gpusim::Hazard& h : report.hazards) {
+    const std::size_t id = session->tracer.begin(
+        std::string("hazard/") + gpusim::hazard_class_name(h.cls),
+        "sancheck");
+    if (id != Tracer::kDropped) {
+      session->tracer.arg(id, "addr", std::to_string(h.addr));
+      session->tracer.arg(id, "bytes", std::to_string(h.bytes));
+      if (h.first_thread != gpusim::Hazard::kNoThread)
+        session->tracer.arg(id, "first_thread",
+                            std::to_string(h.first_thread));
+      if (h.second_thread != gpusim::Hazard::kNoThread)
+        session->tracer.arg(id, "second_thread",
+                            std::to_string(h.second_thread));
+      session->tracer.arg(id, "message",
+                          "\"" + json_escape(h.message) + "\"");
+    }
+    session->tracer.end(id);
+  }
 }
 
 void record_occupancy(Session* session, double occupancy) {

@@ -110,7 +110,9 @@ void record_kernel(Session* session, const gpusim::KernelReport& report);
 /// Record one host<->device copy (bytes, seconds, corruption).
 void record_transfer(Session* session, const gpusim::TransferReport& report);
 
-/// Record sancheck hazard totals (per-class labelled counters).
+/// Record sancheck hazard totals (per-class labelled counters) plus one
+/// zero-duration "hazard/<class>" span per recorded hazard, so a --trace
+/// localizes hazard sites on the modelled timeline.
 void record_hazards(Session* session, const gpusim::HazardReport& report);
 
 /// Record achieved occupancy for a launch (histogram, buckets of 1/8).

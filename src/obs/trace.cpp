@@ -70,6 +70,35 @@ std::uint64_t Tracer::now_ns() const noexcept {
   return open_.empty() ? top_cursor_ : open_.back().cursor;
 }
 
+TracerState Tracer::state() const {
+  TracerState s;
+  s.spans = spans_;
+  s.open.reserve(open_.size());
+  for (const Frame& f : open_)
+    s.open.emplace_back(static_cast<std::uint64_t>(f.idx), f.cursor);
+  s.top_cursor = top_cursor_;
+  s.dropped = dropped_;
+  return s;
+}
+
+void Tracer::restore(TracerState s) {
+  spans_ = std::move(s.spans);
+  open_.clear();
+  open_.reserve(s.open.size());
+  for (const auto& [idx, cursor] : s.open) {
+    const auto i = static_cast<std::size_t>(idx);
+    LGG_CHECK(i == kDropped || i < spans_.size(),
+              "Tracer::restore: open frame index out of range");
+    open_.push_back({i, cursor});
+  }
+  top_cursor_ = s.top_cursor;
+  dropped_ = static_cast<std::size_t>(s.dropped);
+}
+
+std::size_t Tracer::open_top() const noexcept {
+  return open_.empty() ? kDropped : open_.back().idx;
+}
+
 std::string json_escape(std::string_view s) {
   std::string out;
   out.reserve(s.size() + 2);

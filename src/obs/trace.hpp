@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace lgg::obs {
@@ -49,6 +50,18 @@ struct Span {
   [[nodiscard]] std::uint64_t duration_ns() const noexcept {
     return end_ns - begin_ns;
   }
+};
+
+/// Complete serializable tracer state — recorded spans plus the open-span
+/// stack — so a checkpoint can freeze a trace mid-run and a resumed
+/// process can continue it byte-identically (DESIGN.md §16).  `open`
+/// holds (span index, cursor) per open frame, innermost last; dropped
+/// frames carry Tracer::kDropped as their index.
+struct TracerState {
+  std::vector<Span> spans;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> open;
+  std::uint64_t top_cursor = 0;
+  std::uint64_t dropped = 0;
 };
 
 class Tracer {
@@ -88,6 +101,14 @@ class Tracer {
   /// Cap on recorded spans (default 1<<20); further begins are dropped
   /// but counted.  A pure function of the workload, so determinism holds.
   void set_span_cap(std::size_t cap) noexcept { cap_ = cap; }
+
+  /// Snapshot the full tracer state, open frames included (checkpoints).
+  [[nodiscard]] TracerState state() const;
+  /// Replace this tracer's state with a snapshot (checkpoint resume).
+  void restore(TracerState s);
+  /// Id of the innermost open span (kDropped when none is open or the
+  /// innermost frame was dropped) — what a resumed driver must end().
+  [[nodiscard]] std::size_t open_top() const noexcept;
 
  private:
   struct Frame {

@@ -86,6 +86,27 @@ bool FaultInjector::on_transfer(std::uint64_t bytes) {
 
 FaultPlan FaultInjector::plan() const { return {seed_, rates_, events_}; }
 
+FaultInjector::State FaultInjector::state() const {
+  State s;
+  s.draws = draws_;
+  s.counts = counts_;
+  for (std::size_t i = 0; i < gpusim::kNumFaultSites; ++i)
+    s.replay_cursor[i] = replay_cursor_[i];
+  s.events = events_;
+  return s;
+}
+
+void FaultInjector::restore_state(const State& s) {
+  draws_ = s.draws;
+  counts_ = s.counts;
+  for (std::size_t i = 0; i < gpusim::kNumFaultSites; ++i) {
+    replay_cursor_[i] = static_cast<std::size_t>(s.replay_cursor[i]);
+    LGG_CHECK(!replay_ || replay_cursor_[i] <= replay_draws_[i].size(),
+              "FaultInjector::restore_state: replay cursor out of range");
+  }
+  events_ = s.events;
+}
+
 std::ostream& operator<<(std::ostream& os, const FaultEvent& e) {
   return os << gpusim::fault_site_name(e.site) << "@" << e.draw << "("
             << e.detail << ")";

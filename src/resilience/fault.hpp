@@ -97,6 +97,21 @@ class FaultInjector final : public gpusim::FaultHook {
   /// constructor to reproduce this exact fault pattern.
   [[nodiscard]] FaultPlan plan() const;
 
+  /// Mid-run injector position for checkpoint/restart (DESIGN.md §16):
+  /// per-site draw/fire counters, the fired-event log, and the replay
+  /// cursors.  Restoring it onto an injector built with the same
+  /// seed/rates (or plan) makes the continuation's draw sequence — and
+  /// therefore the whole fault pattern — identical to an uninterrupted
+  /// run's.
+  struct State {
+    std::array<std::uint64_t, gpusim::kNumFaultSites> draws{};
+    std::array<std::uint64_t, gpusim::kNumFaultSites> counts{};
+    std::array<std::uint64_t, gpusim::kNumFaultSites> replay_cursor{};
+    std::vector<FaultEvent> events;
+  };
+  [[nodiscard]] State state() const;
+  void restore_state(const State& s);
+
  private:
   bool decide(gpusim::FaultSite site, std::uint64_t detail);
 

@@ -25,6 +25,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -56,6 +57,7 @@ enum class ChunkOutcome : int {
   kCpuFailover = 2,     // device gave up; CPU oracle
   kStreamFailover = 3,  // device gave up; streaming batches
   kFailed = 4,          // device gave up and failover was off
+  kSalvaged = 5,        // SM abort: completed warps kept, rest recounted
 };
 
 [[nodiscard]] const char* chunk_outcome_name(ChunkOutcome o) noexcept;
@@ -106,6 +108,25 @@ struct RunnerOptions {
   /// decomposition / per-chunk ALS work and charges ZERO modelled
   /// preprocessing — the resident-graph amortization (DESIGN.md §15).
   const core::AlsPrecomputed* prepared = nullptr;
+  /// Partial-result salvage on SM abort (DESIGN.md §16): keep the output
+  /// slots of warps that completed before the abort boundary (their
+  /// replay is pure, so the slots equal a fault-free run's) and recount
+  /// only the lost remainder on the host.  The chunk is then certified
+  /// without a device retry.  Applies only to untruncated chunks whose
+  /// staging transfer was clean.
+  bool salvage = true;
+  /// Durable checkpointing (DESIGN.md §16): when non-empty, the runner
+  /// serializes its complete mid-run state to this path (write-to-temp +
+  /// rename) every `checkpoint_every_chunks` chunk boundaries, and
+  /// removes the file once the run completes.  resume_resilient continues
+  /// from the first incomplete chunk with final outputs byte-identical to
+  /// an uninterrupted run's.
+  std::string checkpoint_path;
+  std::uint32_t checkpoint_every_chunks = 1;
+  /// Test/chaos hook invoked after each durable checkpoint write with the
+  /// index of the last completed chunk (the kill-resume harness uses it
+  /// to die at a precise boundary).
+  std::function<void(std::uint32_t)> on_checkpoint;
 };
 
 /// Per-chunk accounting.
@@ -122,6 +143,12 @@ struct ChunkRecord {
   double backoff_s = 0.0;         // modelled backoff charged
   double time_s = 0.0;            // modelled job time of the final attempt
   std::uint32_t sm = 0;           // machine after any loss reassignment
+  // Salvage accounting (outcome == kSalvaged only): tests whose device
+  // results were kept vs tests recounted on the host; the two always sum
+  // to `tests`.
+  std::uint64_t salvaged_warps = 0;
+  std::uint64_t salvaged_tests = 0;
+  std::uint64_t recounted_tests = 0;
 };
 
 /// Whole-run recovery totals.  by_site matches the injector's FaultPlan
@@ -136,6 +163,9 @@ struct RecoveryStats {
   std::uint64_t stream_failovers = 0;
   std::uint64_t failed_chunks = 0;  // failover == off only
   double backoff_s = 0.0;           // total modelled backoff
+  std::uint64_t salvaged_warps = 0;    // warps kept across all SM aborts
+  std::uint64_t salvaged_tests = 0;    // device results kept by salvage
+  std::uint64_t recounted_tests = 0;   // host-recounted lost remainder
 };
 
 struct RunnerReport {
@@ -175,5 +205,16 @@ std::ostream& operator<<(std::ostream& os, const RunnerReport& r);
 /// Count triangles with full fault recovery (see the header comment).
 RunnerReport run_resilient(const graph::Graph& g,
                            const RunnerOptions& opts = {});
+
+/// Resume a checkpointed run from opts.checkpoint_path (which must be
+/// non-empty): load + validate the checkpoint, restore the injector and
+/// observability state, and continue from the first incomplete chunk.
+/// The final RunnerReport — log, trace, and metrics included — is
+/// byte-identical to an uninterrupted run's.  Throws
+/// resilience::CheckpointError when the file is missing, corrupt, of
+/// another version, or incompatible with (g, opts); the caller decides
+/// whether to fall back to a cold run_resilient.
+RunnerReport resume_resilient(const graph::Graph& g,
+                              const RunnerOptions& opts);
 
 }  // namespace lgg::resilience

@@ -29,4 +29,28 @@ void ResultCache::insert(const CacheKey& key, const std::string& body) {
   ++evictions_;
 }
 
+ResultCache::Snapshot ResultCache::snapshot() const {
+  Snapshot s;
+  s.entries.reserve(map_.size());
+  for (const auto& [key, entry] : map_)
+    s.entries.push_back(Snapshot::Entry{key, entry.body, entry.tick});
+  s.tick = tick_;
+  s.evictions = evictions_;
+  return s;
+}
+
+void ResultCache::restore(const Snapshot& s) {
+  LGG_CHECK(capacity_ == 0 || s.entries.size() <= capacity_,
+            "ResultCache::restore: snapshot has " << s.entries.size()
+                << " entries but capacity is " << capacity_);
+  map_.clear();
+  for (const Snapshot::Entry& e : s.entries) {
+    LGG_CHECK(e.tick <= s.tick,
+              "ResultCache::restore: entry tick beyond the logical clock");
+    map_[e.key] = Entry{e.body, e.tick};
+  }
+  tick_ = s.tick;
+  evictions_ = s.evictions;
+}
+
 }  // namespace lgg::serve

@@ -20,6 +20,7 @@
 #include <optional>
 #include <string>
 #include <tuple>
+#include <vector>
 
 namespace lgg::serve {
 
@@ -51,6 +52,25 @@ class ResultCache {
   [[nodiscard]] std::uint64_t evictions() const noexcept {
     return evictions_;
   }
+
+  /// Complete cache state for checkpoint/restart (DESIGN.md §16): the
+  /// entries with their recency ticks, plus the logical clock and the
+  /// eviction counter.  Restoring it makes every future lookup, hit/miss
+  /// log line and eviction identical to an uninterrupted run's.
+  struct Snapshot {
+    struct Entry {
+      CacheKey key;
+      std::string body;
+      std::uint64_t tick = 0;
+    };
+    std::vector<Entry> entries;  // in key order
+    std::uint64_t tick = 0;
+    std::uint64_t evictions = 0;
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+  /// Replaces the cache contents (capacity is NOT part of the snapshot —
+  /// the restoring service must be configured with the same capacity).
+  void restore(const Snapshot& s);
 
  private:
   struct Entry {

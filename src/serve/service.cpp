@@ -1,6 +1,10 @@
 #include "serve/service.hpp"
 
 #include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <map>
 #include <sstream>
 #include <utility>
@@ -11,6 +15,7 @@
 #include "graph/bfs.hpp"
 #include "ingest/orient.hpp"
 #include "obs/trace.hpp"
+#include "resilience/checkpoint.hpp"
 #include "resilience/runner.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
@@ -26,7 +31,11 @@ struct Service::Group {
 };
 
 Service::Service(Catalog& catalog, const ServeOptions& opts)
-    : catalog_(catalog), opts_(opts), cache_(opts.cache_capacity) {}
+    : catalog_(catalog), opts_(opts), cache_(opts.cache_capacity) {
+  if (opts_.fault_rate > 0.0)
+    faults_.emplace(opts_.fault_seed,
+                    resilience::FaultRates::uniform(opts_.fault_rate));
+}
 
 void Service::submit(Request req) {
   const std::lock_guard<std::mutex> lock(mutex_);
@@ -67,7 +76,14 @@ std::string Service::execute_group(ResidentGraph& rg, const Group& group,
         ropts.exec = opts_.exec;
         ropts.obs = opts_.obs;
         ropts.prepared = &rg.plan;
-        count = resilience::run_resilient(g, ropts).triangles;
+        ropts.faults = faults_ ? &*faults_ : nullptr;
+        const resilience::RunnerReport rr = resilience::run_resilient(g, ropts);
+        LGG_CHECK(rr.exact, "serve: resilient pass failed to certify "
+                            << group.key << " on " << group.graph);
+        count = rr.triangles;
+        if (opts_.obs != nullptr && rr.recovery.faults > 0)
+          opts_.obs->metrics.count("lgg_serve_pass_faults_total",
+                                   rr.recovery.faults);
         backend = "resilient";
       } else {
         // Test space too large to simulate per query: the cached DODG
@@ -316,6 +332,224 @@ std::vector<Response> Service::drain() {
   ++drain_seq_;
   log_ += log.str();
   return responses;
+}
+
+// ------------------------------------------------- checkpoint/restart state
+
+ServeState Service::state() const {
+  LGG_CHECK(pending_.empty(),
+            "Service::state: must be taken at a drain boundary "
+            "(requests are pending)");
+  ServeState s;
+  s.drain_seq = drain_seq_;
+  s.log = log_;
+  s.cache = cache_.snapshot();
+  s.has_faults = faults_.has_value();
+  if (faults_) s.faults = faults_->state();
+  return s;
+}
+
+void Service::restore_state(const ServeState& s) {
+  LGG_CHECK(pending_.empty() && drain_seq_ == 0 && log_.empty(),
+            "Service::restore_state: service already served requests");
+  LGG_CHECK(s.has_faults == faults_.has_value(),
+            "Service::restore_state: fault configuration differs from the "
+            "checkpointed run");
+  drain_seq_ = s.drain_seq;
+  log_ = s.log;
+  cache_.restore(s.cache);
+  if (faults_) faults_->restore_state(s.faults);
+}
+
+namespace {
+
+constexpr const char* kServeMagic = "lggsrvckpt";
+constexpr std::uint64_t kServeFormatVersion = 1;
+
+using resilience::CheckpointError;
+
+[[noreturn]] void srv_corrupt(const std::string& why) {
+  throw CheckpointError(CheckpointError::Kind::kCorrupt,
+                        "serve checkpoint: " + why);
+}
+
+std::string srv_hex64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return std::string(buf, 16);
+}
+
+/// Whitespace tokenizer over the checkpoint body; every failure is a
+/// typed kCorrupt (truncation and tampering look the same to a parser).
+class SrvReader {
+ public:
+  explicit SrvReader(std::string_view text) : is_(std::string(text)) {}
+
+  std::string tok() {
+    std::string t;
+    if (!(is_ >> t)) srv_corrupt("unexpected end of data");
+    return t;
+  }
+  void expect(const char* keyword) {
+    const std::string t = tok();
+    if (t != keyword)
+      srv_corrupt("expected '" + std::string(keyword) + "', got '" + t + "'");
+  }
+  std::uint64_t u64() {
+    const std::string t = tok();
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(t.c_str(), &end, 10);
+    if (errno != 0 || end == t.c_str() || *end != '\0')
+      srv_corrupt("bad integer '" + t + "'");
+    return static_cast<std::uint64_t>(v);
+  }
+  std::uint64_t hex() {
+    const std::string t = tok();
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(t.c_str(), &end, 16);
+    if (errno != 0 || end == t.c_str() || *end != '\0')
+      srv_corrupt("bad hex value '" + t + "'");
+    return static_cast<std::uint64_t>(v);
+  }
+  std::string str() { return resilience::ckpt_decode(tok()); }
+  bool done() {
+    std::string t;
+    return !(is_ >> t);
+  }
+
+ private:
+  std::istringstream is_;
+};
+
+}  // namespace
+
+std::string encode_serve_state(const ServeState& s) {
+  std::string body;
+  body += std::string(kServeMagic) + " " +
+          std::to_string(kServeFormatVersion) + "\n";
+  body += "id " + std::to_string(s.next_id) + "\n";
+  body += "drain " + std::to_string(s.drain_seq) + "\n";
+  body += "log " + resilience::ckpt_encode(s.log) + "\n";
+  body += "cache " + std::to_string(s.cache.tick) + " " +
+          std::to_string(s.cache.evictions) + " " +
+          std::to_string(s.cache.entries.size()) + "\n";
+  for (const ResultCache::Snapshot::Entry& e : s.cache.entries)
+    body += "e " + srv_hex64(e.key.digest) + " " +
+            resilience::ckpt_encode(e.key.canonical) + " " +
+            std::to_string(e.key.seed) + " " + std::to_string(e.tick) + " " +
+            resilience::ckpt_encode(e.body) + "\n";
+  body += "fau " + std::string(s.has_faults ? "1" : "0") + "\n";
+  if (s.has_faults) {
+    body += "fst";
+    for (const std::uint64_t d : s.faults.draws)
+      body += " " + std::to_string(d);
+    for (const std::uint64_t c : s.faults.counts)
+      body += " " + std::to_string(c);
+    for (const std::uint64_t r : s.faults.replay_cursor)
+      body += " " + std::to_string(r);
+    body += " " + std::to_string(s.faults.events.size()) + "\n";
+    for (const resilience::FaultEvent& e : s.faults.events)
+      body += "fe " + std::to_string(static_cast<int>(e.site)) + " " +
+              std::to_string(e.draw) + " " + std::to_string(e.detail) + "\n";
+  }
+  body += "digest " + srv_hex64(resilience::ckpt_fnv1a(body)) + "\n";
+  return body;
+}
+
+ServeState decode_serve_state(std::string_view text) {
+  // Digest trailer first: reject truncation/tampering before parsing.
+  const std::size_t at = text.rfind("\ndigest ");
+  if (at == std::string_view::npos)
+    srv_corrupt("missing digest trailer");
+  const std::string_view body = text.substr(0, at + 1);
+  SrvReader trailer(text.substr(at + 1));
+  trailer.expect("digest");
+  const std::uint64_t stored = trailer.hex();
+  if (!trailer.done()) srv_corrupt("trailing data after digest");
+  if (stored != resilience::ckpt_fnv1a(body))
+    srv_corrupt("digest mismatch (file is truncated or tampered)");
+
+  SrvReader r(body);
+  const std::string magic = r.tok();
+  if (magic != kServeMagic)
+    throw CheckpointError(CheckpointError::Kind::kVersion,
+                          "serve checkpoint: bad magic '" + magic + "'");
+  const std::uint64_t version = r.u64();
+  if (version != kServeFormatVersion)
+    throw CheckpointError(
+        CheckpointError::Kind::kVersion,
+        "serve checkpoint: format version " + std::to_string(version) +
+            " (expected " + std::to_string(kServeFormatVersion) + ")");
+
+  ServeState s;
+  r.expect("id");
+  s.next_id = r.u64();
+  r.expect("drain");
+  s.drain_seq = r.u64();
+  r.expect("log");
+  s.log = r.str();
+  r.expect("cache");
+  s.cache.tick = r.u64();
+  s.cache.evictions = r.u64();
+  const std::uint64_t n_entries = r.u64();
+  if (n_entries > s.cache.tick)
+    srv_corrupt("more cache entries than logical ticks");
+  s.cache.entries.reserve(static_cast<std::size_t>(n_entries));
+  for (std::uint64_t i = 0; i < n_entries; ++i) {
+    r.expect("e");
+    ResultCache::Snapshot::Entry e;
+    e.key.digest = r.hex();
+    e.key.canonical = r.str();
+    e.key.seed = r.u64();
+    e.tick = r.u64();
+    e.body = r.str();
+    if (e.tick > s.cache.tick)
+      srv_corrupt("cache entry tick beyond the logical clock");
+    s.cache.entries.push_back(std::move(e));
+  }
+  r.expect("fau");
+  s.has_faults = r.u64() != 0;
+  if (s.has_faults) {
+    r.expect("fst");
+    for (std::size_t i = 0; i < gpusim::kNumFaultSites; ++i)
+      s.faults.draws[i] = r.u64();
+    for (std::size_t i = 0; i < gpusim::kNumFaultSites; ++i)
+      s.faults.counts[i] = r.u64();
+    for (std::size_t i = 0; i < gpusim::kNumFaultSites; ++i)
+      s.faults.replay_cursor[i] = r.u64();
+    const std::uint64_t n_events = r.u64();
+    s.faults.events.reserve(static_cast<std::size_t>(n_events));
+    for (std::uint64_t i = 0; i < n_events; ++i) {
+      r.expect("fe");
+      const std::uint64_t site = r.u64();
+      if (site >= gpusim::kNumFaultSites)
+        srv_corrupt("fault event site out of range");
+      resilience::FaultEvent e;
+      e.site = static_cast<gpusim::FaultSite>(site);
+      e.draw = r.u64();
+      e.detail = r.u64();
+      s.faults.events.push_back(e);
+    }
+  }
+  if (!r.done()) srv_corrupt("trailing data after the last section");
+  return s;
+}
+
+void save_serve_state(const std::string& path, const ServeState& s) {
+  resilience::write_file_atomic(path, encode_serve_state(s));
+}
+
+ServeState load_serve_state(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in)
+    throw CheckpointError(CheckpointError::Kind::kMissing,
+                          "serve checkpoint: cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return decode_serve_state(buf.str());
 }
 
 }  // namespace lgg::serve

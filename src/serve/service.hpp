@@ -37,11 +37,14 @@
 
 #include <cstdint>
 #include <mutex>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "gpusim/executor.hpp"
 #include "obs/obs.hpp"
+#include "resilience/fault.hpp"
 #include "serve/cache.hpp"
 #include "serve/catalog.hpp"
 #include "serve/request.hpp"
@@ -67,7 +70,39 @@ struct ServeOptions {
   /// Optional observability session: per-request + per-pass spans and
   /// lgg_serve_* counters.  Must be the catalog's session (or null).
   obs::Session* obs = nullptr;
+  /// Uniform device fault rate for resilient backend passes (0 runs
+  /// fault-free).  The service owns one seed-driven injector whose draw
+  /// position persists across passes and drains, so the fault pattern —
+  /// and every retry the runner charges — is a pure function of the
+  /// request sequence: responses stay byte-identical at any thread count
+  /// and any cache state, only recovery accounting varies.
+  double fault_rate = 0.0;
+  std::uint64_t fault_seed = 0;
 };
+
+/// Drain-boundary serving state for durable checkpoint/restart
+/// (DESIGN.md §16): everything a restarted process needs to continue a
+/// script byte-identically — the drain sequence number, the request log
+/// prefix, the result cache (contents + logical clock), the fault
+/// injector position, and the caller's request-id cursor.
+struct ServeState {
+  std::uint64_t next_id = 0;  // caller-maintained request-id cursor
+  std::uint64_t drain_seq = 0;
+  std::string log;
+  ResultCache::Snapshot cache;
+  bool has_faults = false;
+  resilience::FaultInjector::State faults;
+};
+
+/// Serialize / parse the serve checkpoint (same primitives and digest
+/// trailer as the resilient runner's format).  decode throws
+/// resilience::CheckpointError (kCorrupt / kVersion).
+[[nodiscard]] std::string encode_serve_state(const ServeState& s);
+[[nodiscard]] ServeState decode_serve_state(std::string_view text);
+
+/// Durable save (write-to-temp + rename) / load (kMissing when absent).
+void save_serve_state(const std::string& path, const ServeState& s);
+[[nodiscard]] ServeState load_serve_state(const std::string& path);
 
 class Service {
  public:
@@ -90,6 +125,18 @@ class Service {
     return opts_;
   }
   [[nodiscard]] const ResultCache& cache() const noexcept { return cache_; }
+  /// The owned fault injector (nullptr when fault_rate is 0).
+  [[nodiscard]] const resilience::FaultInjector* faults() const noexcept {
+    return faults_ ? &*faults_ : nullptr;
+  }
+
+  /// Checkpointable state at a drain boundary (next_id left 0 — the
+  /// request-id cursor lives with the caller who assigns ids).  Must not
+  /// be called with requests pending.
+  [[nodiscard]] ServeState state() const;
+  /// Restore a drain-boundary state onto a freshly constructed service
+  /// with the same options.  Must precede any submit/drain.
+  void restore_state(const ServeState& s);
 
  private:
   struct Group;  // one batched backend pass
@@ -102,6 +149,9 @@ class Service {
   Catalog& catalog_;
   ServeOptions opts_;
   ResultCache cache_;
+  /// Owned injector for resilient passes (engaged when fault_rate > 0);
+  /// only the single-threaded drain path touches it.
+  std::optional<resilience::FaultInjector> faults_;
   std::mutex mutex_;
   std::vector<Request> pending_;
   std::string log_;

@@ -213,6 +213,54 @@ TEST(ObsCounters, BfsAggregatesAcrossLevelLaunches) {
 
 // ---- exporters --------------------------------------------------------
 
+TEST(ObsHazards, RecordedHazardsEmitSpanEventsAndCounters) {
+  // Satellite of the sancheck integration (DESIGN.md §12/§16): every
+  // recorded hazard becomes a zero-duration span event under the current
+  // frame, carrying the class in the name and the site in the args — and
+  // a hazard-free report emits nothing, keeping fault-free traces golden.
+  obs::Session sess;
+  const auto root = sess.tracer.begin("launch", "launch");
+
+  gpusim::HazardReport clean;
+  obs::record_hazards(&sess, clean);
+
+  gpusim::HazardReport report;
+  gpusim::Hazard race;
+  race.cls = gpusim::HazardClass::kSharedRace;
+  race.addr = 128;
+  race.bytes = 4;
+  race.first_thread = 3;
+  race.second_thread = 35;
+  race.message = "shared race at bank 0";
+  gpusim::Hazard oob;
+  oob.cls = gpusim::HazardClass::kOutOfBounds;
+  oob.addr = 4096;
+  oob.bytes = 8;
+  oob.first_thread = 7;
+  report.hazards = {race, oob};
+  report.total = 2;
+  report.by_class[static_cast<std::size_t>(gpusim::HazardClass::kSharedRace)] =
+      1;
+  report.by_class[static_cast<std::size_t>(
+      gpusim::HazardClass::kOutOfBounds)] = 1;
+  obs::record_hazards(&sess, report);
+  sess.tracer.end(root);
+
+  const std::string spans = obs::span_tree_text(sess.tracer);
+  EXPECT_NE(spans.find("hazard/shared-memory-race"), std::string::npos);
+  EXPECT_NE(spans.find("hazard/out-of-bounds"), std::string::npos);
+
+  const std::string json = obs::chrome_trace_json(sess.tracer);
+  EXPECT_NE(json.find("\"cat\":\"sancheck\""), std::string::npos);
+  EXPECT_NE(json.find("\"addr\":128"), std::string::npos);
+  EXPECT_NE(json.find("\"second_thread\":35"), std::string::npos);
+  EXPECT_NE(json.find("shared race at bank 0"), std::string::npos);
+
+  const std::string prom = sess.metrics.prometheus_text();
+  EXPECT_NE(prom.find("lgg_sancheck_hazards_total 2"), std::string::npos);
+  EXPECT_NE(prom.find("class=\"shared-memory-race\""), std::string::npos);
+}
+
 TEST(Exporters, JsonEscaping) {
   EXPECT_EQ(obs::json_escape("a\"b\\c\n\t"), "a\\\"b\\\\c\\n\\t");
   EXPECT_EQ(obs::json_escape(std::string("\x01", 1)), "\\u0001");

@@ -6,6 +6,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -402,6 +405,279 @@ TEST(ResilientRunner, CorpusGraphsStayExactUnderFaults) {
     EXPECT_EQ(report.triangles, repro.oracle) << path;
     EXPECT_TRUE(report.certified) << path;
   }
+}
+
+// ----------------------------------------------------------------- salvage
+
+TEST(Salvage, SmAbortKeepsCompletedWarpsAndRecountsRemainder) {
+  const graph::Graph g = chunked_graph();
+  const std::uint64_t oracle = core::count_triangles_forward(g);
+  FaultInjector inj(17, FaultRates{0.0, 0.0, 0.5, 0.0});
+  resilience::RunnerOptions opts;
+  opts.device = &tiny_shared_device();
+  opts.faults = &inj;  // salvage on (the default)
+  const auto report = resilience::run_resilient(g, opts);
+
+  // The certified count equals the fault-free count.
+  EXPECT_EQ(report.triangles, oracle);
+  EXPECT_TRUE(report.certified);
+
+  // Salvage did real work: warps were kept, and the host recount covered
+  // ONLY the lost remainder (kept + recounted == the chunk's tests).
+  EXPECT_GT(report.recovery.salvaged_warps, 0u);
+  EXPECT_GT(report.recovery.salvaged_tests, 0u);
+  EXPECT_GT(report.recovery.recounted_tests, 0u);
+  bool any_salvaged = false;
+  for (const auto& c : report.chunks) {
+    if (c.outcome != resilience::ChunkOutcome::kSalvaged) continue;
+    any_salvaged = true;
+    EXPECT_GT(c.salvaged_warps, 0u);
+    EXPECT_GT(c.salvaged_tests, 0u);
+    EXPECT_GT(c.recounted_tests, 0u);
+    EXPECT_EQ(c.salvaged_tests + c.recounted_tests, c.tests);
+    EXPECT_TRUE(c.certified);
+    // Salvage accepts the aborted attempt: no device retry happened.
+    EXPECT_EQ(c.attempts, 1u);
+  }
+  EXPECT_TRUE(any_salvaged);
+}
+
+TEST(Salvage, DisabledSalvageStillRecoversExactly) {
+  const graph::Graph g = chunked_graph();
+  FaultInjector inj(17, FaultRates{0.0, 0.0, 0.5, 0.0});
+  resilience::RunnerOptions opts;
+  opts.device = &tiny_shared_device();
+  opts.faults = &inj;
+  opts.salvage = false;
+  const auto report = resilience::run_resilient(g, opts);
+  EXPECT_EQ(report.triangles, core::count_triangles_forward(g));
+  EXPECT_TRUE(report.certified);
+  EXPECT_EQ(report.recovery.salvaged_warps, 0u);
+  for (const auto& c : report.chunks)
+    EXPECT_NE(c.outcome, resilience::ChunkOutcome::kSalvaged);
+}
+
+TEST(FaultInjector, StateRoundTripContinuesIdentically) {
+  const auto drive = [](FaultInjector& inj, int iters) {
+    const gpusim::KernelConfig config{};
+    for (int i = 0; i < iters; ++i) {
+      inj.on_alloc(64);
+      inj.on_launch(config);
+      inj.on_sm_abort(config, static_cast<std::uint32_t>(i % 4));
+      inj.on_transfer(4096);
+    }
+  };
+  FaultInjector full(42, FaultRates::uniform(0.3));
+  drive(full, 200);
+
+  FaultInjector first(42, FaultRates::uniform(0.3));
+  drive(first, 120);
+  const FaultInjector::State st = first.state();
+
+  FaultInjector second(42, FaultRates::uniform(0.3));
+  second.restore_state(st);
+  drive(second, 80);
+
+  EXPECT_EQ(second.events(), full.events());
+  for (std::size_t s = 0; s < gpusim::kNumFaultSites; ++s) {
+    const auto site = static_cast<FaultSite>(s);
+    EXPECT_EQ(second.draws(site), full.draws(site));
+    EXPECT_EQ(second.count(site), full.count(site));
+  }
+}
+
+// ------------------------------------------------------- checkpoint/restart
+
+namespace checkpointing {
+
+struct Kill {};  // thrown from on_checkpoint to simulate a crash
+
+struct Artifacts {
+  std::string report, log, trace, spans, prom;
+
+  friend bool operator==(const Artifacts&, const Artifacts&) = default;
+};
+
+Artifacts artifacts_of(const resilience::RunnerReport& r,
+                       const obs::Session& sess) {
+  std::ostringstream os;
+  os << r;
+  return Artifacts{os.str(), r.log, obs::chrome_trace_json(sess.tracer),
+                   obs::span_tree_text(sess.tracer),
+                   sess.metrics.prometheus_text()};
+}
+
+resilience::RunnerOptions checkpoint_opts(FaultInjector& inj,
+                                          obs::Session& sess,
+                                          const std::string& path) {
+  resilience::RunnerOptions opts;
+  opts.device = &tiny_shared_device();
+  opts.faults = &inj;
+  opts.obs = &sess;
+  opts.checkpoint_path = path;
+  return opts;
+}
+
+}  // namespace checkpointing
+
+TEST(CheckpointResume, ByteIdenticalAfterKillAtAnyThreadCount) {
+  using checkpointing::Kill;
+  const graph::Graph g = chunked_graph();
+  const std::string dir = ::testing::TempDir();
+
+  // Uninterrupted reference, serial policy, checkpointing ON (the cadence
+  // leaves spans and counters that a resumed run must reproduce).
+  obs::Session ref_sess;
+  FaultInjector ref_inj(99, FaultRates::uniform(0.1));
+  const auto ref_report = resilience::run_resilient(
+      g, checkpointing::checkpoint_opts(ref_inj, ref_sess,
+                                        dir + "lggckpt_ref.ckpt"));
+  const auto ref = checkpointing::artifacts_of(ref_report, ref_sess);
+  ASSERT_GE(ref_report.chunks.size(), 4u);  // the kill point must be mid-run
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    const std::string path =
+        dir + "lggckpt_t" + std::to_string(threads) + ".ckpt";
+    {
+      // The victim: dies right after the checkpoint for chunk 1 lands.
+      obs::Session sess;
+      FaultInjector inj(99, FaultRates::uniform(0.1));
+      auto opts = checkpointing::checkpoint_opts(inj, sess, path);
+      opts.on_checkpoint = [](std::uint32_t ci) {
+        if (ci == 1) throw Kill{};
+      };
+      EXPECT_THROW(resilience::run_resilient(g, opts), Kill);
+    }
+    // A fresh "process": new session, new injector — everything restored
+    // from the file.  The resumed policy may differ from the
+    // checkpointing one (the fingerprint excludes ExecPolicy).
+    obs::Session sess;
+    FaultInjector inj(99, FaultRates::uniform(0.1));
+    auto opts = checkpointing::checkpoint_opts(inj, sess, path);
+    opts.exec = threads == 1 ? gpusim::ExecPolicy::serial()
+                             : gpusim::ExecPolicy::parallel(threads);
+    const auto report = resilience::resume_resilient(g, opts);
+    EXPECT_EQ(checkpointing::artifacts_of(report, sess), ref)
+        << "threads " << threads;
+    EXPECT_EQ(report.triangles, ref_report.triangles);
+    // The checkpoint is removed once the run completes.
+    EXPECT_FALSE(std::ifstream(path).good()) << "threads " << threads;
+  }
+}
+
+TEST(CheckpointResume, TamperedOrTruncatedCheckpointIsTypedThenColdRunWorks) {
+  using checkpointing::Kill;
+  const graph::Graph g = chunked_graph();
+  const std::string path = ::testing::TempDir() + "lggckpt_tamper.ckpt";
+  {
+    obs::Session sess;
+    FaultInjector inj(99, FaultRates::uniform(0.1));
+    auto opts = checkpointing::checkpoint_opts(inj, sess, path);
+    opts.on_checkpoint = [](std::uint32_t ci) {
+      if (ci == 1) throw Kill{};
+    };
+    EXPECT_THROW(resilience::run_resilient(g, opts), Kill);
+  }
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good());
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    bytes = buf.str();
+  }
+  ASSERT_GT(bytes.size(), 64u);
+
+  const auto expect_corrupt = [&](const std::string& mutated) {
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out << mutated;
+    }
+    obs::Session sess;
+    FaultInjector inj(99, FaultRates::uniform(0.1));
+    const auto opts = checkpointing::checkpoint_opts(inj, sess, path);
+    try {
+      (void)resilience::resume_resilient(g, opts);
+      FAIL() << "tampered checkpoint was accepted";
+    } catch (const resilience::CheckpointError& e) {
+      EXPECT_EQ(e.kind(), resilience::CheckpointError::Kind::kCorrupt);
+    }
+  };
+
+  std::string flipped = bytes;
+  flipped[flipped.size() / 2] ^= 0x01;  // single-bit tamper
+  expect_corrupt(flipped);
+  expect_corrupt(bytes.substr(0, bytes.size() / 2));  // truncation
+
+  // The caller-side contract: a rejected checkpoint falls back to a cold
+  // run that completes exactly.
+  obs::Session sess;
+  FaultInjector inj(99, FaultRates::uniform(0.1));
+  auto opts = checkpointing::checkpoint_opts(inj, sess, path);
+  opts.checkpoint_path.clear();  // cold: no checkpointing
+  const auto report = resilience::run_resilient(g, opts);
+  EXPECT_EQ(report.triangles, core::count_triangles_forward(g));
+  EXPECT_TRUE(report.certified);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointResume, MissingAndIncompatibleCheckpointsAreTyped) {
+  using checkpointing::Kill;
+  const graph::Graph g = chunked_graph();
+  const std::string dir = ::testing::TempDir();
+
+  const auto expect_kind = [&](const resilience::RunnerOptions& opts,
+                               const graph::Graph& graph,
+                               resilience::CheckpointError::Kind want) {
+    try {
+      (void)resilience::resume_resilient(graph, opts);
+      FAIL() << "expected CheckpointError "
+             << resilience::checkpoint_kind_name(want);
+    } catch (const resilience::CheckpointError& e) {
+      EXPECT_EQ(e.kind(), want)
+          << resilience::checkpoint_kind_name(e.kind()) << ": " << e.what();
+    }
+  };
+
+  // kMissing: no file at the path.
+  {
+    obs::Session sess;
+    FaultInjector inj(99, FaultRates::uniform(0.1));
+    const auto opts = checkpointing::checkpoint_opts(
+        inj, sess, dir + "lggckpt_does_not_exist.ckpt");
+    expect_kind(opts, g, resilience::CheckpointError::Kind::kMissing);
+  }
+
+  // Take a real checkpoint to misuse below.
+  const std::string path = dir + "lggckpt_mismatch.ckpt";
+  {
+    obs::Session sess;
+    FaultInjector inj(99, FaultRates::uniform(0.1));
+    auto opts = checkpointing::checkpoint_opts(inj, sess, path);
+    opts.on_checkpoint = [](std::uint32_t ci) {
+      if (ci == 1) throw Kill{};
+    };
+    EXPECT_THROW(resilience::run_resilient(g, opts), Kill);
+  }
+
+  // kGraphMismatch: same options, different input graph.
+  {
+    obs::Session sess;
+    FaultInjector inj(99, FaultRates::uniform(0.1));
+    const auto opts = checkpointing::checkpoint_opts(inj, sess, path);
+    expect_kind(opts, test_graph(),
+                resilience::CheckpointError::Kind::kGraphMismatch);
+  }
+
+  // kPlanMismatch: same graph, semantically different options.
+  {
+    obs::Session sess;
+    FaultInjector inj(99, FaultRates::uniform(0.1));
+    auto opts = checkpointing::checkpoint_opts(inj, sess, path);
+    opts.threads_per_block = 64;
+    expect_kind(opts, g, resilience::CheckpointError::Kind::kPlanMismatch);
+  }
+  std::remove(path.c_str());
 }
 
 // ----------------------------------------------------------- fault campaign

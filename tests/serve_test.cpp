@@ -7,6 +7,7 @@
 
 #include <string>
 #include <thread>
+#include <tuple>
 #include <vector>
 
 #include "core/hybrid.hpp"
@@ -15,6 +16,7 @@
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
 #include "obs/trace.hpp"
+#include "resilience/checkpoint.hpp"
 #include "resilience/runner.hpp"
 #include "serve/cache.hpp"
 #include "serve/catalog.hpp"
@@ -395,6 +397,157 @@ TEST(ServePlan, PreparedPlanMatchesColdRunsAndChargesNoPreprocessing) {
   EXPECT_TRUE(rep_warm.certified);
   EXPECT_EQ(rep_warm.log, rep_cold.log);
   EXPECT_LT(rep_warm.total_time_s, rep_cold.total_time_s);
+}
+
+TEST(ServeFaults, ResponsesByteIdenticalAcrossThreadsUnderFaults) {
+  // Serving under a nonzero device fault rate (DESIGN.md §16): the
+  // service-owned injector makes the fault pattern a pure function of the
+  // request sequence, so responses AND the request log stay byte-identical
+  // between 1 and 8 host threads — only recovery counters move.
+  const auto run = [](std::size_t threads) {
+    obs::Session obs;
+    serve::CatalogOptions copts;
+    copts.obs = &obs;
+    serve::Catalog catalog(copts);
+    catalog.add("g0", graph::gnm(40, 120, 7));
+    catalog.add("g1", graph::gnm(36, 90, 9));
+    serve::ServeOptions sopts;
+    sopts.obs = &obs;
+    sopts.cache_capacity = 0;  // every triangles query hits the device
+    sopts.fault_rate = 0.3;
+    sopts.fault_seed = 1;  // this seed exercises retries AND salvage
+    sopts.exec = threads == 1 ? gpusim::ExecPolicy::serial()
+                              : gpusim::ExecPolicy::parallel(threads);
+    serve::Service service(catalog, sopts);
+    std::uint64_t id = 0;
+    for (int round = 0; round < 3; ++round)
+      for (const char* graph : {"g0", "g1"}) {
+        serve::Request r;
+        r.id = id++;
+        r.tenant = "t";
+        r.graph = graph;
+        r.kind = serve::QueryKind::kTriangles;
+        service.submit(std::move(r));
+      }
+    const std::string responses = render(service.drain());
+    const std::uint64_t faults =
+        service.faults() ? service.faults()->total_faults() : 0;
+    return std::tuple(responses, service.log(),
+                      obs.metrics.counter_value("lgg_resilience_retries_total"),
+                      faults);
+  };
+  const auto [res1, log1, retries1, faults1] = run(1);
+  const auto [res8, log8, retries8, faults8] = run(8);
+  EXPECT_EQ(res1, res8);
+  EXPECT_EQ(log1, log8);
+  EXPECT_EQ(retries1, retries8);
+  EXPECT_EQ(faults1, faults8);
+  // Faults actually fired and the recovery machinery is visible in the
+  // counters; the responses above are nevertheless exact.
+  EXPECT_GT(faults1, 0u);
+  EXPECT_GT(retries1, 0u);
+
+  // Fault-free reference: same script, same bodies.
+  const auto fault_free = [] {
+    serve::Catalog catalog;
+    catalog.add("g0", graph::gnm(40, 120, 7));
+    catalog.add("g1", graph::gnm(36, 90, 9));
+    serve::ServeOptions sopts;
+    sopts.cache_capacity = 0;
+    serve::Service service(catalog, sopts);
+    serve::Request r;
+    r.id = 0;
+    r.tenant = "t";
+    r.graph = "g0";
+    r.kind = serve::QueryKind::kTriangles;
+    service.submit(std::move(r));
+    return service.drain()[0].body;
+  }();
+  EXPECT_NE(res1.find(fault_free), std::string::npos);
+}
+
+TEST(ServeState, EncodeDecodeRoundTripAndTamperRejection) {
+  serve::ServeState st;
+  st.next_id = 17;
+  st.drain_seq = 3;
+  st.log = "req id=0 tenant=a graph=g query=\"triangles\" cache=miss\n";
+  serve::ResultCache::Snapshot::Entry e;
+  e.key = serve::CacheKey{0x1234abcdu, "triangles", 0};
+  e.body = "triangles=9 backend=resilient";
+  e.tick = 2;
+  st.cache.entries.push_back(e);
+  st.cache.tick = 5;
+  st.cache.evictions = 1;
+  st.has_faults = true;
+  st.faults.draws = {4, 3, 2, 1};
+  st.faults.counts = {1, 0, 0, 0};
+  st.faults.events.push_back(
+      resilience::FaultEvent{gpusim::FaultSite::kAlloc, 2, 64});
+
+  const std::string text = serve::encode_serve_state(st);
+  const serve::ServeState back = serve::decode_serve_state(text);
+  EXPECT_EQ(back.next_id, st.next_id);
+  EXPECT_EQ(back.drain_seq, st.drain_seq);
+  EXPECT_EQ(back.log, st.log);
+  ASSERT_EQ(back.cache.entries.size(), 1u);
+  EXPECT_EQ(back.cache.entries[0].body, e.body);
+  EXPECT_EQ(back.cache.entries[0].key.canonical, "triangles");
+  EXPECT_EQ(back.cache.tick, 5u);
+  EXPECT_TRUE(back.has_faults);
+  EXPECT_EQ(back.faults.draws, st.faults.draws);
+  EXPECT_EQ(back.faults.events, st.faults.events);
+
+  std::string tampered = text;
+  tampered[tampered.size() / 2] ^= 0x01;
+  try {
+    (void)serve::decode_serve_state(tampered);
+    FAIL() << "tampered serve state was accepted";
+  } catch (const resilience::CheckpointError& err) {
+    EXPECT_EQ(err.kind(), resilience::CheckpointError::Kind::kCorrupt);
+  }
+}
+
+TEST(ServeState, ServiceRestoreReproducesCacheAndLogBehavior) {
+  // Drive a service through one drain, snapshot it, restore into a fresh
+  // service, and replay the second drain on both: hit/miss pattern, log
+  // suffix and responses must match exactly.
+  const auto make_service = [](serve::Catalog& catalog) {
+    serve::ServeOptions sopts;
+    return serve::Service(catalog, sopts);
+  };
+  serve::Catalog cat_a = make_catalog();
+  serve::Service svc_a = make_service(cat_a);
+  std::uint64_t id = 0;
+  const auto submit_round = [&](serve::Service& svc, std::uint64_t base) {
+    for (const char* graph : {"g0", "g1"}) {
+      serve::Request r;
+      r.id = base++;
+      r.tenant = "t";
+      r.graph = graph;
+      r.kind = serve::QueryKind::kTriangles;
+      svc.submit(std::move(r));
+    }
+    return base;
+  };
+  id = submit_round(svc_a, id);
+  svc_a.drain();
+  serve::ServeState st = svc_a.state();
+  st.next_id = id;
+
+  // Continue the original.
+  submit_round(svc_a, id);
+  const std::string want = render(svc_a.drain());
+
+  // Restore into a fresh service over a fresh catalog (residency is
+  // recomputed, never checkpointed) and replay the same second round.
+  serve::Catalog cat_b = make_catalog();
+  serve::Service svc_b = make_service(cat_b);
+  svc_b.restore_state(st);
+  submit_round(svc_b, st.next_id);
+  EXPECT_EQ(render(svc_b.drain()), want);
+  EXPECT_EQ(svc_b.log(), svc_a.log());
+  // The second round was all cache hits in both worlds.
+  EXPECT_NE(svc_b.log().rfind("cache=hit"), std::string::npos);
 }
 
 TEST(ServeRequest, ParseAndCanonicalRoundTrip) {

@@ -1,0 +1,311 @@
+// lgg_chaos — kill-resume chaos harness for the durable checkpoint path
+// (DESIGN.md §16).
+//
+//   lgg_chaos resilient --dir DIR [--gnm N M SEED] [--faults RATE[,SEED]]
+//             [--kill-after K] [--every E] [--threads T] [--shared-mem B]
+//
+// The harness proves the checkpoint/restart contract the hard way: it
+// does not simulate a crash, it TAKES one.  Three subprocess runs of the
+// same workload (same binary, `worker` mode):
+//
+//   1. reference — runs to completion with checkpointing on, writes every
+//      artifact (report, audit log, Chrome trace, span tree, Prometheus),
+//   2. victim    — identical, except it hard-exits (std::_Exit, code 42,
+//      no unwinding) immediately after the K-th durable checkpoint write,
+//   3. resumed   — restarts from the victim's checkpoint and completes.
+//
+// The resumed run's artifacts must be BYTE-identical to the reference's;
+// any drift — one span, one counter, one log line — fails the harness.
+// Exit 0 on identity, 1 on drift or protocol violation, 2 on usage.
+//
+// `worker` is the internal single-run mode the parent spawns; it is not
+// part of the supported surface.
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <sys/stat.h>
+#include <sys/wait.h>
+
+#include "lgg.hpp"
+
+namespace {
+
+using namespace lgg;
+
+[[noreturn]] void usage(const char* message = nullptr) {
+  if (message) std::cerr << "error: " << message << "\n\n";
+  std::cerr <<
+      "usage:\n"
+      "  lgg_chaos resilient --dir DIR [--gnm N M SEED]\n"
+      "            [--faults RATE[,SEED]] [--kill-after K] [--every E]\n"
+      "            [--threads T] [--shared-mem BYTES]\n"
+      "\n"
+      "Runs the resilient triangle workload three times (reference /\n"
+      "killed-after-K-checkpoints / resumed) and byte-compares every\n"
+      "artifact of the resumed run against the reference.\n";
+  std::exit(2);
+}
+
+struct Config {
+  // Sparse G(n,m): many BFS levels => many chunks on the small-shared
+  // device below (14 with the defaults), so a kill after 2 checkpoints
+  // leaves most of the run for the resumed process.
+  std::uint64_t n = 400, m = 800, seed = 7;
+  double fault_rate = 0.0;
+  std::uint64_t fault_seed = 7;
+  std::uint32_t kill_after = 2;
+  std::uint32_t every = 1;
+  std::uint64_t threads = 0;
+  std::uint32_t shared_mem = 128;  // small shared => many chunks
+  std::string dir;
+  // worker-only
+  std::string ckpt, out;
+  bool resume = false;
+  std::uint32_t worker_kill = 0;  // 0: run to completion
+};
+
+bool take_value(std::vector<std::string>& args, const std::string& flag,
+                std::string& value) {
+  const std::string joined = flag + "=";
+  for (auto it = args.begin(); it != args.end(); ++it) {
+    if (*it == flag) {
+      if (it + 1 == args.end()) usage(("missing value for " + flag).c_str());
+      value = *(it + 1);
+      args.erase(it, it + 2);
+      return true;
+    }
+    if (it->compare(0, joined.size(), joined) == 0) {
+      value = it->substr(joined.size());
+      args.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool take_flag(std::vector<std::string>& args, const std::string& flag) {
+  for (auto it = args.begin(); it != args.end(); ++it) {
+    if (*it == flag) {
+      args.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+Config parse_config(std::vector<std::string>& args) {
+  Config c;
+  std::string value;
+  if (take_value(args, "--gnm", value)) {
+    // --gnm takes three following positionals when given as "--gnm N M S";
+    // accept "--gnm=N,M,S" too.
+    std::replace(value.begin(), value.end(), ',', ' ');
+    std::istringstream is(value);
+    if (!(is >> c.n >> c.m >> c.seed)) usage("--gnm needs N M SEED");
+  }
+  if (take_value(args, "--faults", value)) {
+    const std::size_t comma = value.find(',');
+    c.fault_rate = std::strtod(value.c_str(), nullptr);
+    if (comma != std::string::npos)
+      c.fault_seed = std::strtoull(value.c_str() + comma + 1, nullptr, 10);
+    if (c.fault_rate < 0.0 || c.fault_rate > 1.0)
+      usage("--faults rate must be in [0, 1]");
+  }
+  if (take_value(args, "--kill-after", value))
+    c.kill_after = static_cast<std::uint32_t>(
+        std::strtoul(value.c_str(), nullptr, 10));
+  if (take_value(args, "--every", value))
+    c.every =
+        static_cast<std::uint32_t>(std::strtoul(value.c_str(), nullptr, 10));
+  if (take_value(args, "--threads", value))
+    c.threads = std::strtoull(value.c_str(), nullptr, 10);
+  if (take_value(args, "--shared-mem", value))
+    c.shared_mem = static_cast<std::uint32_t>(
+        std::strtoul(value.c_str(), nullptr, 10));
+  take_value(args, "--dir", c.dir);
+  take_value(args, "--ckpt", c.ckpt);
+  take_value(args, "--out", c.out);
+  c.resume = take_flag(args, "--resume");
+  if (take_value(args, "--worker-kill", value))
+    c.worker_kill = static_cast<std::uint32_t>(
+        std::strtoul(value.c_str(), nullptr, 10));
+  if (!args.empty()) usage(("unknown option: " + args[0]).c_str());
+  return c;
+}
+
+void write_or_die(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  LGG_CHECK(out.good(), "lgg_chaos: cannot write " << path);
+  out << text;
+  out.flush();
+  LGG_CHECK(out.good(), "lgg_chaos: short write to " << path);
+}
+
+std::string read_or_die(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  LGG_CHECK(in.good(), "lgg_chaos: cannot read " << path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+bool file_exists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+// ------------------------------------------------------------------ worker
+
+// One resilient run with checkpointing + full observability; artifacts
+// land at <out>.{report,log,trace.json,spans,prom} on completion.  With
+// --worker-kill K the process hard-exits (code 42) right after the K-th
+// checkpoint write — destructors skipped, buffers dropped, exactly what a
+// SIGKILL leaves behind (the checkpoint itself is already renamed into
+// place by then).
+int cmd_worker(const Config& c) {
+  const graph::Graph g = graph::gnm(c.n, c.m, c.seed);
+
+  gpusim::DeviceSpec dev = gpusim::tesla_c1060();
+  dev.name = "C1060-chaos";
+  dev.shared_mem_bytes = c.shared_mem;
+
+  obs::Session session;
+  std::optional<resilience::FaultInjector> inj;
+  if (c.fault_rate > 0.0)
+    inj.emplace(c.fault_seed, resilience::FaultRates::uniform(c.fault_rate));
+
+  resilience::RunnerOptions opts;
+  opts.device = &dev;
+  opts.exec = c.threads <= 1 ? gpusim::ExecPolicy::serial()
+                             : gpusim::ExecPolicy::parallel(
+                                   static_cast<std::size_t>(c.threads));
+  opts.faults = inj ? &*inj : nullptr;
+  opts.obs = &session;
+  opts.checkpoint_path = c.ckpt;
+  opts.checkpoint_every_chunks = c.every;
+
+  std::uint32_t writes = 0;
+  if (c.worker_kill > 0)
+    opts.on_checkpoint = [&](std::uint32_t) {
+      if (++writes == c.worker_kill) std::_Exit(42);
+    };
+
+  resilience::RunnerReport report;
+  try {
+    report = c.resume ? resilience::resume_resilient(g, opts)
+                      : resilience::run_resilient(g, opts);
+  } catch (const resilience::CheckpointError& e) {
+    std::cerr << "lgg_chaos worker: checkpoint unusable ("
+              << resilience::checkpoint_kind_name(e.kind())
+              << "): " << e.what() << "\n";
+    return 3;
+  }
+
+  std::ostringstream rep;
+  rep << report << "\n";
+  write_or_die(c.out + ".report", rep.str());
+  write_or_die(c.out + ".log", report.log);
+  write_or_die(c.out + ".trace.json", obs::chrome_trace_json(session.tracer));
+  write_or_die(c.out + ".spans", obs::span_tree_text(session.tracer));
+  write_or_die(c.out + ".prom", session.metrics.prometheus_text());
+  std::cout << "worker: chunks=" << report.chunks.size()
+            << " triangles=" << report.triangles
+            << " certified=" << (report.certified ? 1 : 0) << "\n";
+  return 0;
+}
+
+// ------------------------------------------------------------------ parent
+
+/// Spawn a worker subprocess and return its exit code (-1: died weirdly).
+int spawn(const std::string& cmd) {
+  const int status = std::system(cmd.c_str());
+  if (status < 0) return -1;
+  if (WIFEXITED(status)) return WEXITSTATUS(status);
+  return -1;
+}
+
+int cmd_resilient(const char* argv0, const Config& c) {
+  if (c.dir.empty()) usage("resilient needs --dir DIR");
+  if (c.kill_after == 0) usage("--kill-after must be >= 1");
+  ::mkdir(c.dir.c_str(), 0777);  // fine if it already exists
+
+  std::ostringstream common;
+  common << "'" << argv0 << "' worker --gnm=" << c.n << "," << c.m << ","
+         << c.seed << " --every=" << c.every << " --threads=" << c.threads
+         << " --shared-mem=" << c.shared_mem;
+  if (c.fault_rate > 0.0)
+    common << " --faults=" << c.fault_rate << "," << c.fault_seed;
+
+  const std::string ref_ckpt = c.dir + "/ref.ckpt";
+  const std::string run_ckpt = c.dir + "/run.ckpt";
+  int failures = 0;
+  const auto check = [&](bool ok, const std::string& what) {
+    std::cout << (ok ? "ok:   " : "FAIL: ") << what << "\n";
+    if (!ok) ++failures;
+  };
+
+  // 1. Reference: uninterrupted, checkpointing on (cadence must not
+  // perturb any artifact).
+  const int ref_rc = spawn(common.str() + " --ckpt '" + ref_ckpt +
+                           "' --out '" + c.dir + "/ref'");
+  check(ref_rc == 0, "reference run completed (exit " +
+                         std::to_string(ref_rc) + ")");
+  check(!file_exists(ref_ckpt), "reference checkpoint removed on completion");
+
+  // 2. Victim: same run, hard-killed right after checkpoint K.
+  const int victim_rc =
+      spawn(common.str() + " --ckpt '" + run_ckpt + "' --out '" + c.dir +
+            "/run' --worker-kill " + std::to_string(c.kill_after));
+  check(victim_rc == 42, "victim killed after " +
+                             std::to_string(c.kill_after) +
+                             " checkpoint(s) (exit " +
+                             std::to_string(victim_rc) + ")");
+  check(file_exists(run_ckpt), "victim left a durable checkpoint behind");
+
+  // 3. Resume: restart from the victim's checkpoint, run to completion.
+  const int resume_rc = spawn(common.str() + " --ckpt '" + run_ckpt +
+                              "' --out '" + c.dir + "/run' --resume");
+  check(resume_rc == 0,
+        "resumed run completed (exit " + std::to_string(resume_rc) + ")");
+  check(!file_exists(run_ckpt), "resumed checkpoint removed on completion");
+
+  // 4. Byte-compare every artifact: resumed vs reference.
+  if (failures == 0) {
+    for (const char* ext :
+         {".report", ".log", ".trace.json", ".spans", ".prom"}) {
+      const std::string ref = read_or_die(c.dir + "/ref" + ext);
+      const std::string got = read_or_die(c.dir + "/run" + ext);
+      check(ref == got, std::string("artifact byte-identical: ") + ext +
+                            " (" + std::to_string(got.size()) + " bytes)");
+    }
+  } else {
+    std::cout << "skip: artifact comparison (protocol violations above)\n";
+  }
+
+  std::cout << (failures == 0 ? "chaos: PASS" : "chaos: FAIL") << "\n";
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string command = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  try {
+    const Config c = parse_config(args);
+    if (command == "resilient") return cmd_resilient(argv[0], c);
+    if (command == "worker") return cmd_worker(c);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+  usage(("unknown command: " + command).c_str());
+}

@@ -442,13 +442,35 @@ int cmd_resilient(std::vector<std::string> args) {
       usage(("unknown failover mode: " + value).c_str());
   }
   if (extract_flag(args, "--no-verify")) opts.verify = false;
+  if (extract_flag(args, "--no-salvage")) opts.salvage = false;
+  if (extract_value(args, "--checkpoint", value)) opts.checkpoint_path = value;
+  if (extract_value(args, "--checkpoint-every", value))
+    opts.checkpoint_every_chunks =
+        static_cast<std::uint32_t>(std::strtoul(value.c_str(), nullptr, 10));
+  const bool resume = extract_flag(args, "--resume");
   const bool show_log = extract_flag(args, "--log");
   if (args.empty()) usage("resilient needs a graph file");
   if (args.size() > 1)
     usage(("unknown resilient option: " + args[1]).c_str());
+  if (resume && opts.checkpoint_path.empty())
+    usage("--resume requires --checkpoint=FILE");
 
-  const auto report =
-      resilience::run_resilient(load(args[0], ocli.threads), opts);
+  const graph::Graph g = load(args[0], ocli.threads);
+  resilience::RunnerReport report;
+  if (resume) {
+    try {
+      report = resilience::resume_resilient(g, opts);
+    } catch (const resilience::CheckpointError& e) {
+      // Typed rejection (missing, corrupt, version, graph/plan mismatch):
+      // warn and complete the run cold — never trust a bad checkpoint.
+      std::cerr << "lgg_cli: checkpoint unusable ("
+                << resilience::checkpoint_kind_name(e.kind())
+                << "): " << e.what() << "; starting cold\n";
+      report = resilience::run_resilient(g, opts);
+    }
+  } else {
+    report = resilience::run_resilient(g, opts);
+  }
   std::cout << report;
   if (show_log) std::cout << "\n" << report.log;
   ocli.finish();

@@ -28,7 +28,21 @@
 //   --trace FILE     Chrome trace JSON
 //   --trace-tree FILE  indented span tree ("-" = stdout)
 //   --metrics FILE   Prometheus text ("-" = stdout)
+//
+// Resilience (DESIGN.md §16):
+//   --faults RATE[,SEED]  inject device faults into resilient passes at
+//                    the uniform RATE; responses stay byte-identical, only
+//                    recovery counters move
+//   --checkpoint FILE  durably save the serving state after every drain
+//                    (write-to-temp + rename); removed at normal exit
+//   --resume         restore FILE before replaying the script: already-
+//                    served drains are skipped, output continues from the
+//                    first unserved drain (unusable checkpoints warn and
+//                    fall back to a cold start)
+//   --exit-after-drains K  hard-exit (code 42) right after the K-th
+//                    checkpoint write — the chaos harness's kill switch
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -49,7 +63,8 @@ using namespace lgg;
       "  lgg_serve run <script|-> [--threads N] [--cache N]\n"
       "            [--no-batching] [--quota N] [--device-budget N]\n"
       "            [--log FILE] [--trace FILE] [--trace-tree FILE]\n"
-      "            [--metrics FILE]\n"
+      "            [--metrics FILE] [--faults RATE[,SEED]]\n"
+      "            [--checkpoint FILE] [--resume] [--exit-after-drains K]\n"
       "\n"
       "script lines:\n"
       "  load <name> <path>             resident SNAP file\n"
@@ -155,6 +170,22 @@ int cmd_run(std::vector<std::string> args) {
                          static_cast<std::size_t>(threads));
   sopts.obs = copts.obs;
 
+  if (take_value(args, "--faults", value)) {
+    const std::size_t comma = value.find(',');
+    sopts.fault_rate = std::strtod(value.c_str(), nullptr);
+    if (comma != std::string::npos)
+      sopts.fault_seed =
+          std::strtoull(value.c_str() + comma + 1, nullptr, 10);
+    if (sopts.fault_rate <= 0.0 || sopts.fault_rate > 1.0)
+      usage("--faults rate must be in (0, 1]");
+  }
+  std::string ckpt_path;
+  take_value(args, "--checkpoint", ckpt_path);
+  const bool resume = take_flag(args, "--resume");
+  const std::uint64_t exit_after = take_u64(args, "--exit-after-drains", 0);
+  if ((resume || exit_after > 0) && ckpt_path.empty())
+    usage("--resume / --exit-after-drains need --checkpoint");
+
   if (args.empty()) usage("run needs a script path (or '-' for stdin)");
   const std::string script_path = args.front();
   args.erase(args.begin());
@@ -170,11 +201,44 @@ int cmd_run(std::vector<std::string> args) {
   serve::Catalog catalog(copts);
   serve::Service service(catalog, sopts);
   std::uint64_t next_id = 0;
+
+  // Resume: restore the drain-boundary state and skip that many drains
+  // (and every request line feeding them — their ids are already counted
+  // in the restored cursor) while replaying the script.  load/gen lines
+  // still execute: residency is recomputed, never checkpointed.
+  std::uint64_t skip_drains = 0;
+  if (resume) {
+    try {
+      const serve::ServeState st = serve::load_serve_state(ckpt_path);
+      service.restore_state(st);
+      next_id = st.next_id;
+      skip_drains = st.drain_seq;
+    } catch (const resilience::CheckpointError& e) {
+      std::cerr << "lgg_serve: checkpoint unusable ("
+                << resilience::checkpoint_kind_name(e.kind())
+                << "): " << e.what() << "; starting cold\n";
+    }
+  }
+
+  std::uint64_t drains_done = 0;
+  std::uint64_t ckpt_writes = 0;
   std::size_t pending = 0;
   const auto drain = [&] {
     for (const serve::Response& resp : service.drain())
       std::cout << resp.line() << "\n";
     pending = 0;
+    ++drains_done;
+    if (!ckpt_path.empty()) {
+      // Durability point: responses printed so far must survive the kill
+      // the checkpoint protects against.
+      std::cout.flush();
+      serve::ServeState st = service.state();
+      st.next_id = next_id;
+      serve::save_serve_state(ckpt_path, st);
+      ++ckpt_writes;
+      if (exit_after > 0 && ckpt_writes == exit_after)
+        std::_Exit(42);  // simulated kill: no unwinding, no flushing
+    }
   };
 
   std::string line;
@@ -198,7 +262,12 @@ int cmd_run(std::vector<std::string> args) {
                                std::strtoull(tok[5].c_str(), nullptr, 10)));
       } else if (tok[0] == "drain") {
         if (tok.size() != 1) usage("drain takes no arguments");
-        drain();
+        if (drains_done < skip_drains)
+          ++drains_done;  // already served before the checkpoint
+        else
+          drain();
+      } else if (drains_done < skip_drains) {
+        continue;  // request already served; its id is in the cursor
       } else {
         serve::Request req = serve::parse_request_line(line);
         req.id = next_id++;
@@ -212,6 +281,7 @@ int cmd_run(std::vector<std::string> args) {
     }
   }
   if (pending > 0) drain();
+  if (!ckpt_path.empty()) std::remove(ckpt_path.c_str());
 
   if (!log_path.empty()) write_or_die(log_path, service.log());
   if (!trace_path.empty())
