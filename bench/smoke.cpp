@@ -1,0 +1,86 @@
+// bench_smoke — the CI perf-regression workload (DESIGN.md §17).
+//
+// A fast, fixed sweep over the modelled pipeline: the three Fig. 12
+// layouts on one community graph plus a hybrid run, each emitting only
+// modelled, deterministic metrics (kernel cycles, transaction mix,
+// camping, occupancy, makespan) as BENCHJSON rows.  ci/bench_diff
+// compares the rows against the committed baseline
+// ci/golden/bench_smoke.json with a small rtol and fails CI when a
+// modelled metric drifts — the wall_ms field is emitted for humans but
+// always ignored by the gate.  Everything here is a pure function of
+// the workload, so a clean run diffs exactly; the rtol only absorbs
+// deliberate model recalibrations small enough to not need a new
+// baseline.
+#include <iostream>
+#include <string>
+
+#include "bench_json.hpp"
+#include "core/hybrid.hpp"
+#include "core/triangle_gpu.hpp"
+#include "graph/generators.hpp"
+#include "obs/obs.hpp"
+#include "prof/profiler.hpp"
+#include "util/stopwatch.hpp"
+
+int main() {
+  using namespace lgg;
+  std::cout << "=== bench_smoke: CI perf-regression workload ===\n";
+
+  const graph::Graph g = graph::layered_random(400, 60, 0.08, 0.04, 17);
+
+  const core::GpuLayout layouts[3] = {core::GpuLayout::kNaive,
+                                      core::GpuLayout::kCoalesced,
+                                      core::GpuLayout::kCoalescedAntiCamping};
+  const char* layout_names[3] = {"naive", "coalesced", "improved"};
+  for (int i = 0; i < 3; ++i) {
+    obs::Session sess;
+    prof::Profiler profiler(&sess);
+    core::GpuTriangleOptions opts;
+    opts.layout = layouts[i];
+    opts.obs = &sess;
+    opts.prof = &profiler;
+    opts.max_simulated_tests = 2000000;
+    Stopwatch wall;
+    const auto r = core::count_triangles_gpu(g, opts);
+    const double wall_ms = wall.elapsed_ms();
+    const prof::KernelProfile& p = profiler.profiles().front();
+    bench::emit(bench::JsonRecord(std::string("bench_smoke/gpu_") +
+                                  layout_names[i])
+                    .field("wall_ms", wall_ms)
+                    .field("triangles", r.triangles)
+                    .field("kernel_model_s", r.kernel.kernel_time_s)
+                    .field("gpu_model_s", r.total_time_s)
+                    .field("transactions", p.transactions)
+                    .field("coalesced_transactions", p.coalesced_transactions)
+                    .field("uncoalesced_transactions",
+                           p.uncoalesced_transactions)
+                    .field("memory_replays", p.memory_replays)
+                    .field("bank_conflict_steps", p.bank_conflict_steps)
+                    .field("divergent_warps", p.divergent_warps)
+                    .field("camping_factor", p.camping_factor)
+                    .field("occupancy", p.occupancy)
+                    .field("roofline", roofline_name(p.roofline)));
+    std::cout << "gpu_" << layout_names[i] << ": kernel "
+              << r.kernel.kernel_time_s << " s, " << p.transactions
+              << " txns (" << wall_ms << " ms wall)\n";
+  }
+
+  {
+    core::HybridOptions opts;
+    opts.max_simulated_tests_per_chunk = 100000;
+    Stopwatch wall;
+    const auto r = core::count_triangles_hybrid(g, opts);
+    bench::emit(bench::JsonRecord("bench_smoke/hybrid")
+                    .field("wall_ms", wall.elapsed_ms())
+                    .field("triangles", r.triangles)
+                    .field("makespan_model_s", r.makespan_s)
+                    .field("total_model_s", r.total_time_s)
+                    .field("shared_chunks",
+                           static_cast<std::uint64_t>(r.shared_chunks))
+                    .field("global_chunks",
+                           static_cast<std::uint64_t>(r.global_chunks)));
+    std::cout << "hybrid: makespan " << r.makespan_s << " s, "
+              << r.shared_chunks << "+" << r.global_chunks << " chunks\n";
+  }
+  return 0;
+}

@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # One-command local CI: configure/build/test the default preset, a
 # time-boxed deterministic fuzz smoke campaign, the serve stage (serving
-# suites + golden + thread-count byte-identity), the address+UB-sanitized
-# preset, the thread-sanitized preset (concurrency label only -- TSan is
-# too slow for the full suite), and finally the lint stage: lgg_lint's
+# suites + golden + thread-count byte-identity), the prof stage (profiler
+# suites + golden profile-tree + lgg_prof diff gate), the bench stage
+# (bench_smoke vs the committed baseline via ci/bench_diff), the
+# address+UB-sanitized preset, the thread-sanitized preset (concurrency
+# label only -- TSan is too slow for the full suite), and finally the
+# lint stage: lgg_lint's
 # determinism source lint + whole-pipeline plan verification (always), and
 # clang-tidy on top when installed.
 #
@@ -153,6 +156,48 @@ build/tools/lgg_chaos resilient --dir "$OBS_TMP/chaos" --faults 0.05,7 \
       --kill-after 2
 ci/prom_diff "$OBS_TMP/chaos/ref.prom" "$OBS_TMP/chaos/run.prom"
 echo "resumed metrics identical to uninterrupted reference (prom_diff)"
+
+step "prof: profiler suites (ctest -L prof)"
+# The prof-labelled tests pin the DESIGN.md section 17 contract: the
+# modelled counters reproduce the driver KernelReport exactly, every
+# export (profile, profile-tree, flamegraph, trace counter tracks) is
+# byte-identical across ExecPolicy/thread counts, and lgg_prof diff
+# honours the prom_diff tolerance contract.
+ctest --test-dir build -L prof --output-on-failure \
+      "${CTEST_ARGS[@]+"${CTEST_ARGS[@]}"}"
+
+step "prof: golden profile-tree + threads-1-vs-8 byte-identity"
+build/tools/lgg_cli triangle tests/corpus/single-triangle.txt \
+      --profile="$OBS_TMP/p1.prof" --profile-tree="$OBS_TMP/p1.tree" \
+      --flamegraph="$OBS_TMP/p1.flame" --threads 1 > /dev/null
+build/tools/lgg_cli triangle tests/corpus/single-triangle.txt \
+      --profile="$OBS_TMP/p8.prof" --profile-tree="$OBS_TMP/p8.tree" \
+      --flamegraph="$OBS_TMP/p8.flame" --threads 8 > /dev/null
+cmp "$OBS_TMP/p1.prof" "$OBS_TMP/p8.prof"
+cmp "$OBS_TMP/p1.tree" "$OBS_TMP/p8.tree"
+cmp "$OBS_TMP/p1.flame" "$OBS_TMP/p8.flame"
+diff -u ci/golden/single-triangle.profile-tree.txt "$OBS_TMP/p1.tree"
+
+step "prof: lgg_prof diff gate (clean exits 0, tampered exits 1)"
+build/tools/lgg_prof diff "$OBS_TMP/p1.prof" "$OBS_TMP/p8.prof"
+sed '/^lgg_prof_transactions{/s/ / 9/' "$OBS_TMP/p1.prof" \
+      > "$OBS_TMP/p1-tampered.prof"
+if build/tools/lgg_prof diff "$OBS_TMP/p1.prof" "$OBS_TMP/p1-tampered.prof" \
+      > /dev/null; then
+  echo "lgg_prof diff failed to flag a tampered profile" >&2
+  exit 1
+fi
+echo "profiles identical at --threads 1 and 8; tampered profile flagged"
+
+step "bench: perf-regression gate (bench_smoke vs committed baseline)"
+# Modelled metrics only — wall-clock fields are always ignored by
+# ci/bench_diff.  The 2% rtol absorbs deliberate small recalibrations;
+# anything larger needs a reviewed baseline refresh (DESIGN.md s17).
+build/bench/bench_smoke | grep '^BENCHJSON ' | sed 's/^BENCHJSON //' \
+      > "$OBS_TMP/bench_smoke.json"
+ci/bench_diff ci/golden/bench_smoke.json "$OBS_TMP/bench_smoke.json" \
+      --rtol 0.02
+echo "bench_smoke modelled metrics within 2% of the committed baseline"
 
 step "asan: configure + build (LGG_SANITIZE=address, LGG_WERROR=ON)"
 cmake --preset asan

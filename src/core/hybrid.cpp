@@ -255,7 +255,7 @@ ChunkLaunch run_chunk_kernel(const graph::Graph& g, const graph::Chunk& chunk,
     obs::Scope span(opts.obs, config.name, "launch");
     try {
       out.report = sim.run(kernel, config, 1, opts.exec,
-                           analyzer ? &*analyzer : nullptr);
+                           analyzer ? &*analyzer : nullptr, opts.prof);
     } catch (const gpusim::SmAbortFault& f) {
       // Harvest the completed warps' output slots before rethrowing: the
       // chunk runs as one block, so SM 0's abort boundary partitions the
@@ -287,11 +287,12 @@ ChunkLaunch run_chunk_kernel(const graph::Graph& g, const graph::Chunk& chunk,
       out.triangles += warp_found[wid];
     }
     if (out.simulated < work.tests) {
-      rescale(out.report,
-              static_cast<double>(work.tests) /
-                  static_cast<double>(
-                      std::max<std::uint64_t>(out.simulated, 1)),
-              dev);
+      const double f = static_cast<double>(work.tests) /
+                       static_cast<double>(
+                           std::max<std::uint64_t>(out.simulated, 1));
+      rescale(out.report, f, dev);
+      // Keep the recorded profile matching the caller-visible report.
+      if (opts.prof) opts.prof->rescale_last(f);
     }
     // Span duration and counters use the final (post-rescale) report.
     span.model_s(out.report.kernel_time_s);

@@ -60,6 +60,10 @@ struct HybridOptions {
   /// gpusim counters (DESIGN.md §12).  run_chunk_kernel reads it too, so
   /// the resilient runner inherits launch spans by forwarding it here.
   obs::Session* obs = nullptr;
+  /// Optional profiler hook (non-owning): every chunk launch deposits
+  /// modelled hardware counters (DESIGN.md §17).  run_chunk_kernel reads
+  /// it too, so the resilient runner forwards it the same way as `obs`.
+  gpusim::ProfilerHook* prof = nullptr;
   /// Optional precomputed Algorithm 1 plan (non-owning; see
   /// precompute_als).  When set, the pipeline skips chunking / level
   /// decomposition / per-chunk ALS work and charges ZERO modelled

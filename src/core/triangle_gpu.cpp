@@ -312,8 +312,8 @@ GpuTriangleResult count_triangles_gpu(const graph::Graph& g,
   }
   {
     obs::Scope span(opts.obs, config.name, "launch");
-    result.kernel =
-        sim.run(kernel, config, 1, opts.exec, analyzer ? &*analyzer : nullptr);
+    result.kernel = sim.run(kernel, config, 1, opts.exec,
+                            analyzer ? &*analyzer : nullptr, opts.prof);
 
     // Deterministic reduction: fold per-warp slots in warp order.
     std::uint64_t triangles = 0;
@@ -354,6 +354,8 @@ GpuTriangleResult count_triangles_gpu(const graph::Graph& g,
       k.kernel_time_s =
           cycles / (dev.core_clock_ghz * 1e9) + cal::kKernelLaunchOverheadS;
       k.sample_fraction = 1.0 / f;
+      // Keep the recorded profile matching the caller-visible report.
+      if (opts.prof) opts.prof->rescale_last(f);
     }
 
     // Span duration and counters use the FINAL (post-rescale) report so

@@ -78,6 +78,10 @@ struct GpuTriangleOptions {
   /// Optional observability session (non-owning): plan/transfer/launch
   /// spans on the modelled timeline plus gpusim counters (DESIGN.md §12).
   obs::Session* obs = nullptr;
+  /// Optional profiler hook (non-owning): every launch deposits modelled
+  /// hardware counters, rescaled alongside the KernelReport when the
+  /// test-sampling cap truncates (DESIGN.md §17).
+  gpusim::ProfilerHook* prof = nullptr;
 };
 
 struct GpuTriangleResult {

@@ -31,10 +31,40 @@ struct ShardState {
   std::uint64_t bytes = 0;
   std::uint64_t shared_slots = 0;
   std::uint64_t sampled_warps = 0;
+  // Profiler counters (see LaunchCounters); accumulated unconditionally —
+  // a few integer adds per slot — so the replay path is identical whether
+  // or not a ProfilerHook is attached.
+  std::uint64_t coalesced_slots = 0;
+  std::uint64_t uncoalesced_slots = 0;
+  std::uint64_t coalesced_transactions = 0;
+  std::uint64_t uncoalesced_transactions = 0;
+  std::uint64_t ideal_transactions = 0;
+  std::uint64_t shared_accesses = 0;
+  std::uint64_t divergent_warps = 0;
   /// Retained lane tapes (inspector runs only); later merged and sorted
   /// into (block, thread) order, so the collection order here is free.
   std::vector<ThreadTrace> traces;
 };
+
+/// CC-minimal transaction count for one warp slot (the denominator of the
+/// coalesced/uncoalesced split).  CC < 2.0 issues per half-warp, so the
+/// floor is one aligned segment per non-empty half (16 lanes x <= 8 bytes
+/// always fits one 128-byte segment); CC 2.0 issues whole cache lines, so
+/// the floor is the lines strictly needed to carry the active words.
+std::uint64_t ideal_slot_transactions(ComputeCapability cc,
+                                      const std::vector<LaneAccess>& slot,
+                                      std::uint32_t word_bytes) {
+  if (slot.empty()) return 0;
+  if (cc >= ComputeCapability::k20) {
+    const std::uint64_t need =
+        static_cast<std::uint64_t>(slot.size()) * word_bytes;
+    return std::max<std::uint64_t>(1, (need + 127) / 128);
+  }
+  bool half[2] = {false, false};
+  for (const LaneAccess& a : slot) half[a.lane >= 16 ? 1 : 0] = true;
+  return static_cast<std::uint64_t>(half[0]) +
+         static_cast<std::uint64_t>(half[1]);
+}
 
 /// Per-host-worker scratch reused across every warp the worker replays:
 /// lane tapes keep their heap capacity across clear(), and the coalescing
@@ -58,7 +88,8 @@ struct WorkerScratch {
 KernelReport Simulator::run(const KernelFn& kernel, const KernelConfig& config,
                             std::uint32_t sample_stride,
                             const ExecPolicy& policy,
-                            const LaunchInspector* inspector) const {
+                            const LaunchInspector* inspector,
+                            ProfilerHook* profiler) const {
   LGG_CHECK(config.blocks > 0 && config.threads_per_block > 0,
             "Simulator::run: empty launch configuration");
   LGG_CHECK(config.threads_per_block <= 1024,
@@ -155,6 +186,7 @@ KernelReport Simulator::run(const KernelFn& kernel, const KernelConfig& config,
             std::min(warp_size, config.threads_per_block - first_thread);
         double warp_compute = 0.0;
         std::size_t max_global = 0, max_shared = 0;
+        std::size_t min_global = ~std::size_t{0}, min_shared = ~std::size_t{0};
         for (std::uint32_t lane = 0; lane < lanes_in_warp; ++lane) {
           lanes[lane].clear();
           ThreadCtx ctx;
@@ -170,12 +202,16 @@ KernelReport Simulator::run(const KernelFn& kernel, const KernelConfig& config,
           warp_compute = std::max(warp_compute, lanes[lane].compute_);
           max_global = std::max(max_global, lanes[lane].global_.size());
           max_shared = std::max(max_shared, lanes[lane].shared_.size());
+          min_global = std::min(min_global, lanes[lane].global_.size());
+          min_shared = std::min(min_shared, lanes[lane].shared_.size());
           if (inspector != nullptr)
             sh.traces.push_back(
                 {ctx, lanes[lane].global_, lanes[lane].shared_,
                  lanes[lane].syncs_});
         }
         sh.sm.warp_instructions += warp_compute;
+        if (min_global != max_global || min_shared != max_shared)
+          ++sh.divergent_warps;
 
         // Global slots: coalesce the s-th access of every lane together.
         for (std::size_t s = 0; s < max_global; ++s) {
@@ -194,6 +230,16 @@ KernelReport Simulator::run(const KernelFn& kernel, const KernelConfig& config,
           sh.bytes += coalesced.bytes();
           sh.hist.add_transactions(partition_model, coalesced.transactions);
           ++sh.sm.global_slots;
+          const std::uint64_t ideal =
+              ideal_slot_transactions(dev.cc, scratch.slot, word_bytes);
+          sh.ideal_transactions += ideal;
+          if (coalesced.count() == ideal) {
+            ++sh.coalesced_slots;
+            sh.coalesced_transactions += coalesced.count();
+          } else {
+            ++sh.uncoalesced_slots;
+            sh.uncoalesced_transactions += coalesced.count();
+          }
         }
 
         // Shared slots: bank conflicts per half-warp.
@@ -207,6 +253,7 @@ KernelReport Simulator::run(const KernelFn& kernel, const KernelConfig& config,
               if (s < lanes[lane].shared_.size())
                 scratch.half_addrs.push_back(lanes[lane].shared_[s].addr);
             if (scratch.half_addrs.empty()) continue;
+            ++sh.shared_accesses;
             const std::uint32_t degree =
                 bank_conflict_degree(scratch.half_addrs, dev.shared_banks);
             sh.sm.bank_conflict_steps += degree;
@@ -260,6 +307,9 @@ KernelReport Simulator::run(const KernelFn& kernel, const KernelConfig& config,
 
   // Merge shards in fixed SM order (integer sums are order-free; the FP
   // compute sums never cross shards, so this order fixes everything else).
+  const bool profiling = profiler != nullptr;
+  LaunchCounters counters;
+  if (profiling) counters.sms.assign(dev.sm_count, SmCounters{});
   std::uint64_t sampled_warps = 0;
   std::vector<SmAccumulator> sms(dev.sm_count);
   for (std::uint32_t sm = 0; sm < dev.sm_count; ++sm) {
@@ -273,6 +323,22 @@ KernelReport Simulator::run(const KernelFn& kernel, const KernelConfig& config,
     report.warp_instructions += sh.sm.warp_instructions;
     report.partition_histogram.merge(sh.hist);
     sampled_warps += sh.sampled_warps;
+    if (profiling) {
+      counters.coalesced_slots += sh.coalesced_slots;
+      counters.uncoalesced_slots += sh.uncoalesced_slots;
+      counters.coalesced_transactions += sh.coalesced_transactions;
+      counters.uncoalesced_transactions += sh.uncoalesced_transactions;
+      counters.ideal_transactions += sh.ideal_transactions;
+      counters.shared_accesses += sh.shared_accesses;
+      counters.divergent_warps += sh.divergent_warps;
+      SmCounters& c = counters.sms[sm];
+      c.sm = sm;
+      c.warps = sh.sm.warps;
+      c.global_slots = sh.sm.global_slots;
+      c.transactions = sh.transactions;
+      c.warp_instructions = sh.sm.warp_instructions;
+      c.bank_conflict_steps = sh.sm.bank_conflict_steps;
+    }
   }
   LGG_ASSERT(sampled_warps > 0);
 
@@ -303,6 +369,27 @@ KernelReport Simulator::run(const KernelFn& kernel, const KernelConfig& config,
       sm.warps = static_cast<std::uint64_t>(
           static_cast<double>(sm.warps) * scale);
     }
+    if (profiling) {
+      const auto scaled = [scale](std::uint64_t v) {
+        return static_cast<std::uint64_t>(static_cast<double>(v) * scale);
+      };
+      counters.coalesced_slots = scaled(counters.coalesced_slots);
+      counters.uncoalesced_slots = scaled(counters.uncoalesced_slots);
+      counters.coalesced_transactions =
+          scaled(counters.coalesced_transactions);
+      counters.uncoalesced_transactions =
+          scaled(counters.uncoalesced_transactions);
+      counters.ideal_transactions = scaled(counters.ideal_transactions);
+      counters.shared_accesses = scaled(counters.shared_accesses);
+      counters.divergent_warps = scaled(counters.divergent_warps);
+      for (auto& c : counters.sms) {
+        c.warps = scaled(c.warps);
+        c.global_slots = scaled(c.global_slots);
+        c.transactions = scaled(c.transactions);
+        c.warp_instructions *= scale;
+        c.bank_conflict_steps = scaled(c.bank_conflict_steps);
+      }
+    }
   }
   report.camping_factor = report.partition_histogram.camping_factor();
 
@@ -329,7 +416,8 @@ KernelReport Simulator::run(const KernelFn& kernel, const KernelConfig& config,
   // --- timing (see header comment) ---
   namespace cal = calibration;
   double max_sm_compute = 0.0, max_sm_latency = 0.0;
-  for (const auto& sm : sms) {
+  for (std::uint32_t i = 0; i < dev.sm_count; ++i) {
+    const auto& sm = sms[i];
     if (sm.warps == 0) continue;
     const double compute =
         (sm.warp_instructions + static_cast<double>(sm.bank_conflict_steps)) *
@@ -341,6 +429,12 @@ KernelReport Simulator::run(const KernelFn& kernel, const KernelConfig& config,
                            resident;
     max_sm_compute = std::max(max_sm_compute, compute);
     max_sm_latency = std::max(max_sm_latency, latency);
+    if (profiling) {
+      SmCounters& c = counters.sms[i];
+      c.compute_cycles = compute;
+      c.latency_cycles = latency;
+      c.busy_cycles = std::max(compute, latency);
+    }
   }
   report.compute_cycles = max_sm_compute;
   report.latency_cycles = max_sm_latency;
@@ -355,6 +449,16 @@ KernelReport Simulator::run(const KernelFn& kernel, const KernelConfig& config,
       {report.compute_cycles, report.latency_cycles, report.dram_cycles});
   report.kernel_time_s =
       cycles / (dev.core_clock_ghz * 1e9) + cal::kKernelLaunchOverheadS;
+
+  if (profiling) {
+    counters.memory_replays =
+        report.transactions -
+        std::min(counters.ideal_transactions, report.transactions);
+    counters.shared_replays =
+        report.bank_conflict_steps -
+        std::min(counters.shared_accesses, report.bank_conflict_steps);
+    profiler->on_launch(config, dev, counters, report);
+  }
   return report;
 }
 

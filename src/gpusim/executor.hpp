@@ -232,6 +232,71 @@ class LaunchInspector {
                        KernelReport& report) const = 0;
 };
 
+/// Per-SM row of the profiler counter harvest, in fixed SM order.  The
+/// busy-cycle columns are the executor's own timing terms, exposed per SM
+/// so a profiler can draw the occupancy timeline on the modelled clock.
+struct SmCounters {
+  std::uint32_t sm = 0;
+  std::uint64_t warps = 0;
+  std::uint64_t global_slots = 0;
+  std::uint64_t transactions = 0;
+  double warp_instructions = 0.0;
+  std::uint64_t bank_conflict_steps = 0;
+  double compute_cycles = 0.0;
+  double latency_cycles = 0.0;
+  /// max(compute, latency): when this SM retires its last warp.
+  double busy_cycles = 0.0;
+};
+
+/// Modelled hardware counters for one launch, harvested alongside the
+/// KernelReport when a ProfilerHook is attached.  Accumulated per shard
+/// during the replay and merged in fixed SM order, so every field is
+/// bit-identical across ExecPolicies.  Invariants (also after sampling
+/// rescale, which scales both sides by the same integer factor):
+///   coalesced_transactions + uncoalesced_transactions == transactions
+///   coalesced_slots + uncoalesced_slots == global_slots
+///   ideal_transactions + memory_replays == transactions
+///   shared_accesses + shared_replays   == bank_conflict_steps
+struct LaunchCounters {
+  /// Global slots whose transaction count equals the CC's minimum (Table
+  /// III): CC < 2.0 one aligned segment per non-empty half-warp, CC 2.0
+  /// ceil(active_lanes * word_bytes / 128) cache lines.
+  std::uint64_t coalesced_slots = 0;
+  std::uint64_t uncoalesced_slots = 0;
+  /// The same split in transaction units; sums to KernelReport::transactions.
+  std::uint64_t coalesced_transactions = 0;
+  std::uint64_t uncoalesced_transactions = 0;
+  /// CC-minimal transactions over all slots; the excess is the modelled
+  /// memory-replay count.
+  std::uint64_t ideal_transactions = 0;
+  std::uint64_t memory_replays = 0;
+  /// Non-empty half-warp shared accesses; bank_conflict_steps beyond this
+  /// are conflict replays.
+  std::uint64_t shared_accesses = 0;
+  std::uint64_t shared_replays = 0;
+  /// Warps whose lanes recorded tapes of unequal length (lockstep broken).
+  std::uint64_t divergent_warps = 0;
+  std::vector<SmCounters> sms;
+};
+
+/// Post-launch profiling hook (implemented by lgg::prof).  Invoked from
+/// host-serial code after the shard merge and timing derivation, with the
+/// counters and the finished report — never from worker threads, so the
+/// hook needs no synchronisation and the invocation order is independent
+/// of the ExecPolicy.  Faulted launches (DeviceFault) never reach the
+/// hook.
+class ProfilerHook {
+ public:
+  virtual ~ProfilerHook() = default;
+  virtual void on_launch(const KernelConfig& config, const DeviceSpec& dev,
+                         const LaunchCounters& counters,
+                         const KernelReport& report) = 0;
+  /// Drivers that rescale the returned KernelReport after the launch
+  /// (test sampling, chunk truncation) call this with the same factor so
+  /// the recorded profile keeps matching the caller-visible report.
+  virtual void rescale_last(double factor) = 0;
+};
+
 class Simulator {
  public:
   /// `faults` (optional, non-owning) is consulted at the launch, per-SM
@@ -252,11 +317,14 @@ class Simulator {
   /// contract unless ExecPolicy::serial() is passed.  A non-null
   /// `inspector` makes the run retain every simulated thread's tape and
   /// invokes the hook after the merge (sancheck wiring; see
-  /// LaunchInspector).
+  /// LaunchInspector).  A non-null `profiler` additionally harvests the
+  /// LaunchCounters and receives them (host-serially) with the finished
+  /// report (lgg_prof wiring; see ProfilerHook).
   KernelReport run(const KernelFn& kernel, const KernelConfig& config,
                    std::uint32_t sample_stride = 1,
                    const ExecPolicy& policy = {},
-                   const LaunchInspector* inspector = nullptr) const;
+                   const LaunchInspector* inspector = nullptr,
+                   ProfilerHook* profiler = nullptr) const;
 
   /// Price a host->device copy of `bytes`.
   [[nodiscard]] TransferReport transfer(std::uint64_t bytes) const;

@@ -19,6 +19,9 @@
 //              Figs. 8-9 layouts), k-subgraph counters, social analyses
 //   obs/     — unified observability: modelled-time span tracer, metrics
 //              registry, Chrome-trace / span-tree / Prometheus exporters
+//   prof/    — deterministic kernel profiler: modelled hardware counters
+//              per launch, hotspot attribution, flamegraph / Perfetto /
+//              profile-tree exports and the rtol-gated profile differ
 //   resilience/ — seed-driven device fault injection + resilient chunked
 //              execution with retry, failover and recovery accounting
 //   serve/   — resident-graph analytics serving: catalog with cached
@@ -74,6 +77,9 @@
 #include "obs/metrics.hpp"           // IWYU pragma: export
 #include "obs/obs.hpp"               // IWYU pragma: export
 #include "obs/trace.hpp"             // IWYU pragma: export
+#include "prof/diff.hpp"             // IWYU pragma: export
+#include "prof/profile.hpp"          // IWYU pragma: export
+#include "prof/profiler.hpp"         // IWYU pragma: export
 #include "resilience/checkpoint.hpp"  // IWYU pragma: export
 #include "resilience/fault.hpp"      // IWYU pragma: export
 #include "resilience/runner.hpp"     // IWYU pragma: export

@@ -99,6 +99,14 @@ std::size_t Tracer::open_top() const noexcept {
   return open_.empty() ? kDropped : open_.back().idx;
 }
 
+std::vector<std::string> Tracer::open_stack_names() const {
+  std::vector<std::string> names;
+  names.reserve(open_.size());
+  for (const Frame& f : open_)
+    if (f.idx != kDropped) names.push_back(spans_[f.idx].name);
+  return names;
+}
+
 std::string json_escape(std::string_view s) {
   std::string out;
   out.reserve(s.size() + 2);
@@ -154,7 +162,8 @@ void append_args_json(std::string& out, const Span& span) {
 
 }  // namespace
 
-std::string chrome_trace_json(const Tracer& tracer) {
+std::string chrome_trace_json(const Tracer& tracer,
+                              const std::vector<std::string>& extra_events) {
   std::string out;
   out += "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"clock\":\"modelled\"";
   if (tracer.dropped() > 0)
@@ -175,6 +184,10 @@ std::string chrome_trace_json(const Tracer& tracer) {
     out += ",\"pid\":0,\"tid\":0";
     if (!span.args.empty()) append_args_json(out, span);
     out += '}';
+  }
+  for (const std::string& ev : extra_events) {
+    out += ",\n";
+    out += ev;
   }
   out += "\n]}\n";
   return out;

@@ -110,6 +110,11 @@ class Tracer {
   /// innermost frame was dropped) — what a resumed driver must end().
   [[nodiscard]] std::size_t open_top() const noexcept;
 
+  /// Names of the currently open recorded frames, outermost first —
+  /// the attribution stack a profiler hook sees at launch time (dropped
+  /// frames are skipped).
+  [[nodiscard]] std::vector<std::string> open_stack_names() const;
+
  private:
   struct Frame {
     std::size_t idx;        // kDropped when not recorded
@@ -131,8 +136,12 @@ class Tracer {
 /// Chrome trace-event JSON (one "X" complete event per span, modelled
 /// microseconds, loadable in Perfetto / chrome://tracing).  Dropped spans
 /// are reported in the trace metadata.  Byte-identical across host
-/// thread counts for a deterministic workload.
-[[nodiscard]] std::string chrome_trace_json(const Tracer& tracer);
+/// thread counts for a deterministic workload.  `extra_events` holds
+/// pre-rendered JSON event objects (e.g. lgg_prof's Perfetto counter
+/// tracks) spliced verbatim after the span events — empty by default, so
+/// existing traces are unchanged when no extension is attached.
+[[nodiscard]] std::string chrome_trace_json(
+    const Tracer& tracer, const std::vector<std::string>& extra_events = {});
 
 /// Human-readable indented span tree with modelled durations and args.
 [[nodiscard]] std::string span_tree_text(const Tracer& tracer);

@@ -1,0 +1,58 @@
+#include "prof/profile.hpp"
+
+#include <algorithm>
+
+namespace lgg::prof {
+
+const char* roofline_name(RooflineClass c) noexcept {
+  switch (c) {
+    case RooflineClass::kCompute:
+      return "compute";
+    case RooflineClass::kLatency:
+      return "latency";
+    case RooflineClass::kMemory:
+      return "memory";
+  }
+  return "?";
+}
+
+std::string KernelProfile::stack_path() const {
+  if (stack.empty()) return "(root)";
+  std::string out;
+  for (std::size_t i = 0; i < stack.size(); ++i) {
+    if (i) out += ';';
+    out += stack[i];
+  }
+  return out;
+}
+
+void KernelProfile::finalize() {
+  achieved_bandwidth_gbps =
+      kernel_time_s > 0.0
+          ? static_cast<double>(bytes) / kernel_time_s / 1e9
+          : 0.0;
+  bandwidth_fraction = peak_bandwidth_gbps > 0.0
+                           ? achieved_bandwidth_gbps / peak_bandwidth_gbps
+                           : 0.0;
+
+  double occ_sum = 0.0;
+  std::uint32_t active = 0;
+  for (const gpusim::SmCounters& c : sms) {
+    if (c.warps == 0) continue;
+    ++active;
+    if (max_warps_per_sm > 0)
+      occ_sum += static_cast<double>(
+                     std::min<std::uint64_t>(c.warps, max_warps_per_sm)) /
+                 static_cast<double>(max_warps_per_sm);
+  }
+  occupancy = active > 0 ? occ_sum / static_cast<double>(active) : 0.0;
+
+  if (dram_cycles >= compute_cycles && dram_cycles >= latency_cycles)
+    roofline = RooflineClass::kMemory;
+  else if (latency_cycles >= compute_cycles)
+    roofline = RooflineClass::kLatency;
+  else
+    roofline = RooflineClass::kCompute;
+}
+
+}  // namespace lgg::prof

@@ -236,6 +236,7 @@ RunnerReport run_impl(const graph::Graph& g, const RunnerOptions& opts,
   inner.exec = opts.exec;
   inner.sancheck = opts.sancheck;
   inner.obs = opts.obs;
+  inner.prof = opts.prof;
 
   RunnerReport report;
   report.exact = true;

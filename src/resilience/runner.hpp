@@ -103,6 +103,11 @@ struct RunnerOptions {
   /// counters.  Spans and metrics are byte-identical across ExecPolicies,
   /// like the log.
   obs::Session* obs = nullptr;
+  /// Optional profiler hook (non-owning), forwarded to every chunk kernel
+  /// launch (DESIGN.md §17).  Launches of retried / discarded attempts
+  /// are profiled too — the attempt sequence is deterministic, so the
+  /// profile stream still is.  Not part of the checkpoint fingerprint.
+  gpusim::ProfilerHook* prof = nullptr;
   /// Optional precomputed Algorithm 1 plan (non-owning; see
   /// core::precompute_als).  When set, the runner skips chunking / level
   /// decomposition / per-chunk ALS work and charges ZERO modelled

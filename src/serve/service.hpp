@@ -70,6 +70,9 @@ struct ServeOptions {
   /// Optional observability session: per-request + per-pass spans and
   /// lgg_serve_* counters.  Must be the catalog's session (or null).
   obs::Session* obs = nullptr;
+  /// Optional profiler hook (non-owning), forwarded to every resilient
+  /// backend pass the drain loop runs (DESIGN.md §17).
+  gpusim::ProfilerHook* prof = nullptr;
   /// Uniform device fault rate for resilient backend passes (0 runs
   /// fault-free).  The service owns one seed-driven injector whose draw
   /// position persists across passes and drains, so the fault pattern —

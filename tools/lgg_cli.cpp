@@ -61,8 +61,16 @@ using namespace lgg;
       "  --trace=FILE        Chrome trace-event JSON (Perfetto-loadable)\n"
       "  --trace-tree[=FILE] human-readable span tree (stdout if bare)\n"
       "  --metrics[=FILE]    Prometheus text dump (stdout if bare)\n"
-      "  --threads N         host simulator threads (1 = serial); traces\n"
-      "                      and metrics are byte-identical across N\n"
+      "  --profile[=FILE]    lgg_prof counter file (stdout if bare); diff\n"
+      "                      two with `lgg_prof diff` (DESIGN.md §17)\n"
+      "  --profile-tree[=FILE] human hotspot report (stdout if bare)\n"
+      "  --flamegraph[=FILE] collapsed stacks with modelled self-ns\n"
+      "                      (pipe into flamegraph.pl; stdout if bare)\n"
+      "  --trace-cap=N       cap recorded spans at N; drops surface as\n"
+      "                      lgg_obs_spans_dropped_total\n"
+      "  --threads N         host simulator threads (1 = serial); traces,\n"
+      "                      metrics and profiles are byte-identical\n"
+      "                      across N\n"
       "every command that reads a graph also accepts --threads N for the\n"
       "parallel ingest loader (identical result at any N)\n";
   std::exit(2);
@@ -290,10 +298,15 @@ int cmd_suggest(std::vector<std::string> args) {
 /// instrumentation); finish() writes the requested exports after the run.
 struct ObsCli {
   obs::Session sess;
+  prof::Profiler profiler{&sess};  // attribution from the session's tracer
   bool enabled = false;
+  bool profiling = false;
   std::string trace_path;
-  std::string tree_path;    // "-" = stdout
-  std::string metrics_path; // "-" = stdout
+  std::string tree_path;         // "-" = stdout
+  std::string metrics_path;      // "-" = stdout
+  std::string profile_path;      // "-" = stdout
+  std::string profile_tree_path; // "-" = stdout
+  std::string flamegraph_path;   // "-" = stdout
   bool have_threads = false;
   std::size_t threads = 0;  // also drives the ingest loader
   gpusim::ExecPolicy exec;
@@ -313,6 +326,23 @@ struct ObsCli {
       o.metrics_path = value;
       o.enabled = true;
     }
+    if (extract_optional_value(args, "--profile", value)) {
+      o.profile_path = value;
+      o.enabled = o.profiling = true;
+    }
+    if (extract_optional_value(args, "--profile-tree", value)) {
+      o.profile_tree_path = value;
+      o.enabled = o.profiling = true;
+    }
+    if (extract_optional_value(args, "--flamegraph", value)) {
+      o.flamegraph_path = value;
+      o.enabled = true;  // flamegraph is a pure function of the span tree
+    }
+    if (extract_value(args, "--trace-cap", value)) {
+      o.sess.tracer.set_span_cap(
+          static_cast<std::size_t>(std::strtoull(value.c_str(), nullptr, 10)));
+      o.enabled = true;
+    }
     if (extract_value(args, "--threads", value)) {
       const auto n =
           static_cast<std::uint32_t>(std::strtoul(value.c_str(), nullptr, 10));
@@ -325,6 +355,7 @@ struct ObsCli {
   }
 
   obs::Session* session() { return enabled ? &sess : nullptr; }
+  gpusim::ProfilerHook* prof() { return profiling ? &profiler : nullptr; }
 
   void write_or_die(const std::string& path, const std::string& text) {
     if (path == "-") {
@@ -338,10 +369,24 @@ struct ObsCli {
 
   void finish() {
     if (!enabled) return;
+    // Observable span loss: only emitted when the cap actually dropped
+    // spans, so default runs keep their existing metric set.
+    if (sess.tracer.dropped() > 0)
+      sess.metrics.count("lgg_obs_spans_dropped_total", sess.tracer.dropped());
+    if (profiling) profiler.export_metrics(sess.metrics);
     if (!trace_path.empty())
-      write_or_die(trace_path, obs::chrome_trace_json(sess.tracer));
+      write_or_die(trace_path,
+                   obs::chrome_trace_json(
+                       sess.tracer, profiling ? profiler.counter_track_events()
+                                              : std::vector<std::string>{}));
     if (!tree_path.empty())
       write_or_die(tree_path, obs::span_tree_text(sess.tracer));
+    if (!profile_path.empty())
+      write_or_die(profile_path, profiler.profile_text());
+    if (!profile_tree_path.empty())
+      write_or_die(profile_tree_path, profiler.profile_tree_text());
+    if (!flamegraph_path.empty())
+      write_or_die(flamegraph_path, prof::flamegraph_text(sess.tracer));
     if (!metrics_path.empty())
       write_or_die(metrics_path, sess.metrics.prometheus_text());
   }
@@ -352,6 +397,7 @@ int cmd_gpu(std::vector<std::string> args) {
   opts.sancheck = extract_sancheck(args);
   ObsCli ocli = ObsCli::extract(args);
   opts.obs = ocli.session();
+  opts.prof = ocli.prof();
   if (ocli.have_threads) opts.exec = ocli.exec;
   if (args.empty()) usage("gpu needs a graph file");
   const graph::Graph g = load(args[0], ocli.threads);
@@ -389,6 +435,7 @@ int cmd_hybrid(std::vector<std::string> args) {
   opts.sancheck = extract_sancheck(args);
   ObsCli ocli = ObsCli::extract(args);
   opts.obs = ocli.session();
+  opts.prof = ocli.prof();
   if (ocli.have_threads) opts.exec = ocli.exec;
   if (args.empty()) usage("hybrid needs a graph file");
   opts.max_simulated_tests_per_chunk = 100000;
@@ -411,6 +458,7 @@ int cmd_resilient(std::vector<std::string> args) {
   opts.sancheck = extract_sancheck(args);
   ObsCli ocli = ObsCli::extract(args);
   opts.obs = ocli.session();
+  opts.prof = ocli.prof();
   if (ocli.have_threads) opts.exec = ocli.exec;
 
   resilience::FaultInjector injector(0, resilience::FaultRates{});

@@ -1,0 +1,103 @@
+// lgg_prof — profile-file differ: the CI perf-regression gate
+// (DESIGN.md §17).
+//
+//   lgg_prof diff <a> <b> [--rtol X] [--atol Y] [--ignore REGEX]...
+//
+// Compares two `--profile` exports (or any Prometheus-style text: one
+// "<key> <value>" sample per line, '#' comments skipped) with the
+// ci/prom_diff contract: samples match iff |a - b| <= atol + rtol *
+// max(|a|, |b|); keys present on only one side always differ; --ignore
+// skips keys matching the regex (repeatable).  With no tolerances the
+// comparison is exact — the determinism gate: a threads-1 and a
+// threads-8 profile of the same workload must diff clean.
+//
+// Exit codes: 0 no differences, 1 differences found, 2 usage/IO error.
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lgg.hpp"
+
+namespace {
+
+using namespace lgg;
+
+[[noreturn]] void usage(const char* message = nullptr) {
+  if (message) std::cerr << "error: " << message << "\n\n";
+  std::cerr <<
+      "usage:\n"
+      "  lgg_prof diff <a> <b> [--rtol X] [--atol Y] [--ignore REGEX]...\n"
+      "\n"
+      "exit 0 when every sample matches within atol + rtol*max(|a|,|b|),\n"
+      "1 on any difference (each printed to stdout), 2 on usage/IO error\n";
+  std::exit(2);
+}
+
+bool take_value(std::vector<std::string>& args, const std::string& flag,
+                std::string& value) {
+  const std::string joined = flag + "=";
+  for (auto it = args.begin(); it != args.end(); ++it) {
+    if (*it == flag) {
+      if (it + 1 == args.end()) usage(("missing value for " + flag).c_str());
+      value = *(it + 1);
+      args.erase(it, it + 2);
+      return true;
+    }
+    if (it->compare(0, joined.size(), joined) == 0) {
+      value = it->substr(joined.size());
+      args.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string read_or_die(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << "error: cannot read " << path << "\n";
+    std::exit(2);
+  }
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+int cmd_diff(std::vector<std::string> args) {
+  prof::DiffOptions opts;
+  std::string value;
+  if (take_value(args, "--rtol", value))
+    opts.rtol = std::strtod(value.c_str(), nullptr);
+  if (take_value(args, "--atol", value))
+    opts.atol = std::strtod(value.c_str(), nullptr);
+  while (take_value(args, "--ignore", value)) opts.ignore.push_back(value);
+  if (args.size() != 2) usage("diff needs exactly two profile files");
+
+  const std::string a = read_or_die(args[0]);
+  const std::string b = read_or_die(args[1]);
+  const prof::DiffResult res = prof::diff_profile_text(a, b, opts);
+  for (const std::string& d : res.diffs) std::cout << d << "\n";
+  if (!res.equal)
+    std::cout << res.diffs.size() << " difference"
+              << (res.diffs.size() == 1 ? "" : "s") << " between " << args[0]
+              << " and " << args[1] << "\n";
+  return res.equal ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string command = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  try {
+    if (command == "diff") return cmd_diff(std::move(args));
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+  usage(("unknown command: " + command).c_str());
+}

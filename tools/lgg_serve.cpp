@@ -28,6 +28,12 @@
 //   --trace FILE     Chrome trace JSON
 //   --trace-tree FILE  indented span tree ("-" = stdout)
 //   --metrics FILE   Prometheus text ("-" = stdout)
+//   --profile FILE   lgg_prof counter file for the drain loop's backend
+//                    passes ("-" = stdout; diff with `lgg_prof diff`)
+//   --profile-tree FILE  human hotspot report ("-" = stdout)
+//   --flamegraph FILE    collapsed stacks, modelled self-ns ("-" = stdout)
+//   --trace-cap N    cap recorded spans; drops surface as
+//                    lgg_obs_spans_dropped_total
 //
 // Resilience (DESIGN.md §16):
 //   --faults RATE[,SEED]  inject device faults into resilient passes at
@@ -63,7 +69,9 @@ using namespace lgg;
       "  lgg_serve run <script|-> [--threads N] [--cache N]\n"
       "            [--no-batching] [--quota N] [--device-budget N]\n"
       "            [--log FILE] [--trace FILE] [--trace-tree FILE]\n"
-      "            [--metrics FILE] [--faults RATE[,SEED]]\n"
+      "            [--metrics FILE] [--profile FILE] [--profile-tree FILE]\n"
+      "            [--flamegraph FILE] [--trace-cap N]\n"
+      "            [--faults RATE[,SEED]]\n"
       "            [--checkpoint FILE] [--resume] [--exit-after-drains K]\n"
       "\n"
       "script lines:\n"
@@ -136,8 +144,11 @@ std::vector<std::string> split_ws(const std::string& line) {
 
 int cmd_run(std::vector<std::string> args) {
   obs::Session session;
+  prof::Profiler profiler(&session);
   bool obs_enabled = false;
+  bool profiling = false;
   std::string trace_path, tree_path, metrics_path, log_path, value;
+  std::string profile_path, profile_tree_path, flamegraph_path;
   if (take_value(args, "--trace", value)) {
     trace_path = value;
     obs_enabled = true;
@@ -148,6 +159,23 @@ int cmd_run(std::vector<std::string> args) {
   }
   if (take_value(args, "--metrics", value)) {
     metrics_path = value;
+    obs_enabled = true;
+  }
+  if (take_value(args, "--profile", value)) {
+    profile_path = value;
+    obs_enabled = profiling = true;
+  }
+  if (take_value(args, "--profile-tree", value)) {
+    profile_tree_path = value;
+    obs_enabled = profiling = true;
+  }
+  if (take_value(args, "--flamegraph", value)) {
+    flamegraph_path = value;
+    obs_enabled = true;
+  }
+  if (take_value(args, "--trace-cap", value)) {
+    session.tracer.set_span_cap(
+        static_cast<std::size_t>(std::strtoull(value.c_str(), nullptr, 10)));
     obs_enabled = true;
   }
   take_value(args, "--log", log_path);
@@ -169,6 +197,7 @@ int cmd_run(std::vector<std::string> args) {
                    : gpusim::ExecPolicy::parallel(
                          static_cast<std::size_t>(threads));
   sopts.obs = copts.obs;
+  sopts.prof = profiling ? &profiler : nullptr;
 
   if (take_value(args, "--faults", value)) {
     const std::size_t comma = value.find(',');
@@ -283,11 +312,23 @@ int cmd_run(std::vector<std::string> args) {
   if (pending > 0) drain();
   if (!ckpt_path.empty()) std::remove(ckpt_path.c_str());
 
+  if (session.tracer.dropped() > 0)
+    session.metrics.count("lgg_obs_spans_dropped_total",
+                          session.tracer.dropped());
+  if (profiling) profiler.export_metrics(session.metrics);
   if (!log_path.empty()) write_or_die(log_path, service.log());
   if (!trace_path.empty())
-    write_or_die(trace_path, obs::chrome_trace_json(session.tracer));
+    write_or_die(trace_path,
+                 obs::chrome_trace_json(
+                     session.tracer, profiling ? profiler.counter_track_events()
+                                               : std::vector<std::string>{}));
   if (!tree_path.empty())
     write_or_die(tree_path, obs::span_tree_text(session.tracer));
+  if (!profile_path.empty()) write_or_die(profile_path, profiler.profile_text());
+  if (!profile_tree_path.empty())
+    write_or_die(profile_tree_path, profiler.profile_tree_text());
+  if (!flamegraph_path.empty())
+    write_or_die(flamegraph_path, prof::flamegraph_text(session.tracer));
   if (!metrics_path.empty())
     write_or_die(metrics_path, session.metrics.prometheus_text());
   return 0;
